@@ -1,0 +1,56 @@
+// Ablation beyond the paper: the paper fixes every assist at 30 % of VDD
+// "for the sake of fair comparison". This sweep varies the assist strength
+// from 10 % to 50 % for the winning techniques (GND-lowering RA on the
+// proposed cell; GND-raising WA on a beta = 2 cell) to expose how much of
+// the margin the chosen operating point actually buys.
+
+#include "bench_common.hpp"
+
+using namespace tfetsram;
+
+int main() {
+    bench::banner("Ablation", "assist strength sweep (10-50 % of VDD)");
+    sram::MetricOptions opts;
+    auto csv = bench::open_csv("ablation_assist_strength");
+    csv.write_row(std::vector<std::string>{"fraction", "drnm_gnd_lowering",
+                                           "flip", "wlcrit_gnd_raising"});
+
+    TablePrinter table({"assist fraction", "DRNM @ beta=0.6 (GND-lower RA)",
+                        "WLcrit @ beta=2 (GND-raise WA)"});
+    for (double frac : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+        opts.assist_fraction = frac;
+
+        sram::CellConfig ra_cfg;
+        ra_cfg.kind = sram::CellKind::kTfet6T;
+        ra_cfg.access = sram::AccessDevice::kInwardP;
+        ra_cfg.beta = 0.6;
+        ra_cfg.models = bench::standard_models();
+        sram::SramCell ra_cell = sram::build_cell(ra_cfg);
+        const auto d = sram::dynamic_read_noise_margin(
+            ra_cell, frac == 0.0 ? sram::Assist::kNone
+                                 : sram::Assist::kRaGndLowering,
+            opts);
+
+        sram::CellConfig wa_cfg = ra_cfg;
+        wa_cfg.beta = 2.0;
+        sram::SramCell wa_cell = sram::build_cell(wa_cfg);
+        const double wl = sram::critical_wordline_pulse(
+            wa_cell,
+            frac == 0.0 ? sram::Assist::kNone : sram::Assist::kWaGndRaising,
+            opts);
+
+        table.add_row({format_sci(frac, 1),
+                       d.flipped ? "flip" : core::format_margin(d.drnm),
+                       core::format_pulse(wl)});
+        csv.write_row({frac, d.flipped ? 0.0 : d.drnm,
+                       d.flipped ? 1.0 : 0.0, wl});
+    }
+    std::cout << table.render();
+
+    bench::expectation(
+        "reads flip without assist and recover somewhere between 10 % and "
+        "30 %; write assistance improves WLcrit monotonically with "
+        "strength. The paper's 30 % sits comfortably past the read-rescue "
+        "knee for both.");
+    return 0;
+}

@@ -1,0 +1,52 @@
+#pragma once
+// Shared plumbing for the per-figure benchmark binaries: the standard model
+// set, the supply sweep the paper uses, and uniform output conventions
+// (console table + CSV dump under ./bench_csv for replotting).
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "device/models.hpp"
+#include "mc/monte_carlo.hpp"
+#include "sram/designs.hpp"
+#include "sram/metrics.hpp"
+#include "util/csv.hpp"
+#include "util/table_printer.hpp"
+#include "util/units.hpp"
+
+namespace tfetsram::bench {
+
+/// The tabulated standard models (built once per process).
+inline const device::ModelSet& standard_models() {
+    static const device::ModelSet set = device::make_model_set();
+    return set;
+}
+
+/// The paper's preferred TFET operating range (Sec. 5).
+inline const std::vector<double>& vdd_sweep() {
+    static const std::vector<double> v = {0.5, 0.6, 0.7, 0.8, 0.9};
+    return v;
+}
+
+/// Open a CSV sink for this benchmark under ./bench_csv.
+inline CsvWriter open_csv(const std::string& name) {
+    std::filesystem::create_directories("bench_csv");
+    return CsvWriter("bench_csv/" + name + ".csv");
+}
+
+/// Standard banner.
+inline void banner(const std::string& id, const std::string& what) {
+    std::cout << "==================================================\n"
+              << id << ": " << what << "\n"
+              << "==================================================\n";
+}
+
+/// Closing note comparing against the paper's reported shape.
+inline void expectation(const std::string& text) {
+    std::cout << "\n[paper] " << text << "\n\n";
+}
+
+} // namespace tfetsram::bench

@@ -1,0 +1,115 @@
+// Google-benchmark microbenchmarks of the simulation kernels: device model
+// evaluation (analytic vs lookup table), table extraction, dense LU, DC
+// operating points, and a full write transient. These quantify the cost
+// structure behind the figure-reproduction harness.
+
+#include <benchmark/benchmark.h>
+
+#include "device/models.hpp"
+#include "device/table_builder.hpp"
+#include "la/lu.hpp"
+#include "sram/designs.hpp"
+#include "sram/metrics.hpp"
+#include "spice/dc.hpp"
+#include "spice/transient.hpp"
+#include "util/rng.hpp"
+
+using namespace tfetsram;
+
+namespace {
+
+const device::ModelSet& models() {
+    static const device::ModelSet set = device::make_model_set();
+    return set;
+}
+
+void BM_TfetAnalyticEval(benchmark::State& state) {
+    const auto m = device::make_ntfet();
+    Rng rng(1);
+    double vgs = 0.5;
+    double vds = 0.5;
+    for (auto _ : state) {
+        vgs = vgs > 1.0 ? -1.0 : vgs + 1e-3;
+        vds = vds > 1.0 ? -1.0 : vds + 1.3e-3;
+        benchmark::DoNotOptimize(m->iv(vgs, vds));
+    }
+}
+BENCHMARK(BM_TfetAnalyticEval);
+
+void BM_TfetTableEval(benchmark::State& state) {
+    const auto& m = models().ntfet;
+    double vgs = 0.5;
+    double vds = 0.5;
+    for (auto _ : state) {
+        vgs = vgs > 1.0 ? -1.0 : vgs + 1e-3;
+        vds = vds > 1.0 ? -1.0 : vds + 1.3e-3;
+        benchmark::DoNotOptimize(m->iv(vgs, vds));
+    }
+}
+BENCHMARK(BM_TfetTableEval);
+
+void BM_TableExtraction(benchmark::State& state) {
+    const auto src = device::make_ntfet();
+    device::TableSpec spec;
+    spec.points = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(device::build_table(*src, spec));
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TableExtraction)->Arg(61)->Arg(121)->Arg(241)->Complexity();
+
+void BM_DenseLu(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(7);
+    la::Matrix a(n, n);
+    la::Vector b(n);
+    for (std::size_t r = 0; r < n; ++r) {
+        b[r] = rng.uniform(-1, 1);
+        for (std::size_t c = 0; c < n; ++c)
+            a(r, c) = rng.uniform(-1, 1);
+        a(r, r) += 4.0;
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(la::solve_linear(a, b));
+}
+BENCHMARK(BM_DenseLu)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_HoldOperatingPoint(benchmark::State& state) {
+    sram::SramCell cell =
+        sram::build_cell(sram::proposed_design(0.8, models()).config);
+    sram::program_hold(cell);
+    const spice::SolverOptions opts;
+    for (auto _ : state) {
+        const sram::HoldState hs = sram::solve_hold_state(cell, true, opts);
+        benchmark::DoNotOptimize(hs.x);
+    }
+}
+BENCHMARK(BM_HoldOperatingPoint);
+
+void BM_WriteTransient(benchmark::State& state) {
+    sram::SramCell cell =
+        sram::build_cell(sram::proposed_design(0.8, models()).config);
+    const sram::MetricOptions opts;
+    for (auto _ : state) {
+        const sram::WriteOutcome out =
+            sram::attempt_write(cell, 300e-12, sram::Assist::kNone, opts);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_WriteTransient);
+
+void BM_DrnmRead(benchmark::State& state) {
+    sram::SramCell cell =
+        sram::build_cell(sram::proposed_design(0.8, models()).config);
+    const sram::MetricOptions opts;
+    for (auto _ : state) {
+        const auto d = sram::dynamic_read_noise_margin(
+            cell, sram::Assist::kRaGndLowering, opts);
+        benchmark::DoNotOptimize(d);
+    }
+}
+BENCHMARK(BM_DrnmRead);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,11 @@
+* TFET common-source amplifier: gain and bandwidth via .ac
+.model tn NTFET ()
+Vdd vdd 0 DC 0.8
+Vin in  0 DC 0.45 AC 1
+RL  vdd out 200k
+M1  out in 0 tn W=1
+CL  out 0 2f
+.op
+.ac dec 10 1k 100g
+.print v(out)
+.end

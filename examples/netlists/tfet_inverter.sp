@@ -1,0 +1,12 @@
+* TFET inverter: steep transfer, attowatt leakage
+.model tfet_n NTFET ()
+.model tfet_p PTFET ()
+Vdd vdd 0 DC 0.8
+Vin in  0 PWL(0 0 0.5n 0 0.8n 0.8 1.6n 0.8 1.9n 0)
+MP  out in vdd tfet_p W=1
+MN  out in 0   tfet_n W=1
+Cl  out 0 0.5f
+.op
+.tran 2.4n
+.print v(in) v(out)
+.end

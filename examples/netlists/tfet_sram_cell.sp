@@ -1,0 +1,25 @@
+* The paper's 6T inpTFET SRAM cell (beta = 0.6): hold, then write 1
+.model tn NTFET ()
+.model tp PTFET ()
+Vdd vdd 0 DC 0.8
+* wordline: active low, 300 ps pulse
+Vwl wl 0 PWL(0 0.8 0.6n 0.8 0.605n 0 0.905n 0 0.91n 0.8)
+* bitlines: differential write levels applied before the pulse
+Vbl  bl  0 DC 0.8
+Vblb blb 0 PWL(0 0.8 0.1n 0.8 0.11n 0 1.0n 0 1.01n 0.8)
+* cross-coupled inverters, pull-downs 0.6 um
+MPDL q  qb 0   tn W=0.6
+MPUL q  qb vdd tp W=0.5
+MPDR qb q  0   tn W=0.6
+MPUR qb q  vdd tp W=0.5
+* inward pTFET access devices (source at the bitline)
+MAXL q  wl bl  tp W=1
+MAXR qb wl blb tp W=1
+Cq  q  0 0.25f
+Cqb qb 0 0.25f
+* start holding q = 0 (selects the bistable state)
+.nodeset v(q)=0 v(qb)=0.8 v(vdd)=0.8 v(bl)=0.8 v(blb)=0.8 v(wl)=0.8
+.op
+.tran 1.4n
+.print v(q) v(qb)
+.end

@@ -1,0 +1,92 @@
+#pragma once
+// The paper's contribution as a reusable design flow. Given a device model
+// set and a supply voltage, the explorer:
+//   1. studies all access-device choices (static power + write/read
+//      feasibility) and keeps the viable ones (Sec. 3),
+//   2. sweeps the cell ratio beta for each write-assist (beta >= 1) and
+//      read-assist (beta <= 1) technique (Sec. 4.1-4.2),
+//   3. scores each technique by its best DRNM/WLcrit tradeoff point
+//      (Fig. 8's "closest to the lower-right corner"),
+//   4. optionally verifies the winning design under Monte-Carlo process
+//      variation (Sec. 4.3),
+// and emits the recommended robust design.
+
+#include <optional>
+
+#include "mc/monte_carlo.hpp"
+#include "sram/designs.hpp"
+#include "sram/metrics.hpp"
+
+namespace tfetsram::core {
+
+/// One row of the access-device study (Sec. 3).
+struct AccessStudyRow {
+    sram::AccessDevice access{};
+    double static_power = 0.0; ///< worst-case hold leakage [W]
+    double drnm = 0.0;         ///< at the study beta [V]
+    double wlcrit = 0.0;       ///< [s]; +inf = write failure
+    bool write_ok = false;
+    bool read_ok = false;
+    bool viable = false; ///< low static power AND write AND read
+};
+
+/// One sweep point of the assist study (Sec. 4).
+struct AssistStudyPoint {
+    sram::Assist assist{};
+    double beta = 0.0;
+    double drnm = 0.0;  ///< [V]
+    double wlcrit = 0.0; ///< [s]
+};
+
+/// Scored summary of one assist technique.
+struct AssistScore {
+    sram::Assist assist{};
+    double best_beta = 0.0;
+    double best_drnm = 0.0;
+    double best_wlcrit = 0.0;
+    double score = 0.0; ///< higher is better
+};
+
+/// Monte-Carlo robustness check of the chosen design.
+struct RobustnessCheck {
+    SampleSummary drnm;
+    SampleSummary wlcrit;
+    std::size_t samples = 0;
+};
+
+struct RobustDesignReport {
+    double vdd = 0.0;
+    std::vector<AccessStudyRow> access_study;
+    std::optional<sram::AccessDevice> chosen_access;
+    std::vector<AssistStudyPoint> assist_curves;
+    std::vector<AssistScore> assist_scores;
+    std::optional<sram::Assist> chosen_assist;
+    double chosen_beta = 0.0;
+    std::optional<RobustnessCheck> robustness;
+    sram::DesignSpec recommended; ///< final design (valid iff chosen_*)
+
+    /// Multi-section console rendering.
+    [[nodiscard]] std::string to_text() const;
+};
+
+/// Flow configuration.
+struct ExplorerOptions {
+    double vdd = 0.8;
+    double assist_fraction = sram::kDefaultAssistFraction;
+    std::vector<double> wa_betas = {1.0, 1.5, 2.0, 2.5, 3.0};
+    std::vector<double> ra_betas = {0.4, 0.6, 0.8, 1.0};
+    double access_study_beta = 1.0;
+    /// Static power above this disqualifies an access choice (outward
+    /// devices overshoot it by many orders).
+    double static_power_budget = 1e-12;
+    std::size_t mc_samples = 0; ///< 0 skips the robustness check
+    std::uint64_t mc_seed = 20110314;
+    sram::MetricOptions metrics;
+    device::TfetParams tfet_params;
+    bool tabulated_models = true;
+};
+
+/// Run the full flow.
+RobustDesignReport explore(const ExplorerOptions& options);
+
+} // namespace tfetsram::core

@@ -1,0 +1,106 @@
+#include "core/report.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/table_printer.hpp"
+#include "util/units.hpp"
+
+namespace tfetsram::core {
+
+std::string format_pulse(double seconds) {
+    if (std::isnan(seconds))
+        return "n/a";
+    if (std::isinf(seconds))
+        return "inf (write failure)";
+    return format_si(seconds, "s");
+}
+
+std::string format_margin(double volts) {
+    if (std::isnan(volts))
+        return "n/a";
+    return format_si(volts, "V");
+}
+
+std::string format_power(double watts) {
+    if (std::isnan(watts))
+        return "n/a";
+    return format_sci(watts, 2) + " W";
+}
+
+std::string RobustDesignReport::to_text() const {
+    std::ostringstream os;
+    os << "=== Robust 6T TFET SRAM design exploration (VDD = " << vdd
+       << " V) ===\n\n";
+
+    os << "-- Stage 1: access-device study (Sec. 3) --\n";
+    {
+        TablePrinter t({"access device", "static power", "DRNM", "WLcrit",
+                        "write", "read", "viable"});
+        for (const AccessStudyRow& r : access_study)
+            t.add_row({sram::to_string(r.access), format_power(r.static_power),
+                       format_margin(r.drnm), format_pulse(r.wlcrit),
+                       r.write_ok ? "ok" : "FAIL", r.read_ok ? "ok" : "weak",
+                       r.viable ? "yes" : "no"});
+        os << t.render();
+    }
+    if (chosen_access)
+        os << "chosen access device: " << sram::to_string(*chosen_access)
+           << "\n\n";
+    else {
+        os << "no viable access device found\n";
+        return os.str();
+    }
+
+    os << "-- Stage 2/3: assist techniques (Sec. 4), best point per "
+          "technique --\n";
+    {
+        TablePrinter t({"technique", "best beta", "DRNM", "WLcrit", "score"});
+        for (const AssistScore& s : assist_scores) {
+            t.add_row({sram::to_string(s.assist),
+                       std::isfinite(s.score)
+                           ? format_sci(s.best_beta, 1)
+                           : "-",
+                       format_margin(s.best_drnm), format_pulse(s.best_wlcrit),
+                       std::isfinite(s.score) ? format_sci(s.score, 2)
+                                              : "disqualified"});
+        }
+        os << t.render();
+    }
+    if (chosen_assist)
+        os << "chosen technique: " << sram::to_string(*chosen_assist)
+           << " at beta = " << chosen_beta << "\n\n";
+    else {
+        os << "no assist technique achieved both write and read\n";
+        return os.str();
+    }
+
+    if (robustness) {
+        os << "-- Stage 4: Monte-Carlo robustness (Sec. 4.3, "
+           << robustness->samples << " samples, tox +/-5%) --\n";
+        TablePrinter t({"metric", "mean", "stddev", "min", "max", "failures"});
+        t.add_row({"DRNM", format_margin(robustness->drnm.mean),
+                   format_margin(robustness->drnm.stddev),
+                   format_margin(robustness->drnm.min),
+                   format_margin(robustness->drnm.max),
+                   std::to_string(robustness->drnm.n_infinite)});
+        t.add_row({"WLcrit", format_pulse(robustness->wlcrit.mean),
+                   format_pulse(robustness->wlcrit.stddev),
+                   format_pulse(robustness->wlcrit.min),
+                   format_pulse(robustness->wlcrit.max),
+                   std::to_string(robustness->wlcrit.n_infinite)});
+        os << t.render() << '\n';
+    }
+
+    os << "recommended design: " << recommended.name << " — "
+       << sram::to_string(recommended.config.access) << ", beta = "
+       << recommended.config.beta;
+    if (recommended.read_assist != sram::Assist::kNone)
+        os << ", " << sram::to_string(recommended.read_assist);
+    if (recommended.write_assist != sram::Assist::kNone)
+        os << ", " << sram::to_string(recommended.write_assist);
+    os << "\n";
+    return os.str();
+}
+
+} // namespace tfetsram::core

@@ -1,0 +1,21 @@
+#pragma once
+// Console rendering of the explorer's findings (declaration of
+// RobustDesignReport::to_text lives with the report type; this header
+// offers the shared formatting helpers benches also use).
+
+#include <string>
+
+#include "core/explorer.hpp"
+
+namespace tfetsram::core {
+
+/// "12.3 ps" / "inf" / "n/a" formatting for pulse widths.
+std::string format_pulse(double seconds);
+
+/// "123 mV" formatting for margins.
+std::string format_margin(double volts);
+
+/// "1.2e-17 W" formatting for static power.
+std::string format_power(double watts);
+
+} // namespace tfetsram::core

@@ -1,0 +1,85 @@
+#pragma once
+// Design sign-off: one call that qualifies a cell design the way a memory
+// team would before committing to it — the full metric battery (write and
+// read margins, delays, per-operation energy, hold power, static noise
+// margins, retention voltage) at every supply corner, the temperature
+// corners, and a Monte-Carlo margin check, rolled into a single report
+// with pass/fail verdicts against a requirements table.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mc/monte_carlo.hpp"
+#include "sram/designs.hpp"
+#include "sram/metrics.hpp"
+#include "sram/snm.hpp"
+
+namespace tfetsram::core {
+
+/// What the design must achieve to pass.
+struct SignoffRequirements {
+    double max_wlcrit = 1e-9;       ///< worst-corner write pulse [s]
+    double min_drnm = 0.10;         ///< worst-corner read margin [V]
+    double max_static_power = 1e-12; ///< hold power at the top corner [W]
+    double max_write_delay = 2e-9;  ///< [s]
+    double max_read_delay = 1e-9;   ///< [s]
+    double min_hold_snm = 0.05;     ///< butterfly margin at nominal [V]
+    double max_drv = 0.45;          ///< retention voltage [V]
+    double mc_max_wlcrit = 1.5e-9;  ///< MC worst sample [s]
+    double mc_min_drnm = 0.05;      ///< MC worst sample [V]
+};
+
+/// Sweep corners for the qualification.
+struct SignoffConditions {
+    std::vector<double> vdd_corners = {0.5, 0.7, 0.9};
+    std::vector<double> temperature_corners = {300.0, 400.0};
+    std::size_t mc_samples = 20;
+    std::uint64_t mc_seed = 61;
+    sram::MetricOptions metrics;
+};
+
+/// One evaluated corner.
+struct CornerRow {
+    double vdd = 0.0;
+    double wlcrit = 0.0;
+    double drnm = 0.0;
+    double write_delay = 0.0;
+    double read_delay = 0.0;
+    double write_energy = 0.0;
+    double read_energy = 0.0;
+    double static_power = 0.0;
+};
+
+/// Temperature-corner hold check.
+struct TemperatureRow {
+    double temperature = 0.0;
+    double static_power = 0.0;
+    bool holds_data = false;
+};
+
+struct SignoffReport {
+    std::string design_name;
+    std::vector<CornerRow> corners;
+    std::vector<TemperatureRow> temperatures;
+    double hold_snm = 0.0;
+    double drv = 0.0;
+    SampleSummary mc_wlcrit;
+    SampleSummary mc_drnm;
+
+    std::vector<std::string> failures; ///< human-readable violations
+    [[nodiscard]] bool passed() const { return failures.empty(); }
+
+    /// Multi-section console rendering.
+    [[nodiscard]] std::string to_text() const;
+};
+
+/// Qualify a design. The design's assists are used for every operation.
+/// `tfet_params` rebuilds the TFET models per corner (temperature) and
+/// feeds the Monte-Carlo sampler.
+SignoffReport signoff(const sram::DesignSpec& design,
+                      const device::TfetParams& tfet_params = {},
+                      const SignoffRequirements& req = {},
+                      const SignoffConditions& cond = {});
+
+} // namespace tfetsram::core

@@ -1,0 +1,56 @@
+#include "device/device_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tfetsram::device {
+
+DeviceTable::DeviceTable(std::string name, const TableSpec& spec)
+    : name_(std::move(name)), spec_(spec),
+      t_grid_(spec.v_min, spec.v_max, spec.points, spec.v_min, spec.v_max,
+              spec.points),
+      cgs_grid_(spec.v_min, spec.v_max, spec.points, spec.v_min, spec.v_max,
+                spec.points),
+      cgd_grid_(spec.v_min, spec.v_max, spec.points, spec.v_min, spec.v_max,
+                spec.points) {
+    TFET_EXPECTS(spec.i_ref > 0.0);
+    TFET_EXPECTS(spec.v_out > 0.0);
+    TFET_EXPECTS(spec.points >= 5);
+}
+
+DeviceTable::OutputShape DeviceTable::output_shape(double vds) const {
+    const double a = std::fabs(vds) / spec_.v_out;
+    const double e = std::exp(-std::min(a, 700.0));
+    const double mag = 1.0 - e;
+    return {vds >= 0.0 ? mag : -mag, e / spec_.v_out};
+}
+
+double DeviceTable::compress_ratio(double ratio) const {
+    return std::asinh(ratio / spec_.i_ref);
+}
+
+spice::IvSample DeviceTable::iv(double vgs, double vds) const {
+    const Grid2d::Sample t = t_grid_.eval(vgs, vds);
+    const OutputShape out = output_shape(vds);
+    // Guard sinh/cosh against pathological extrapolation far off-grid.
+    const double tc = std::clamp(t.f, -600.0, 600.0);
+    const double sh = std::sinh(tc);
+    const double ch = std::cosh(tc);
+    const double ir = spec_.i_ref;
+    spice::IvSample s;
+    s.ids = out.f * ir * sh;
+    // Exact derivatives of the reconstruction: Newton sees the same
+    // surface it is solving.
+    s.gm = out.f * ir * ch * t.fx;
+    s.gds = out.df * ir * sh + out.f * ir * ch * t.fy;
+    return s;
+}
+
+spice::CvSample DeviceTable::cv(double vgs, double vds) const {
+    const double cgs = cgs_grid_.eval(vgs, vds).f;
+    const double cgd = cgd_grid_.eval(vgs, vds).f;
+    // Interpolation undershoot must not produce a negative capacitance.
+    return {std::max(cgs, 1e-18), std::max(cgd, 1e-18)};
+}
+
+} // namespace tfetsram::device

@@ -1,0 +1,156 @@
+#include "device/grid2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tfetsram::device {
+
+namespace {
+/// Monotone (Fritsch-Carlson) cubic Hermite interpolation of p0..p3 at
+/// fractional position t in [0,1] between p1 and p2; returns value and
+/// d/dt. Node slopes are the harmonic mean of adjacent secants (zero at
+/// local extrema), which guarantees no overshoot — essential where the
+/// asinh-compressed current crosses its near-logarithmic cliff at vds = 0 —
+/// while staying C1 across cells and reproducing linear data exactly.
+struct Cubic {
+    double f;
+    double dfdt;
+};
+Cubic monotone_hermite(double p0, double p1, double p2, double p3, double t) {
+    const double s0 = p1 - p0;
+    const double s1 = p2 - p1;
+    const double s2 = p3 - p2;
+    const auto limited = [](double a, double b) {
+        if (a * b <= 0.0)
+            return 0.0;
+        return 2.0 * a * b / (a + b);
+    };
+    const double m1 = limited(s0, s1);
+    const double m2 = limited(s1, s2);
+    const double t2 = t * t;
+    const double t3 = t2 * t;
+    const double f = (2.0 * t3 - 3.0 * t2 + 1.0) * p1 +
+                     (t3 - 2.0 * t2 + t) * m1 +
+                     (-2.0 * t3 + 3.0 * t2) * p2 + (t3 - t2) * m2;
+    const double dfdt = (6.0 * t2 - 6.0 * t) * p1 +
+                        (3.0 * t2 - 4.0 * t + 1.0) * m1 +
+                        (-6.0 * t2 + 6.0 * t) * p2 + (3.0 * t2 - 2.0 * t) * m2;
+    return {f, dfdt};
+}
+} // namespace
+
+Grid2d::Grid2d(double x0, double x1, std::size_t nx, double y0, double y1,
+               std::size_t ny)
+    : x0_(x0), x1_(x1), y0_(y0), y1_(y1), nx_(nx), ny_(ny),
+      data_(nx * ny, 0.0) {
+    TFET_EXPECTS(nx >= 4 && ny >= 4);
+    TFET_EXPECTS(x1 > x0 && y1 > y0);
+    hx_ = (x1 - x0) / static_cast<double>(nx - 1);
+    hy_ = (y1 - y0) / static_cast<double>(ny - 1);
+}
+
+double Grid2d::x_at(std::size_t ix) const {
+    TFET_EXPECTS(ix < nx_);
+    return x0_ + hx_ * static_cast<double>(ix);
+}
+
+double Grid2d::y_at(std::size_t iy) const {
+    TFET_EXPECTS(iy < ny_);
+    return y0_ + hy_ * static_cast<double>(iy);
+}
+
+double& Grid2d::at(std::size_t ix, std::size_t iy) {
+    TFET_EXPECTS(ix < nx_ && iy < ny_);
+    return data_[iy * nx_ + ix];
+}
+
+double Grid2d::at(std::size_t ix, std::size_t iy) const {
+    TFET_EXPECTS(ix < nx_ && iy < ny_);
+    return data_[iy * nx_ + ix];
+}
+
+Grid2d::Sample Grid2d::eval_inside(double x, double y) const {
+    // Locate the cell; clamp so the upper edge evaluates in the last cell.
+    const double fx_pos = (x - x0_) / hx_;
+    const double fy_pos = (y - y0_) / hy_;
+    const auto ix = std::min(static_cast<std::size_t>(std::max(fx_pos, 0.0)),
+                             nx_ - 2);
+    const auto iy = std::min(static_cast<std::size_t>(std::max(fy_pos, 0.0)),
+                             ny_ - 2);
+    const double tx = fx_pos - static_cast<double>(ix);
+    const double ty = fy_pos - static_cast<double>(iy);
+
+    // Fetch with linear extrapolation one sample beyond each edge, so the
+    // stencil reproduces linear surfaces exactly at the boundary (clamped
+    // padding would flatten them).
+    auto fetch = [this](std::ptrdiff_t gx, std::ptrdiff_t gy) {
+        const auto nxi = static_cast<std::ptrdiff_t>(nx_);
+        const auto nyi = static_cast<std::ptrdiff_t>(ny_);
+        double wx0 = 1.0;
+        double wx1 = 0.0;
+        std::ptrdiff_t gx0 = gx;
+        std::ptrdiff_t gx1 = gx;
+        if (gx < 0) {
+            gx0 = 0;
+            gx1 = 1;
+            wx0 = 2.0;
+            wx1 = -1.0;
+        } else if (gx >= nxi) {
+            gx0 = nxi - 1;
+            gx1 = nxi - 2;
+            wx0 = 2.0;
+            wx1 = -1.0;
+        }
+        double wy0 = 1.0;
+        double wy1 = 0.0;
+        std::ptrdiff_t gy0 = gy;
+        std::ptrdiff_t gy1 = gy;
+        if (gy < 0) {
+            gy0 = 0;
+            gy1 = 1;
+            wy0 = 2.0;
+            wy1 = -1.0;
+        } else if (gy >= nyi) {
+            gy0 = nyi - 1;
+            gy1 = nyi - 2;
+            wy0 = 2.0;
+            wy1 = -1.0;
+        }
+        auto v = [this](std::ptrdiff_t a, std::ptrdiff_t b) {
+            return at(static_cast<std::size_t>(a), static_cast<std::size_t>(b));
+        };
+        return wx0 * (wy0 * v(gx0, gy0) + wy1 * v(gx0, gy1)) +
+               wx1 * (wy0 * v(gx1, gy0) + wy1 * v(gx1, gy1));
+    };
+
+    // Interpolate 4 rows along x, then the results along y.
+    double row_f[4];
+    double row_fx[4];
+    for (int r = 0; r < 4; ++r) {
+        const auto gy = static_cast<std::ptrdiff_t>(iy) + r - 1;
+        const auto gx = static_cast<std::ptrdiff_t>(ix);
+        const double p0 = fetch(gx - 1, gy);
+        const double p1 = fetch(gx, gy);
+        const double p2 = fetch(gx + 1, gy);
+        const double p3 = fetch(gx + 2, gy);
+        const Cubic c = monotone_hermite(p0, p1, p2, p3, tx);
+        row_f[r] = c.f;
+        row_fx[r] = c.dfdt / hx_;
+    }
+    const Cubic cy = monotone_hermite(row_f[0], row_f[1], row_f[2], row_f[3], ty);
+    const Cubic cx = monotone_hermite(row_fx[0], row_fx[1], row_fx[2], row_fx[3], ty);
+    return {cy.f, cx.f, cy.dfdt / hy_};
+}
+
+Grid2d::Sample Grid2d::eval(double x, double y) const {
+    const double xc = std::clamp(x, x0_, x1_);
+    const double yc = std::clamp(y, y0_, y1_);
+    Sample s = eval_inside(xc, yc);
+    // Linear extension beyond the table keeps Newton iterates finite.
+    if (x != xc || y != yc) {
+        s.f += s.fx * (x - xc) + s.fy * (y - yc);
+    }
+    return s;
+}
+
+} // namespace tfetsram::device

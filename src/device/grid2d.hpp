@@ -1,0 +1,49 @@
+#pragma once
+// Uniform 2-D grid with C1 (Catmull-Rom bicubic) interpolation and analytic
+// gradients. This is the numerical core of the lookup-table device model:
+// Newton iteration needs continuous first derivatives, which bilinear
+// interpolation cannot provide.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace tfetsram::device {
+
+class Grid2d {
+public:
+    /// Grid over [x0, x1] x [y0, y1] with nx * ny samples (nx, ny >= 4).
+    Grid2d(double x0, double x1, std::size_t nx, double y0, double y1,
+           std::size_t ny);
+
+    [[nodiscard]] std::size_t nx() const { return nx_; }
+    [[nodiscard]] std::size_t ny() const { return ny_; }
+    [[nodiscard]] double x_at(std::size_t ix) const;
+    [[nodiscard]] double y_at(std::size_t iy) const;
+
+    double& at(std::size_t ix, std::size_t iy);
+    [[nodiscard]] double at(std::size_t ix, std::size_t iy) const;
+
+    /// Interpolated value and gradient.
+    struct Sample {
+        double f;
+        double fx;
+        double fy;
+    };
+
+    /// Evaluate at (x, y). Outside the domain the surface continues
+    /// linearly along the boundary gradient, so Newton excursions beyond
+    /// the table stay well-behaved.
+    [[nodiscard]] Sample eval(double x, double y) const;
+
+private:
+    [[nodiscard]] Sample eval_inside(double x, double y) const;
+
+    double x0_, x1_, y0_, y1_;
+    std::size_t nx_, ny_;
+    double hx_, hy_;
+    std::vector<double> data_; // row-major: [iy * nx + ix]
+};
+
+} // namespace tfetsram::device

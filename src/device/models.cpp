@@ -1,0 +1,60 @@
+#include "device/models.hpp"
+
+#include "device/table_builder.hpp"
+
+namespace tfetsram::device {
+
+MirrorModel::MirrorModel(spice::TransistorModelPtr inner, std::string name)
+    : inner_(std::move(inner)), name_(std::move(name)) {
+    TFET_EXPECTS(inner_ != nullptr);
+}
+
+spice::IvSample MirrorModel::iv(double vgs, double vds) const {
+    const spice::IvSample m = inner_->iv(-vgs, -vds);
+    // I_p(vgs,vds) = -I_n(-vgs,-vds):
+    //   dI_p/dvgs = -dI_n/dvgs_n * (-1) = +gm_n, and likewise for gds.
+    return {-m.ids, m.gm, m.gds};
+}
+
+spice::CvSample MirrorModel::cv(double vgs, double vds) const {
+    return inner_->cv(-vgs, -vds);
+}
+
+spice::TransistorModelPtr make_ntfet(const TfetParams& params) {
+    return std::make_shared<TfetModel>(params);
+}
+
+spice::TransistorModelPtr make_ptfet(const TfetParams& params) {
+    return std::make_shared<MirrorModel>(make_ntfet(params), "pTFET");
+}
+
+spice::TransistorModelPtr make_nmos(const MosfetParams& params) {
+    return std::make_shared<MosfetModel>(params);
+}
+
+MosfetParams pmos_defaults() {
+    MosfetParams p;
+    p.i_spec = 1.0e-5; // hole mobility deficit vs. the 2e-5 nMOS default
+    return p;
+}
+
+spice::TransistorModelPtr make_pmos(const MosfetParams& params) {
+    return std::make_shared<MirrorModel>(
+        std::make_shared<MosfetModel>(params), "pMOS");
+}
+
+ModelSet make_model_set(const TfetParams& tfet_params, bool tabulated,
+                        const TableSpec& spec) {
+    ModelSet set;
+    set.ntfet = make_ntfet(tfet_params);
+    set.ptfet = make_ptfet(tfet_params);
+    if (tabulated) {
+        set.ntfet = build_table(*set.ntfet, spec);
+        set.ptfet = build_table(*set.ptfet, spec);
+    }
+    set.nmos = make_nmos();
+    set.pmos = make_pmos();
+    return set;
+}
+
+} // namespace tfetsram::device

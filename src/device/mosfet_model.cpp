@@ -1,0 +1,106 @@
+#include "device/mosfet_model.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace tfetsram::device {
+
+namespace {
+/// EKV inversion-charge function F(x) = ln^2(1 + exp(x / 2vt)) and its
+/// derivative, computed without overflow.
+struct EkvF {
+    double f;
+    double df;
+};
+EkvF ekv_f(double x, double vt) {
+    const double z = x / (2.0 * vt);
+    double lg = 0.0;
+    double sg = 0.0;
+    if (z > 30.0) {
+        lg = z;
+        sg = 1.0;
+    } else if (z < -30.0) {
+        lg = std::exp(z);
+        sg = lg;
+    } else {
+        const double ez = std::exp(z);
+        lg = std::log1p(ez);
+        sg = ez / (1.0 + ez);
+    }
+    return {lg * lg, lg * sg / vt};
+}
+} // namespace
+
+MosfetModel::MosfetModel(const MosfetParams& params) : params_(params) {
+    TFET_EXPECTS(params.i_spec > 0.0);
+    TFET_EXPECTS(params.slope_n >= 1.0);
+    TFET_EXPECTS(params.temperature > 0.0);
+    constexpr double kBoltzmannOverQ = 8.617333e-5; // V/K
+    vt_ = kBoltzmannOverQ * params.temperature;
+    vth_eff_ = params.vth + params.vth_tc * (params.temperature - 300.0);
+    i_spec_eff_ =
+        params.i_spec * std::pow(params.temperature / 300.0,
+                                 params.mobility_exp) *
+        (vt_ * vt_) / (0.02585 * 0.02585); // Is ~ 2 n mu Cox vt^2
+}
+
+spice::IvSample MosfetModel::iv_forward(double vgs, double vds) const {
+    TFET_EXPECTS(vds >= 0.0);
+    const double vp = (vgs - vth_eff_) / params_.slope_n;
+    const EkvF fwd = ekv_f(vp, vt_);
+    const EkvF rev = ekv_f(vp - vds, vt_);
+    const double is = i_spec_eff_;
+    spice::IvSample s;
+    s.ids = is * (fwd.f - rev.f);
+    s.gm = is * (fwd.df - rev.df) / params_.slope_n;
+    s.gds = is * rev.df;
+    return s;
+}
+
+spice::IvSample MosfetModel::iv(double vgs, double vds) const {
+    if (vds >= 0.0)
+        return iv_forward(vgs, vds);
+    // Source/drain swap: the device conducts identically with the terminals
+    // exchanged (no body effect modeled).
+    const spice::IvSample m = iv_forward(vgs - vds, -vds);
+    spice::IvSample s;
+    s.ids = -m.ids;
+    // Chain rule through vgs' = vgs - vds, vds' = -vds. Note gm < 0 here:
+    // more gate drive makes the (negative) current more negative.
+    s.gm = -m.gm;
+    s.gds = m.gm + m.gds;
+    return s;
+}
+
+spice::CvSample MosfetModel::cv(double vgs, double vds) const {
+    // Single smooth expression for all biases. It must be continuous at
+    // vds = 0 and satisfy the terminal-swap identity
+    // cv(vgs, -vds) == swap(cv(vgs - vds, vds)) exactly: a discontinuity
+    // there makes the Newton iteration limit-cycle when a node hovers at
+    // the other terminal's potential.
+    auto sigmoid = [](double z) {
+        if (z > 30.0)
+            return 1.0;
+        if (z < -30.0)
+            return 0.0;
+        return 1.0 / (1.0 + std::exp(-z));
+    };
+    // Gate drive relative to the lower of the two channel ends (smoothly):
+    // softplus(-vds) ~ 0 for vds > 0 and ~ -vds for vds < 0.
+    const double s = 0.05;
+    const double z = -vds / s;
+    const double softplus_neg =
+        z > 30.0 ? -vds : (z < -30.0 ? 0.0 : s * std::log1p(std::exp(z)));
+    const double vg_eff = vgs + softplus_neg;
+    const double ch = sigmoid((vg_eff - params_.vth) / 0.1);
+    // Saturation steers the channel charge toward the source end (2/3 Cox
+    // classically); split is odd in vds so the swap identity holds.
+    const double split = std::tanh(vds / 0.1);
+    const double c0 = params_.c_gate;
+    const double cgs = c0 * (0.15 + 0.3 * ch * (1.0 + 0.5 * split));
+    const double cgd = c0 * (0.15 + 0.3 * ch * (1.0 - 0.5 * split));
+    return {cgs, cgd};
+}
+
+} // namespace tfetsram::device

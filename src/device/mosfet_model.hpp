@@ -1,0 +1,53 @@
+#pragma once
+// EKV-style single-piece MOSFET model, standing in for the 32 nm low-power
+// PTM model the paper uses as its CMOS baseline. One smooth expression
+// covers weak through strong inversion, and the source/drain-swap identity
+// I(vgs, vds < 0) = -I(vgs - vds, -vds) provides the bidirectional
+// conduction that distinguishes MOSFET access transistors from TFETs.
+
+#include "spice/transistor_model.hpp"
+
+namespace tfetsram::device {
+
+/// Parameters of the n-channel EKV model (per micron of width). Defaults
+/// approximate a 32 nm low-power process at 300 K: |VT| ~ 0.5 V, swing
+/// ~ 78 mV/dec, Ioff ~ 7e-12 A/um and Ion ~ 4e-4 A/um at 0.8 V.
+///
+/// Temperature enters through the thermal voltage kT/q (subthreshold
+/// swing), a linear threshold-voltage coefficient, and a T^-1.5 mobility
+/// factor — the standard MOSFET temperature behaviour whose leakage
+/// penalty TFETs escape.
+struct MosfetParams {
+    double vth = 0.5;        ///< threshold voltage at 300 K [V]
+    double slope_n = 1.3;    ///< subthreshold slope factor
+    double i_spec = 2e-5;    ///< specific current Is at 300 K [A/um]
+    double c_gate = 1.0e-15;  ///< gate capacitance scale [F/um]
+    double temperature = 300.0; ///< device temperature [K]
+    double vth_tc = -1.0e-3; ///< threshold temperature coefficient [V/K]
+    double mobility_exp = -1.5; ///< mobility ~ (T/300)^mobility_exp
+};
+
+/// Analytic n-channel MOSFET. Immutable after construction.
+class MosfetModel final : public spice::TransistorModel {
+public:
+    explicit MosfetModel(const MosfetParams& params);
+
+    [[nodiscard]] spice::IvSample iv(double vgs, double vds) const override;
+    [[nodiscard]] spice::CvSample cv(double vgs, double vds) const override;
+    [[nodiscard]] const char* name() const override { return "nMOS"; }
+
+    [[nodiscard]] const MosfetParams& params() const { return params_; }
+
+    /// Thermal voltage kT/q at the device temperature [V].
+    [[nodiscard]] double thermal_voltage() const { return vt_; }
+
+private:
+    [[nodiscard]] spice::IvSample iv_forward(double vgs, double vds) const;
+
+    MosfetParams params_;
+    double vt_ = 0.02585;      ///< kT/q at the device temperature
+    double vth_eff_ = 0.5;     ///< temperature-shifted threshold
+    double i_spec_eff_ = 2e-5; ///< mobility-scaled specific current
+};
+
+} // namespace tfetsram::device

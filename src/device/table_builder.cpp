@@ -1,0 +1,38 @@
+#include "device/table_builder.hpp"
+
+#include <cmath>
+
+namespace tfetsram::device {
+
+std::shared_ptr<const DeviceTable> build_table(
+    const spice::TransistorModel& source, const TableSpec& spec) {
+    auto table = std::make_shared<DeviceTable>(
+        std::string(source.name()) + "[tab]", spec);
+    Grid2d& tg = table->t_grid();
+    Grid2d& cgs = table->cgs_grid();
+    Grid2d& cgd = table->cgd_grid();
+    for (std::size_t iy = 0; iy < tg.ny(); ++iy) {
+        const double vds = tg.y_at(iy);
+        const DeviceTable::OutputShape out = table->output_shape(vds);
+        for (std::size_t ix = 0; ix < tg.nx(); ++ix) {
+            const double vgs = tg.x_at(ix);
+            const spice::IvSample s = source.iv(vgs, vds);
+            double ratio = 0.0;
+            if (std::fabs(out.f) > 1e-9) {
+                ratio = s.ids / out.f;
+            } else {
+                // At (and numerically near) vds = 0 the current and the
+                // output shape both vanish; the ratio limit is the channel
+                // conductance divided by F'(0) = 1/v_out.
+                ratio = s.gds / out.df;
+            }
+            tg.at(ix, iy) = table->compress_ratio(ratio);
+            const spice::CvSample c = source.cv(vgs, vds);
+            cgs.at(ix, iy) = c.cgs;
+            cgd.at(ix, iy) = c.cgd;
+        }
+    }
+    return table;
+}
+
+} // namespace tfetsram::device

@@ -1,0 +1,15 @@
+#pragma once
+// Extraction of a DeviceTable from any TransistorModel — the analogue of
+// sweeping the TCAD deck over bias and dumping I-V / C-V tables.
+
+#include <memory>
+
+#include "device/device_table.hpp"
+
+namespace tfetsram::device {
+
+/// Sample `source` over the spec's bias grid into a new DeviceTable.
+std::shared_ptr<const DeviceTable> build_table(
+    const spice::TransistorModel& source, const TableSpec& spec = {});
+
+} // namespace tfetsram::device

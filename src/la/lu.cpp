@@ -1,0 +1,91 @@
+#include "la/lu.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace tfetsram::la {
+
+std::optional<LuFactorization> LuFactorization::factor(Matrix a,
+                                                       double pivot_tol) {
+    TFET_EXPECTS(a.rows() == a.cols());
+    const std::size_t n = a.rows();
+    std::vector<std::size_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+
+    for (std::size_t k = 0; k < n; ++k) {
+        // Partial pivoting: pick the largest magnitude entry in column k.
+        std::size_t pivot_row = k;
+        double pivot_mag = std::fabs(a(k, k));
+        for (std::size_t r = k + 1; r < n; ++r) {
+            const double mag = std::fabs(a(r, k));
+            if (mag > pivot_mag) {
+                pivot_mag = mag;
+                pivot_row = r;
+            }
+        }
+        if (pivot_mag < pivot_tol)
+            return std::nullopt;
+        if (pivot_row != k) {
+            for (std::size_t c = 0; c < n; ++c)
+                std::swap(a(k, c), a(pivot_row, c));
+            std::swap(perm[k], perm[pivot_row]);
+        }
+        const double inv_pivot = 1.0 / a(k, k);
+        for (std::size_t r = k + 1; r < n; ++r) {
+            const double factor = a(r, k) * inv_pivot;
+            a(r, k) = factor;
+            if (factor == 0.0)
+                continue;
+            for (std::size_t c = k + 1; c < n; ++c)
+                a(r, c) -= factor * a(k, c);
+        }
+    }
+    return LuFactorization(std::move(a), std::move(perm));
+}
+
+Vector LuFactorization::solve(const Vector& b) const {
+    const std::size_t n = lu_.rows();
+    TFET_EXPECTS(b.size() == n);
+
+    // Forward substitution on the permuted RHS (L has unit diagonal).
+    Vector y(n);
+    for (std::size_t r = 0; r < n; ++r) {
+        double acc = b[perm_[r]];
+        for (std::size_t c = 0; c < r; ++c)
+            acc -= lu_(r, c) * y[c];
+        y[r] = acc;
+    }
+    // Back substitution.
+    Vector x(n);
+    for (std::size_t i = n; i-- > 0;) {
+        double acc = y[i];
+        for (std::size_t c = i + 1; c < n; ++c)
+            acc -= lu_(i, c) * x[c];
+        x[i] = acc / lu_(i, i);
+    }
+    return x;
+}
+
+double LuFactorization::pivot_spread_log10() const {
+    const std::size_t n = lu_.rows();
+    double lo = std::fabs(lu_(0, 0));
+    double hi = lo;
+    for (std::size_t i = 1; i < n; ++i) {
+        const double p = std::fabs(lu_(i, i));
+        lo = std::min(lo, p);
+        hi = std::max(hi, p);
+    }
+    if (lo == 0.0)
+        return std::numeric_limits<double>::infinity();
+    return std::log10(hi / lo);
+}
+
+std::optional<Vector> solve_linear(Matrix a, const Vector& b) {
+    auto lu = LuFactorization::factor(std::move(a));
+    if (!lu)
+        return std::nullopt;
+    return lu->solve(b);
+}
+
+} // namespace tfetsram::la

@@ -1,0 +1,38 @@
+#pragma once
+// LU factorization with partial pivoting — the linear kernel under every
+// Newton iteration of the circuit solver.
+
+#include <optional>
+
+#include "la/matrix.hpp"
+
+namespace tfetsram::la {
+
+/// In-place LU factorization (Doolittle, partial pivoting) of a square
+/// matrix, reusable across multiple right-hand sides.
+class LuFactorization {
+public:
+    /// Factor A. Returns std::nullopt if A is numerically singular
+    /// (pivot magnitude below the given threshold).
+    static std::optional<LuFactorization> factor(Matrix a,
+                                                 double pivot_tol = 1e-300);
+
+    /// Solve A x = b for the factored A.
+    [[nodiscard]] Vector solve(const Vector& b) const;
+
+    /// log10 of the ratio of largest to smallest pivot magnitude — a cheap
+    /// conditioning indicator the Newton loop uses for diagnostics.
+    [[nodiscard]] double pivot_spread_log10() const;
+
+private:
+    LuFactorization(Matrix lu, std::vector<std::size_t> perm)
+        : lu_(std::move(lu)), perm_(std::move(perm)) {}
+
+    Matrix lu_;
+    std::vector<std::size_t> perm_;
+};
+
+/// One-shot convenience: solve A x = b. Returns nullopt if singular.
+std::optional<Vector> solve_linear(Matrix a, const Vector& b);
+
+} // namespace tfetsram::la

@@ -1,0 +1,54 @@
+#include "la/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tfetsram::la {
+
+void Matrix::set_zero() {
+    std::fill(data_.begin(), data_.end(), 0.0);
+}
+
+Vector Matrix::multiply(const Vector& x) const {
+    TFET_EXPECTS(x.size() == cols_);
+    Vector y(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        const double* row = &data_[r * cols_];
+        for (std::size_t c = 0; c < cols_; ++c)
+            acc += row[c] * x[c];
+        y[r] = acc;
+    }
+    return y;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+double norm2(const Vector& v) {
+    double acc = 0.0;
+    for (double x : v)
+        acc += x * x;
+    return std::sqrt(acc);
+}
+
+double norm_inf(const Vector& v) {
+    double m = 0.0;
+    for (double x : v)
+        m = std::max(m, std::fabs(x));
+    return m;
+}
+
+Vector subtract(const Vector& a, const Vector& b) {
+    TFET_EXPECTS(a.size() == b.size());
+    Vector r(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        r[i] = a[i] - b[i];
+    return r;
+}
+
+} // namespace tfetsram::la

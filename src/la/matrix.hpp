@@ -1,0 +1,58 @@
+#pragma once
+// Dense matrix/vector types for the MNA solver. The circuits in this study
+// are small (< 32 unknowns), so a cache-friendly dense representation beats
+// any sparse scheme; correctness and clarity dominate.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace tfetsram::la {
+
+using Vector = std::vector<double>;
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+        : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+    [[nodiscard]] std::size_t rows() const { return rows_; }
+    [[nodiscard]] std::size_t cols() const { return cols_; }
+
+    double& operator()(std::size_t r, std::size_t c) {
+        TFET_EXPECTS(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+    double operator()(std::size_t r, std::size_t c) const {
+        TFET_EXPECTS(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    /// Reset all entries to zero without reallocating.
+    void set_zero();
+
+    /// y = A * x
+    [[nodiscard]] Vector multiply(const Vector& x) const;
+
+    /// Square identity matrix.
+    static Matrix identity(std::size_t n);
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/// Euclidean norm.
+double norm2(const Vector& v);
+
+/// Infinity norm.
+double norm_inf(const Vector& v);
+
+/// r = a - b (sizes must match).
+Vector subtract(const Vector& a, const Vector& b);
+
+} // namespace tfetsram::la

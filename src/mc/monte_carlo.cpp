@@ -1,0 +1,69 @@
+#include "mc/monte_carlo.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+namespace tfetsram::mc {
+
+McResult run_monte_carlo(const sram::CellConfig& base_config,
+                         const TfetVariationSampler& sampler, std::size_t n,
+                         std::uint64_t seed, const CellMetric& metric,
+                         std::size_t threads) {
+    TFET_EXPECTS(n >= 1);
+    TFET_EXPECTS(metric != nullptr);
+
+    // Draw all samples up front from one stream: the results are then
+    // independent of how the evaluations are scheduled.
+    std::vector<TfetVariationSampler::Draw> draws;
+    draws.reserve(n);
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i)
+        draws.push_back(sampler.sample(rng));
+
+    McResult result;
+    result.samples.assign(n, 0.0);
+    result.tox_values.assign(n, 0.0);
+
+    if (threads == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads = hw > 0 ? hw : 1;
+    }
+    threads = std::min(threads, n);
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= n)
+                return;
+            sram::CellConfig cfg = base_config;
+            cfg.models = draws[i].models;
+            sram::SramCell cell = sram::build_cell(cfg);
+            result.samples[i] = metric(cell);
+            result.tox_values[i] = draws[i].tox;
+        }
+    };
+    if (threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (std::size_t t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (std::thread& t : pool)
+            t.join();
+    }
+    result.summary = summarize(result.samples);
+    return result;
+}
+
+std::size_t mc_samples_from_env(std::size_t fallback) {
+    const char* env = std::getenv("TFETSRAM_MC_SAMPLES");
+    if (env == nullptr)
+        return fallback;
+    const long v = std::strtol(env, nullptr, 10);
+    return v > 0 ? static_cast<std::size_t>(v) : fallback;
+}
+
+} // namespace tfetsram::mc

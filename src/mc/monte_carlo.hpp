@@ -1,0 +1,49 @@
+#pragma once
+// Monte-Carlo driver: rebuilds the cell with per-sample device models and
+// evaluates an arbitrary metric, reproducing the occurrence histograms of
+// Figs. 9 and 10.
+
+#include <functional>
+
+#include "mc/variation.hpp"
+#include "sram/cell.hpp"
+#include "util/histogram.hpp"
+#include "util/stats.hpp"
+
+namespace tfetsram::mc {
+
+/// Metric evaluated on each sampled cell. Return +/-inf or NaN for failure
+/// outcomes (e.g. a write failure's infinite WLcrit); the summary keeps
+/// them out of the moments but counts them.
+using CellMetric = std::function<double(sram::SramCell&)>;
+
+struct McResult {
+    std::vector<double> samples;
+    std::vector<double> tox_values;
+    SampleSummary summary;
+
+    /// Histogram over the finite samples (paper-style occurrence plot).
+    [[nodiscard]] Histogram histogram(std::size_t bins = 20) const {
+        return Histogram::of(samples, bins);
+    }
+};
+
+/// Run `n` samples. Each sample draws perturbed TFET models, rebuilds the
+/// cell from `base_config` with them, and evaluates `metric`.
+///
+/// `threads` = 0 uses the hardware concurrency; 1 runs serially. Results
+/// are deterministic in the seed regardless of the thread count (each
+/// sample's models are drawn up front from one RNG stream; metric
+/// evaluations are independent because every worker gets its own cell).
+/// The metric must therefore be safe to call concurrently on distinct
+/// cells (all device models are immutable).
+McResult run_monte_carlo(const sram::CellConfig& base_config,
+                         const TfetVariationSampler& sampler, std::size_t n,
+                         std::uint64_t seed, const CellMetric& metric,
+                         std::size_t threads = 0);
+
+/// Reads TFETSRAM_MC_SAMPLES from the environment, defaulting to
+/// `fallback`; lets the long benches scale their sample counts.
+std::size_t mc_samples_from_env(std::size_t fallback);
+
+} // namespace tfetsram::mc

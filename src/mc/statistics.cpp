@@ -1,0 +1,86 @@
+#include "mc/statistics.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace tfetsram::mc {
+
+Regression linear_regression(std::span<const double> x,
+                             std::span<const double> y) {
+    TFET_EXPECTS(x.size() == y.size());
+    Regression r;
+    double sx = 0.0;
+    double sy = 0.0;
+    double sxx = 0.0;
+    double syy = 0.0;
+    double sxy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        if (!std::isfinite(x[i]) || !std::isfinite(y[i]))
+            continue;
+        ++r.count;
+        sx += x[i];
+        sy += y[i];
+        sxx += x[i] * x[i];
+        syy += y[i] * y[i];
+        sxy += x[i] * y[i];
+    }
+    if (r.count < 2)
+        return r;
+    const double n = static_cast<double>(r.count);
+    const double var_x = sxx - sx * sx / n;
+    const double var_y = syy - sy * sy / n;
+    const double cov = sxy - sx * sy / n;
+    if (var_x <= 0.0)
+        return r;
+    r.slope = cov / var_x;
+    r.intercept = (sy - r.slope * sx) / n;
+    r.correlation =
+        var_y > 0.0 ? cov / std::sqrt(var_x * var_y) : 0.0;
+    return r;
+}
+
+double log_log_sensitivity(std::span<const double> x,
+                           std::span<const double> y) {
+    TFET_EXPECTS(x.size() == y.size());
+    std::vector<double> lx;
+    std::vector<double> ly;
+    lx.reserve(x.size());
+    ly.reserve(y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        if (std::isfinite(x[i]) && std::isfinite(y[i]) && x[i] > 0.0 &&
+            y[i] > 0.0) {
+            lx.push_back(std::log(x[i]));
+            ly.push_back(std::log(y[i]));
+        }
+    }
+    return linear_regression(lx, ly).slope;
+}
+
+YieldInterval yield_interval(std::size_t passes, std::size_t trials,
+                             double confidence) {
+    TFET_EXPECTS(trials > 0);
+    TFET_EXPECTS(passes <= trials);
+    TFET_EXPECTS(confidence > 0.0 && confidence < 1.0);
+    YieldInterval yi;
+    const double n = static_cast<double>(trials);
+    const double p = static_cast<double>(passes) / n;
+    yi.point = p;
+    // Wilson score interval. z for the two-sided confidence level via a
+    // rational approximation of the normal quantile (Beasley-Springer).
+    const double alpha = 1.0 - confidence;
+    const double q = 1.0 - alpha / 2.0;
+    const double t = std::sqrt(-2.0 * std::log(1.0 - q));
+    const double z =
+        t - (2.30753 + 0.27061 * t) / (1.0 + 0.99229 * t + 0.04481 * t * t);
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / n;
+    const double center = (p + z2 / (2.0 * n)) / denom;
+    const double half =
+        z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+    yi.lower = std::max(0.0, center - half);
+    yi.upper = std::min(1.0, center + half);
+    return yi;
+}
+
+} // namespace tfetsram::mc

@@ -1,0 +1,43 @@
+#pragma once
+// Statistical post-processing of Monte-Carlo results beyond the basic
+// summary: metric-vs-parameter sensitivity regression (how strongly tox
+// drives WLcrit) and binomial yield confidence bounds (what a finite
+// sample actually proves about the failure rate).
+
+#include <span>
+
+#include "util/stats.hpp"
+
+namespace tfetsram::mc {
+
+/// Least-squares line y = slope * x + intercept with the correlation
+/// coefficient, over paired finite samples.
+struct Regression {
+    double slope = 0.0;
+    double intercept = 0.0;
+    double correlation = 0.0; ///< Pearson r
+    std::size_t count = 0;    ///< pairs used
+};
+
+/// Fit y against x, ignoring pairs with non-finite members.
+Regression linear_regression(std::span<const double> x,
+                             std::span<const double> y);
+
+/// Normalized sensitivity d(ln y)/d(ln x) at the sample means — "percent
+/// change of the metric per percent change of the parameter" — computed
+/// via regression of ln y on ln x. Requires positive samples.
+double log_log_sensitivity(std::span<const double> x,
+                           std::span<const double> y);
+
+/// Two-sided Clopper-Pearson-style confidence interval on a pass
+/// probability from `passes` successes in `trials` (via the Wilson score
+/// approximation, accurate for the sample sizes Monte-Carlo uses here).
+struct YieldInterval {
+    double point = 0.0; ///< passes / trials
+    double lower = 0.0;
+    double upper = 0.0;
+};
+YieldInterval yield_interval(std::size_t passes, std::size_t trials,
+                             double confidence = 0.95);
+
+} // namespace tfetsram::mc

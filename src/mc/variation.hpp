@@ -1,0 +1,41 @@
+#pragma once
+// Process-variation modeling (Sec. 4.3). Following the paper, only the
+// TFET gate-insulator thickness varies: channel-length variation has
+// negligible TFET impact [13] and random dopant fluctuation is suppressed
+// by the nearly intrinsic channel. Thickness is "controlled to within 5 %"
+// [13], modeled as a truncated Gaussian (3 sigma = bound).
+
+#include "device/models.hpp"
+#include "util/rng.hpp"
+
+namespace tfetsram::mc {
+
+struct VariationSpec {
+    device::TfetParams base;        ///< nominal TFET
+    double tox_bound_frac = 0.05;   ///< hard +/- bound as fraction of nominal
+    double tox_sigma_frac = 0.05 / 3.0; ///< Gaussian sigma as fraction
+    bool tabulated = true;          ///< re-extract lookup tables per sample
+    device::TableSpec table_spec;   ///< extraction grid when tabulated
+};
+
+/// Draws per-sample model sets with perturbed TFET oxide thickness. The
+/// MOSFET baseline is left at nominal (the paper varies only the TFETs).
+class TfetVariationSampler {
+public:
+    explicit TfetVariationSampler(const VariationSpec& spec);
+
+    /// One Monte-Carlo draw.
+    struct Draw {
+        device::ModelSet models;
+        double tox; ///< sampled thickness [m]
+    };
+    [[nodiscard]] Draw sample(Rng& rng) const;
+
+    [[nodiscard]] const VariationSpec& spec() const { return spec_; }
+
+private:
+    VariationSpec spec_;
+    device::ModelSet nominal_mosfets_;
+};
+
+} // namespace tfetsram::mc

@@ -1,0 +1,133 @@
+#pragma once
+// SPICE-dialect netlist front-end. Lets users drive the simulator from a
+// text deck instead of the C++ API:
+//
+//   * tfet inverter
+//   .model tfet_n NTFET (ion=1e-4 ioff=1e-17)
+//   .model tfet_p PTFET ()
+//   Vdd vdd 0 DC 0.8
+//   Vin in  0 PWL(0 0 1n 0 1.2n 0.8)
+//   MP  out in vdd tfet_p W=1
+//   MN  out in 0   tfet_n W=1
+//   Cl  out 0 0.5f
+//   .tran 3n
+//   .print v(out) v(in)
+//   .end
+//
+// Dialect summary:
+//   - first line is the title (classic SPICE); '*' and ';' start comments;
+//     a leading '+' continues the previous card; case-insensitive keywords
+//   - elements: Rxxx n1 n2 value | Cxxx n1 n2 value |
+//     Vxxx n+ n- (value | DC v | PWL(t v ...) | PULSE(base active tstart
+//     trise twidth tfall)) | Ixxx n+ n- (same sources) |
+//     Sxxx n1 n2 ron roff (same waveform forms, control in [0,1]) |
+//     Mxxx d g s model [W=width_um]
+//   - engineering suffixes: f p n u m k meg g t (and 'mil' is NOT supported)
+//   - directives: .model name NTFET|PTFET|NMOS|PMOS (key=value ...),
+//     .op, .tran tstop, .ac dec points fstart fstop,
+//     .print v(node)..., .nodeset v(node)=value..., .end
+//     (.nodeset seeds the operating-point search — how a deck selects which
+//     stable state a bistable cell starts in)
+//   - AC stimulus: a trailing "AC <mag>" on a V card marks it as the swept
+//     source, e.g. "Vin in 0 DC 0.45 AC 1"
+//   - nodes are created on first use; "0" and "gnd" are ground
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "device/models.hpp"
+#include "spice/circuit.hpp"
+
+namespace tfetsram::netlist {
+
+/// Parse failure with 1-based source line attribution.
+class ParseError : public std::runtime_error {
+public:
+    ParseError(std::size_t line, const std::string& what_arg)
+        : std::runtime_error("line " + std::to_string(line) + ": " +
+                             what_arg),
+          line_(line) {}
+    [[nodiscard]] std::size_t line() const { return line_; }
+
+private:
+    std::size_t line_;
+};
+
+/// A requested analysis.
+struct Analysis {
+    enum class Kind { kOperatingPoint, kTransient, kAc };
+    Kind kind = Kind::kOperatingPoint;
+    double tstop = 0.0;   ///< transient only [s]
+    double f_start = 0.0; ///< AC only [Hz]
+    double f_stop = 0.0;  ///< AC only [Hz]
+    std::size_t points_per_decade = 10; ///< AC only
+};
+
+/// Parsed deck. Immutable after parse; build() instantiates a fresh
+/// Circuit each call (models are shared between builds).
+class Netlist {
+public:
+    /// Parse from text. `origin` appears in error messages only.
+    static Netlist parse(const std::string& text,
+                         const std::string& origin = "<memory>");
+
+    /// Parse a file (throws std::runtime_error if unreadable).
+    static Netlist parse_file(const std::string& path);
+
+    /// Instantiate the circuit.
+    [[nodiscard]] spice::Circuit build() const;
+
+    [[nodiscard]] const std::string& title() const { return title_; }
+    [[nodiscard]] const std::vector<Analysis>& analyses() const {
+        return analyses_;
+    }
+    /// Node names requested via .print v(...).
+    [[nodiscard]] const std::vector<std::string>& print_nodes() const {
+        return print_nodes_;
+    }
+    /// (node, volts) pairs from .nodeset directives.
+    [[nodiscard]] const std::vector<std::pair<std::string, double>>&
+    nodesets() const {
+        return nodesets_;
+    }
+
+    /// Initial-guess vector for a circuit built from this netlist,
+    /// honouring the .nodeset directives (zeros elsewhere).
+    [[nodiscard]] la::Vector initial_guess(spice::Circuit& circuit) const;
+
+    /// Name of the source carrying the AC stimulus (empty if none). The
+    /// magnitude is ac_magnitude().
+    [[nodiscard]] const std::string& ac_source() const { return ac_source_; }
+    [[nodiscard]] double ac_magnitude() const { return ac_magnitude_; }
+    [[nodiscard]] std::size_t element_count() const {
+        return elements_.size();
+    }
+
+private:
+    struct Element {
+        char kind = '?'; // R C V I S M
+        std::string name;
+        std::vector<std::string> nodes;
+        std::vector<double> values;     // element-kind specific
+        spice::Waveform wave = spice::Waveform::dc(0.0);
+        bool has_wave = false;
+        std::string model;              // M only
+        double width = 1.0;             // M only [um]
+    };
+
+    std::string title_;
+    std::vector<Element> elements_;
+    std::vector<Analysis> analyses_;
+    std::vector<std::string> print_nodes_;
+    std::vector<std::pair<std::string, double>> nodesets_;
+    std::vector<std::pair<std::string, spice::TransistorModelPtr>> models_;
+    std::string ac_source_;
+    double ac_magnitude_ = 1.0;
+};
+
+/// Parse a SPICE number with engineering suffix ("2.5k", "10f", "3meg").
+/// Throws ParseError(0, ...) on malformed input.
+double parse_spice_number(const std::string& token);
+
+} // namespace tfetsram::netlist

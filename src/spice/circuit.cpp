@@ -1,0 +1,110 @@
+#include "spice/circuit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tfetsram::spice {
+
+Circuit::Circuit() {
+    node_names_.push_back("0");
+    node_ids_.emplace("0", kGround);
+    node_ids_.emplace("gnd", kGround);
+}
+
+NodeId Circuit::add_node(const std::string& name) {
+    TFET_EXPECTS(!name.empty());
+    if (node_ids_.contains(name))
+        throw std::invalid_argument("Circuit: duplicate node name: " + name);
+    const NodeId id = node_names_.size();
+    node_names_.push_back(name);
+    node_ids_.emplace(name, id);
+    return id;
+}
+
+NodeId Circuit::node(const std::string& name) const {
+    const auto it = node_ids_.find(name);
+    if (it == node_ids_.end())
+        throw std::invalid_argument("Circuit: unknown node: " + name);
+    return it->second;
+}
+
+const std::string& Circuit::node_name(NodeId id) const {
+    TFET_EXPECTS(id < node_names_.size());
+    return node_names_[id];
+}
+
+Resistor& Circuit::add_resistor(const std::string& label, NodeId a, NodeId b,
+                                double ohms) {
+    auto dev = std::make_unique<Resistor>(label, a, b, ohms);
+    Resistor& ref = *dev;
+    devices_.push_back(std::move(dev));
+    return ref;
+}
+
+Capacitor& Circuit::add_capacitor(const std::string& label, NodeId a, NodeId b,
+                                  double farads) {
+    auto dev = std::make_unique<Capacitor>(label, a, b, farads);
+    Capacitor& ref = *dev;
+    devices_.push_back(std::move(dev));
+    return ref;
+}
+
+VoltageSource& Circuit::add_vsource(const std::string& label, NodeId pos,
+                                    NodeId neg, Waveform wave) {
+    auto dev = std::make_unique<VoltageSource>(label, pos, neg, std::move(wave));
+    VoltageSource& ref = *dev;
+    devices_.push_back(std::move(dev));
+    vsources_.push_back(&ref);
+    return ref;
+}
+
+CurrentSource& Circuit::add_isource(const std::string& label, NodeId from,
+                                    NodeId to, Waveform wave) {
+    auto dev = std::make_unique<CurrentSource>(label, from, to, std::move(wave));
+    CurrentSource& ref = *dev;
+    devices_.push_back(std::move(dev));
+    isources_.push_back(&ref);
+    return ref;
+}
+
+Transistor& Circuit::add_transistor(const std::string& label,
+                                    TransistorModelPtr model, NodeId drain,
+                                    NodeId gate, NodeId source,
+                                    double width_um) {
+    auto dev = std::make_unique<Transistor>(label, std::move(model), drain,
+                                            gate, source, width_um);
+    Transistor& ref = *dev;
+    devices_.push_back(std::move(dev));
+    transistors_.push_back(&ref);
+    return ref;
+}
+
+TimedSwitch& Circuit::add_switch(const std::string& label, NodeId a, NodeId b,
+                                 double r_on, double r_off, Waveform control) {
+    auto dev = std::make_unique<TimedSwitch>(label, a, b, r_on, r_off,
+                                             std::move(control));
+    TimedSwitch& ref = *dev;
+    devices_.push_back(std::move(dev));
+    return ref;
+}
+
+void Circuit::prepare() {
+    const std::size_t node_unknowns = num_nodes() - 1;
+    for (std::size_t b = 0; b < vsources_.size(); ++b)
+        vsources_[b]->set_branch(b, node_unknowns + b);
+}
+
+std::vector<double> Circuit::source_breakpoints() const {
+    std::vector<double> bps;
+    for (const VoltageSource* v : vsources_)
+        for (double t : v->waveform().breakpoints())
+            bps.push_back(t);
+    for (const CurrentSource* i : isources_)
+        for (double t : i->waveform().breakpoints())
+            bps.push_back(t);
+    std::sort(bps.begin(), bps.end());
+    bps.erase(std::unique(bps.begin(), bps.end()), bps.end());
+    return bps;
+}
+
+} // namespace tfetsram::spice

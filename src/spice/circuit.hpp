@@ -1,0 +1,86 @@
+#pragma once
+// The circuit under analysis: a named node table plus an owned list of
+// devices. Factory methods build elements in place and hand back typed
+// references so harness code can retune waveforms, widths, or models later
+// (e.g. between Monte-Carlo samples).
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spice/elements.hpp"
+#include "spice/transistor.hpp"
+
+namespace tfetsram::spice {
+
+class Circuit {
+public:
+    Circuit();
+
+    Circuit(const Circuit&) = delete;
+    Circuit& operator=(const Circuit&) = delete;
+    Circuit(Circuit&&) = default;
+    Circuit& operator=(Circuit&&) = default;
+
+    /// Create a named node. Names must be unique. "0"/"gnd" is pre-created.
+    NodeId add_node(const std::string& name);
+
+    /// Look up a node by name; throws if absent.
+    [[nodiscard]] NodeId node(const std::string& name) const;
+
+    /// Name of a node id (for reports).
+    [[nodiscard]] const std::string& node_name(NodeId id) const;
+
+    [[nodiscard]] std::size_t num_nodes() const { return node_names_.size(); }
+    [[nodiscard]] std::size_t num_branches() const { return vsources_.size(); }
+
+    /// Size of the MNA unknown vector.
+    [[nodiscard]] std::size_t num_unknowns() const {
+        return (num_nodes() - 1) + num_branches();
+    }
+
+    Resistor& add_resistor(const std::string& label, NodeId a, NodeId b,
+                           double ohms);
+    Capacitor& add_capacitor(const std::string& label, NodeId a, NodeId b,
+                             double farads);
+    VoltageSource& add_vsource(const std::string& label, NodeId pos, NodeId neg,
+                               Waveform wave);
+    CurrentSource& add_isource(const std::string& label, NodeId from, NodeId to,
+                               Waveform wave);
+    Transistor& add_transistor(const std::string& label, TransistorModelPtr model,
+                               NodeId drain, NodeId gate, NodeId source,
+                               double width_um);
+    TimedSwitch& add_switch(const std::string& label, NodeId a, NodeId b,
+                            double r_on, double r_off, Waveform control);
+
+    [[nodiscard]] const std::vector<std::unique_ptr<Device>>& devices() const {
+        return devices_;
+    }
+    [[nodiscard]] std::vector<std::unique_ptr<Device>>& devices() {
+        return devices_;
+    }
+    [[nodiscard]] const std::vector<VoltageSource*>& voltage_sources() const {
+        return vsources_;
+    }
+    [[nodiscard]] const std::vector<Transistor*>& transistors() const {
+        return transistors_;
+    }
+
+    /// Assign branch unknown indices to voltage sources. Solvers call this
+    /// before assembling; it is idempotent and cheap.
+    void prepare();
+
+    /// Sorted, deduplicated union of all source waveform breakpoints.
+    [[nodiscard]] std::vector<double> source_breakpoints() const;
+
+private:
+    std::vector<std::string> node_names_;
+    std::unordered_map<std::string, NodeId> node_ids_;
+    std::vector<std::unique_ptr<Device>> devices_;
+    std::vector<VoltageSource*> vsources_;
+    std::vector<CurrentSource*> isources_;
+    std::vector<Transistor*> transistors_;
+};
+
+} // namespace tfetsram::spice

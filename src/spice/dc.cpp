@@ -1,0 +1,181 @@
+#include "spice/dc.hpp"
+
+#include <cmath>
+
+#include "la/lu.hpp"
+#include "spice/mna.hpp"
+
+namespace tfetsram::spice {
+
+namespace detail {
+
+namespace {
+
+/// True KCL/branch residual norm at x: assemble there and evaluate
+/// J(x)*x - rhs(x). (In the companion formulation this equals the sum of
+/// nonlinear device currents at x, i.e. the genuine equation residual.)
+double residual_norm(Circuit& circuit, const AnalysisState& as, double gmin,
+                     const la::Vector& x, la::Matrix& jac, la::Vector& rhs) {
+    assemble(circuit, as, x, gmin, jac, rhs);
+    const la::Vector jx = jac.multiply(x);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double r = jx[i] - rhs[i];
+        acc += r * r;
+    }
+    return std::sqrt(acc);
+}
+
+} // namespace
+
+int newton_raphson(Circuit& circuit, const AnalysisState& as,
+                   const SolverOptions& opts, double gmin, la::Vector& x) {
+    const std::size_t n = circuit.num_unknowns();
+    const std::size_t n_node_unknowns = circuit.num_nodes() - 1;
+    TFET_EXPECTS(x.size() == n);
+
+    la::Matrix jac;
+    la::Vector rhs;
+    double resid = residual_norm(circuit, as, gmin, x, jac, rhs);
+
+    for (int iter = 1; iter <= opts.max_nr_iterations; ++iter) {
+        // `jac`/`rhs` hold the linearization at the current x.
+        auto lu = la::LuFactorization::factor(jac);
+        if (!lu)
+            return -iter;
+        const la::Vector x_new = lu->solve(rhs);
+
+        // Convergence: the full Newton update is within tolerance. Checked
+        // before any damping/line search — at the solution the update is
+        // tiny regardless of what a noise-floor line search would decide.
+        bool converged = true;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double tol = i < n_node_unknowns
+                                   ? opts.vntol + opts.reltol * std::fabs(x[i])
+                                   : opts.itol + opts.reltol * std::fabs(x[i]);
+            if (std::fabs(x_new[i] - x[i]) > tol) {
+                converged = false;
+                break;
+            }
+        }
+        if (converged && iter >= 2) {
+            x = x_new;
+            return iter;
+        }
+
+        // Damping: bound the update so exponential devices cannot fling
+        // the iterate out of their valid range.
+        double max_dx = 0.0;
+        for (std::size_t i = 0; i < n_node_unknowns; ++i)
+            max_dx = std::max(max_dx, std::fabs(x_new[i] - x[i]));
+        const double alpha0 =
+            max_dx > opts.dv_limit ? opts.dv_limit / max_dx : 1.0;
+
+        // Globalization: backtracking line search on the true residual
+        // norm. Essential with lookup-table devices, whose tabulated
+        // conductances make this a quasi-Newton iteration that can
+        // otherwise limit-cycle in high-gain bias regions.
+        // Below this the residual is numerical noise (LU round-off on the
+        // source-constraint rows); insisting on strict decrease there
+        // would starve the step to nothing.
+        constexpr double kResidFloor = 1e-13;
+
+        la::Vector x_try(n);
+        double alpha = alpha0;
+        double resid_try = 0.0;
+        for (int bt = 0;; ++bt) {
+            for (std::size_t i = 0; i < n; ++i)
+                x_try[i] = x[i] + alpha * (x_new[i] - x[i]);
+            resid_try = residual_norm(circuit, as, gmin, x_try, jac, rhs);
+            if (resid < kResidFloor || resid_try < kResidFloor ||
+                resid_try <= resid * (1.0 - 1e-4 * alpha) || bt >= 6)
+                break;
+            alpha *= 0.5;
+        }
+
+        x = x_try;
+        resid = resid_try; // jac/rhs already hold the linearization at x
+    }
+    return -opts.max_nr_iterations;
+}
+
+} // namespace detail
+
+DcResult solve_dc(Circuit& circuit, const SolverOptions& opts, double time,
+                  const la::Vector* initial_guess) {
+    circuit.prepare();
+    const std::size_t n = circuit.num_unknowns();
+
+    AnalysisState as;
+    as.mode = AnalysisMode::kDc;
+    as.time = time;
+
+    DcResult result;
+    result.x.assign(n, 0.0);
+    if (initial_guess != nullptr && initial_guess->size() == n)
+        result.x = *initial_guess;
+
+    // Strategy 1: plain damped Newton from the guess.
+    {
+        la::Vector x = result.x;
+        const int iters = detail::newton_raphson(circuit, as, opts, opts.gmin, x);
+        result.iterations += std::abs(iters);
+        if (iters > 0) {
+            result.converged = true;
+            result.strategy = "newton";
+            result.x = std::move(x);
+            return result;
+        }
+    }
+
+    // Strategy 2: gmin stepping — solve with a large shunt conductance and
+    // relax it geometrically down to the target, warm-starting each stage.
+    {
+        la::Vector x(n, 0.0);
+        bool ok = true;
+        for (double g = 1e-2; ok; g *= 0.1) {
+            const double g_eff = std::max(g, opts.gmin);
+            const int iters =
+                detail::newton_raphson(circuit, as, opts, g_eff, x);
+            result.iterations += std::abs(iters);
+            ok = iters > 0;
+            if (g_eff == opts.gmin)
+                break;
+        }
+        if (ok) {
+            result.converged = true;
+            result.strategy = "gmin-stepping";
+            result.x = std::move(x);
+            return result;
+        }
+    }
+
+    // Strategy 3: source stepping — ramp all sources from zero.
+    {
+        la::Vector x(n, 0.0);
+        bool ok = true;
+        for (double lambda = 0.05; lambda <= 1.0 + 1e-12; lambda += 0.05) {
+            AnalysisState ramped = as;
+            ramped.source_scale = std::min(lambda, 1.0);
+            const int iters =
+                detail::newton_raphson(circuit, ramped, opts, opts.gmin, x);
+            result.iterations += std::abs(iters);
+            if (iters < 0) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok) {
+            result.converged = true;
+            result.strategy = "source-stepping";
+            result.x = std::move(x);
+            return result;
+        }
+    }
+
+    result.converged = false;
+    result.strategy = "failed";
+    return result;
+}
+
+} // namespace tfetsram::spice

@@ -1,0 +1,34 @@
+#pragma once
+// DC operating-point solver: damped Newton-Raphson with gmin-stepping and
+// source-stepping homotopies as fallbacks — the standard SPICE playbook.
+
+#include <optional>
+#include <string>
+
+#include "spice/circuit.hpp"
+#include "spice/solver_options.hpp"
+
+namespace tfetsram::spice {
+
+struct DcResult {
+    bool converged = false;
+    int iterations = 0;      ///< total NR iterations across all strategies
+    std::string strategy;    ///< which strategy succeeded ("newton", ...)
+    la::Vector x;            ///< solution (meaningful iff converged)
+};
+
+/// Solve the operating point with sources evaluated at `time`. If
+/// `initial_guess` is provided (and correctly sized) Newton starts there.
+DcResult solve_dc(Circuit& circuit, const SolverOptions& opts,
+                  double time = 0.0,
+                  const la::Vector* initial_guess = nullptr);
+
+namespace detail {
+/// Single damped-Newton solve at fixed gmin/source scale. On success, x
+/// holds the solution; on failure x is left at the last iterate. Returns
+/// iterations used (negative if not converged).
+int newton_raphson(Circuit& circuit, const AnalysisState& as,
+                   const SolverOptions& opts, double gmin, la::Vector& x);
+} // namespace detail
+
+} // namespace tfetsram::spice

@@ -1,0 +1,82 @@
+#include "spice/device.hpp"
+
+namespace tfetsram::spice {
+
+Stamper::Stamper(la::Matrix& jac, la::Vector& rhs, std::size_t num_nodes)
+    : jac_(jac), rhs_(rhs), num_nodes_(num_nodes) {
+    TFET_EXPECTS(jac_.rows() == jac_.cols());
+    TFET_EXPECTS(rhs_.size() == jac_.rows());
+    TFET_EXPECTS(num_nodes_ >= 1);
+}
+
+std::size_t Stamper::idx(NodeId n) const {
+    TFET_EXPECTS(n < num_nodes_);
+    return n == kGround ? npos : n - 1;
+}
+
+std::size_t Stamper::branch_index(std::size_t branch) const {
+    const std::size_t i = (num_nodes_ - 1) + branch;
+    TFET_EXPECTS(i < jac_.rows());
+    return i;
+}
+
+void Stamper::add_conductance(NodeId a, NodeId b, double g) {
+    const std::size_t ia = idx(a);
+    const std::size_t ib = idx(b);
+    if (ia != npos)
+        jac_(ia, ia) += g;
+    if (ib != npos)
+        jac_(ib, ib) += g;
+    if (ia != npos && ib != npos) {
+        jac_(ia, ib) -= g;
+        jac_(ib, ia) -= g;
+    }
+}
+
+void Stamper::add_current(NodeId from, NodeId to, double i) {
+    const std::size_t ifrom = idx(from);
+    const std::size_t ito = idx(to);
+    if (ifrom != npos)
+        rhs_[ifrom] -= i;
+    if (ito != npos)
+        rhs_[ito] += i;
+}
+
+void Stamper::add_transconductance(NodeId out_from, NodeId out_to,
+                                   NodeId ctrl_pos, NodeId ctrl_neg,
+                                   double g) {
+    const std::size_t iof = idx(out_from);
+    const std::size_t iot = idx(out_to);
+    const std::size_t icp = idx(ctrl_pos);
+    const std::size_t icn = idx(ctrl_neg);
+    if (iof != npos) {
+        if (icp != npos)
+            jac_(iof, icp) += g;
+        if (icn != npos)
+            jac_(iof, icn) -= g;
+    }
+    if (iot != npos) {
+        if (icp != npos)
+            jac_(iot, icp) -= g;
+        if (icn != npos)
+            jac_(iot, icn) += g;
+    }
+}
+
+void Stamper::stamp_voltage_source(std::size_t branch, NodeId pos, NodeId neg,
+                                   double volts) {
+    const std::size_t ib = branch_index(branch);
+    const std::size_t ip = idx(pos);
+    const std::size_t in = idx(neg);
+    if (ip != npos) {
+        jac_(ip, ib) += 1.0;
+        jac_(ib, ip) += 1.0;
+    }
+    if (in != npos) {
+        jac_(in, ib) -= 1.0;
+        jac_(ib, in) -= 1.0;
+    }
+    rhs_[ib] += volts;
+}
+
+} // namespace tfetsram::spice

@@ -1,0 +1,100 @@
+#pragma once
+// Device abstraction for the MNA engine. Each device knows how to linearize
+// itself into the Jacobian / right-hand side at a given candidate solution
+// ("stamping", the classic SPICE companion-model formulation), how to carry
+// dynamic state across transient steps, and how to report its dissipated
+// power for operating-point post-processing.
+
+#include <string>
+
+#include "la/matrix.hpp"
+#include "spice/types.hpp"
+
+namespace tfetsram::spice {
+
+/// Which analysis the engine is running; transient adds companion models
+/// for charge-storage elements.
+enum class AnalysisMode { kDc, kTransient };
+
+/// Numerical integration method for transient companion models.
+enum class Integrator { kBackwardEuler, kTrapezoidal };
+
+/// Context handed to Device::stamp for one linearization.
+struct AnalysisState {
+    AnalysisMode mode = AnalysisMode::kDc;
+    double time = 0.0;          ///< time point being solved
+    double dt = 0.0;            ///< step size (transient only)
+    Integrator integrator = Integrator::kTrapezoidal;
+    double source_scale = 1.0;  ///< global source scaling (source stepping)
+    bool first_transient_step = false; ///< forces backward Euler on step 1
+};
+
+/// Accumulates the linearized system. Maps node/branch ids to unknown
+/// indices (ground is eliminated) and enforces the KCL sign convention:
+/// rows are "sum of currents leaving the node = injected current".
+class Stamper {
+public:
+    Stamper(la::Matrix& jac, la::Vector& rhs, std::size_t num_nodes);
+
+    /// Conductance g between nodes a and b.
+    void add_conductance(NodeId a, NodeId b, double g);
+
+    /// Current i forced from node `from` to node `to` (through the device).
+    void add_current(NodeId from, NodeId to, double i);
+
+    /// Current g*(v(ctrl_pos) - v(ctrl_neg)) from out_from to out_to.
+    void add_transconductance(NodeId out_from, NodeId out_to, NodeId ctrl_pos,
+                              NodeId ctrl_neg, double g);
+
+    /// Voltage source constraint v(pos) - v(neg) = volts with its branch
+    /// current unknown. `branch` is the source's branch index.
+    void stamp_voltage_source(std::size_t branch, NodeId pos, NodeId neg,
+                              double volts);
+
+    /// Unknown-vector index of a branch current.
+    [[nodiscard]] std::size_t branch_index(std::size_t branch) const;
+
+private:
+    // Returns the unknown index for a node, or npos for ground.
+    [[nodiscard]] std::size_t idx(NodeId n) const;
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    la::Matrix& jac_;
+    la::Vector& rhs_;
+    std::size_t num_nodes_;
+};
+
+/// Base class of every circuit element.
+class Device {
+public:
+    explicit Device(std::string label) : label_(std::move(label)) {}
+    virtual ~Device() = default;
+
+    Device(const Device&) = delete;
+    Device& operator=(const Device&) = delete;
+
+    [[nodiscard]] const std::string& label() const { return label_; }
+
+    /// Linearize this device at candidate solution x and add its stamps.
+    virtual void stamp(Stamper& st, const AnalysisState& as,
+                       const la::Vector& x) = 0;
+
+    /// Called once after the t=0 operating point, before transient stepping.
+    virtual void begin_transient(const la::Vector& /*x0*/) {}
+
+    /// Called when a transient step is accepted; commit dynamic state.
+    virtual void accept_step(const AnalysisState& /*as*/,
+                             const la::Vector& /*x*/) {}
+
+    /// Power dissipated by this device at the given solution (DC sense;
+    /// negative means the device delivers power, e.g. a source).
+    [[nodiscard]] virtual double power(const la::Vector& x) const = 0;
+
+    /// True for independent sources (used by power accounting).
+    [[nodiscard]] virtual bool is_source() const { return false; }
+
+private:
+    std::string label_;
+};
+
+} // namespace tfetsram::spice

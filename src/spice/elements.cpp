@@ -1,0 +1,150 @@
+#include "spice/elements.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spice/solution.hpp"
+
+namespace tfetsram::spice {
+
+// ---------------------------------------------------------------- Resistor
+
+Resistor::Resistor(std::string label, NodeId a, NodeId b, double ohms)
+    : Device(std::move(label)), a_(a), b_(b), ohms_(ohms) {
+    TFET_EXPECTS(ohms > 0.0);
+    TFET_EXPECTS(a != b);
+}
+
+void Resistor::stamp(Stamper& st, const AnalysisState& /*as*/,
+                     const la::Vector& /*x*/) {
+    st.add_conductance(a_, b_, 1.0 / ohms_);
+}
+
+double Resistor::power(const la::Vector& x) const {
+    const double v = branch_voltage(x, a_, b_);
+    return v * v / ohms_;
+}
+
+// --------------------------------------------------------------- Capacitor
+
+Capacitor::Capacitor(std::string label, NodeId a, NodeId b, double farads)
+    : Device(std::move(label)), a_(a), b_(b), farads_(farads) {
+    TFET_EXPECTS(farads > 0.0);
+    TFET_EXPECTS(a != b);
+}
+
+void Capacitor::stamp(Stamper& st, const AnalysisState& as,
+                      const la::Vector& /*x*/) {
+    if (as.mode == AnalysisMode::kDc)
+        return; // open circuit at DC
+    TFET_EXPECTS(as.dt > 0.0);
+    const bool use_trap = as.integrator == Integrator::kTrapezoidal &&
+                          !as.first_transient_step;
+    double geq = 0.0;
+    double ieq = 0.0;
+    if (use_trap) {
+        geq = 2.0 * farads_ / as.dt;
+        ieq = -(geq * v_prev_ + i_prev_);
+    } else {
+        geq = farads_ / as.dt;
+        ieq = -geq * v_prev_;
+    }
+    st.add_conductance(a_, b_, geq);
+    st.add_current(a_, b_, ieq);
+}
+
+void Capacitor::begin_transient(const la::Vector& x0) {
+    v_prev_ = branch_voltage(x0, a_, b_);
+    i_prev_ = 0.0; // quiescent: no displacement current at the DC point
+}
+
+void Capacitor::accept_step(const AnalysisState& as, const la::Vector& x) {
+    const double v_new = branch_voltage(x, a_, b_);
+    const bool use_trap = as.integrator == Integrator::kTrapezoidal &&
+                          !as.first_transient_step;
+    if (use_trap) {
+        const double geq = 2.0 * farads_ / as.dt;
+        i_prev_ = geq * (v_new - v_prev_) - i_prev_;
+    } else {
+        i_prev_ = farads_ / as.dt * (v_new - v_prev_);
+    }
+    v_prev_ = v_new;
+}
+
+double Capacitor::power(const la::Vector& /*x*/) const {
+    return 0.0; // lossless; no DC dissipation
+}
+
+// ----------------------------------------------------------- VoltageSource
+
+VoltageSource::VoltageSource(std::string label, NodeId pos, NodeId neg,
+                             Waveform wave)
+    : Device(std::move(label)), pos_(pos), neg_(neg), wave_(std::move(wave)) {
+    TFET_EXPECTS(pos != neg);
+}
+
+void VoltageSource::stamp(Stamper& st, const AnalysisState& as,
+                          const la::Vector& /*x*/) {
+    const double v = wave_.at(as.time) * as.source_scale;
+    st.stamp_voltage_source(branch_, pos_, neg_, v);
+}
+
+double VoltageSource::delivered_current(const la::Vector& x) const {
+    TFET_EXPECTS(unknown_index_ < x.size());
+    // The MNA branch current flows pos -> (through source) -> neg, so the
+    // current delivered out of the + terminal is its negation.
+    return -x[unknown_index_];
+}
+
+double VoltageSource::power(const la::Vector& x) const {
+    const double v = branch_voltage(x, pos_, neg_);
+    // Positive when absorbing; a supply delivering power reports negative.
+    return -v * delivered_current(x);
+}
+
+// ----------------------------------------------------------- CurrentSource
+
+CurrentSource::CurrentSource(std::string label, NodeId from, NodeId to,
+                             Waveform wave)
+    : Device(std::move(label)), from_(from), to_(to), wave_(std::move(wave)) {
+    TFET_EXPECTS(from != to);
+}
+
+void CurrentSource::stamp(Stamper& st, const AnalysisState& as,
+                          const la::Vector& /*x*/) {
+    st.add_current(from_, to_, wave_.at(as.time) * as.source_scale);
+}
+
+double CurrentSource::power(const la::Vector& x) const {
+    const double i = wave_.at(0.0);
+    const double v = branch_voltage(x, from_, to_);
+    return v * i; // absorbing when current flows from high to low potential
+}
+
+// ------------------------------------------------------------- TimedSwitch
+
+TimedSwitch::TimedSwitch(std::string label, NodeId a, NodeId b, double r_on,
+                         double r_off, Waveform control)
+    : Device(std::move(label)), a_(a), b_(b), r_on_(r_on), r_off_(r_off),
+      control_(std::move(control)) {
+    TFET_EXPECTS(a != b);
+    TFET_EXPECTS(r_on > 0.0 && r_off >= r_on);
+}
+
+double TimedSwitch::resistance_at(double t) const {
+    const double c = std::clamp(control_.at(t), 0.0, 1.0);
+    // Geometric interpolation: log-resistance moves linearly with control.
+    return r_off_ * std::pow(r_on_ / r_off_, c);
+}
+
+void TimedSwitch::stamp(Stamper& st, const AnalysisState& as,
+                        const la::Vector& /*x*/) {
+    st.add_conductance(a_, b_, 1.0 / resistance_at(as.time));
+}
+
+double TimedSwitch::power(const la::Vector& x) const {
+    const double v = branch_voltage(x, a_, b_);
+    return v * v / resistance_at(0.0);
+}
+
+} // namespace tfetsram::spice

@@ -1,0 +1,126 @@
+#pragma once
+// The linear and source elements: resistor, capacitor, independent voltage
+// and current sources. Transistors live in transistor.hpp.
+
+#include "spice/device.hpp"
+#include "spice/waveform.hpp"
+
+namespace tfetsram::spice {
+
+/// Linear resistor between two nodes.
+class Resistor final : public Device {
+public:
+    Resistor(std::string label, NodeId a, NodeId b, double ohms);
+
+    void stamp(Stamper& st, const AnalysisState& as,
+               const la::Vector& x) override;
+    [[nodiscard]] double power(const la::Vector& x) const override;
+
+    [[nodiscard]] double resistance() const { return ohms_; }
+
+private:
+    NodeId a_;
+    NodeId b_;
+    double ohms_;
+};
+
+/// Linear capacitor between two nodes. Open circuit in DC; integrates with
+/// the engine's trapezoidal/backward-Euler companion in transient.
+class Capacitor final : public Device {
+public:
+    Capacitor(std::string label, NodeId a, NodeId b, double farads);
+
+    void stamp(Stamper& st, const AnalysisState& as,
+               const la::Vector& x) override;
+    void begin_transient(const la::Vector& x0) override;
+    void accept_step(const AnalysisState& as, const la::Vector& x) override;
+    [[nodiscard]] double power(const la::Vector& x) const override;
+
+    [[nodiscard]] double capacitance() const { return farads_; }
+
+private:
+    NodeId a_;
+    NodeId b_;
+    double farads_;
+    double v_prev_ = 0.0; ///< accepted branch voltage at the previous step
+    double i_prev_ = 0.0; ///< accepted branch current at the previous step
+};
+
+/// Independent voltage source driven by a Waveform. Owns one MNA branch.
+class VoltageSource final : public Device {
+public:
+    VoltageSource(std::string label, NodeId pos, NodeId neg, Waveform wave);
+
+    void stamp(Stamper& st, const AnalysisState& as,
+               const la::Vector& x) override;
+    [[nodiscard]] double power(const la::Vector& x) const override;
+    [[nodiscard]] bool is_source() const override { return true; }
+
+    /// Replace the stimulus (e.g. to program an SRAM operation).
+    void set_waveform(Waveform wave) { wave_ = std::move(wave); }
+    [[nodiscard]] const Waveform& waveform() const { return wave_; }
+
+    /// Current delivered into the circuit from the + terminal.
+    [[nodiscard]] double delivered_current(const la::Vector& x) const;
+
+    /// Assigned by Circuit: ordinal among voltage sources.
+    void set_branch(std::size_t branch, std::size_t unknown_index) {
+        branch_ = branch;
+        unknown_index_ = unknown_index;
+    }
+    [[nodiscard]] std::size_t branch() const { return branch_; }
+
+private:
+    NodeId pos_;
+    NodeId neg_;
+    Waveform wave_;
+    std::size_t branch_ = 0;
+    std::size_t unknown_index_ = 0;
+};
+
+/// Independent current source pushing current from `from` to `to` through
+/// itself (i.e. it injects current into `to`).
+class CurrentSource final : public Device {
+public:
+    CurrentSource(std::string label, NodeId from, NodeId to, Waveform wave);
+
+    void stamp(Stamper& st, const AnalysisState& as,
+               const la::Vector& x) override;
+    [[nodiscard]] double power(const la::Vector& x) const override;
+    [[nodiscard]] bool is_source() const override { return true; }
+
+    void set_waveform(Waveform wave) { wave_ = std::move(wave); }
+    [[nodiscard]] const Waveform& waveform() const { return wave_; }
+
+private:
+    NodeId from_;
+    NodeId to_;
+    Waveform wave_;
+};
+
+/// Time-controlled switch (e.g. a bitline precharge device). The control
+/// waveform is interpreted as a conductance blend: 1 -> r_on, 0 -> r_off,
+/// interpolated geometrically in resistance so transitions are smooth.
+class TimedSwitch final : public Device {
+public:
+    TimedSwitch(std::string label, NodeId a, NodeId b, double r_on,
+                double r_off, Waveform control);
+
+    void stamp(Stamper& st, const AnalysisState& as,
+               const la::Vector& x) override;
+    [[nodiscard]] double power(const la::Vector& x) const override;
+
+    void set_control(Waveform control) { control_ = std::move(control); }
+
+    /// Resistance at time t.
+    [[nodiscard]] double resistance_at(double t) const;
+
+private:
+    NodeId a_;
+    NodeId b_;
+    double r_on_;
+    double r_off_;
+    Waveform control_;
+};
+
+} // namespace tfetsram::spice

@@ -1,0 +1,28 @@
+#include "spice/mna.hpp"
+
+namespace tfetsram::spice {
+
+void assemble(Circuit& circuit, const AnalysisState& as, const la::Vector& x,
+              double gmin, la::Matrix& jac, la::Vector& rhs) {
+    circuit.prepare();
+    const std::size_t n = circuit.num_unknowns();
+    TFET_EXPECTS(x.size() == n);
+
+    if (jac.rows() != n || jac.cols() != n)
+        jac = la::Matrix(n, n);
+    else
+        jac.set_zero();
+    rhs.assign(n, 0.0);
+
+    Stamper st(jac, rhs, circuit.num_nodes());
+
+    // Convergence-aid conductances from every node to ground.
+    if (gmin > 0.0)
+        for (NodeId node = 1; node < circuit.num_nodes(); ++node)
+            st.add_conductance(node, kGround, gmin);
+
+    for (const auto& dev : circuit.devices())
+        dev->stamp(st, as, x);
+}
+
+} // namespace tfetsram::spice

@@ -1,0 +1,16 @@
+#pragma once
+// Modified-nodal-analysis assembly: linearize every device at a candidate
+// solution into the Jacobian and right-hand side.
+
+#include "la/matrix.hpp"
+#include "spice/circuit.hpp"
+
+namespace tfetsram::spice {
+
+/// Assemble the linearized MNA system for `circuit` at candidate solution x.
+/// `gmin` is a convergence-aid conductance added from every non-ground node
+/// to ground. jac/rhs are resized and zeroed as needed.
+void assemble(Circuit& circuit, const AnalysisState& as, const la::Vector& x,
+              double gmin, la::Matrix& jac, la::Vector& rhs);
+
+} // namespace tfetsram::spice

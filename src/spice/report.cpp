@@ -1,0 +1,50 @@
+#include "spice/report.hpp"
+
+namespace tfetsram::spice {
+
+PowerReport power_report(const Circuit& circuit, const la::Vector& x) {
+    PowerReport rep;
+    for (const auto& dev : circuit.devices()) {
+        const double p = dev->power(x);
+        rep.devices.push_back({dev->label(), p});
+        if (dev->is_source())
+            rep.delivered_by_sources += -p;
+        else
+            rep.dissipated += p;
+    }
+    return rep;
+}
+
+double source_energy(const Circuit& circuit, const TransientResult& result,
+                     double t0, double t1) {
+    TFET_EXPECTS(t1 >= t0);
+    const std::vector<double>& times = result.times();
+    double energy = 0.0;
+    double prev_t = 0.0;
+    double prev_p = 0.0;
+    bool have_prev = false;
+    for (std::size_t i = 0; i < times.size(); ++i) {
+        const double t = times[i];
+        if (t < t0 || t > t1)
+            continue;
+        double p = 0.0;
+        for (const VoltageSource* src : circuit.voltage_sources())
+            p += -src->power(result.state(i)); // delivered
+        if (have_prev)
+            energy += 0.5 * (p + prev_p) * (t - prev_t);
+        prev_t = t;
+        prev_p = p;
+        have_prev = true;
+    }
+    return energy;
+}
+
+double static_power(const Circuit& circuit, const la::Vector& x) {
+    double total = 0.0;
+    for (const auto& dev : circuit.devices())
+        if (!dev->is_source())
+            total += dev->power(x);
+    return total;
+}
+
+} // namespace tfetsram::spice

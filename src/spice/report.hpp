@@ -1,0 +1,40 @@
+#pragma once
+// Operating-point post-processing. Static power must be computed from the
+// device equations evaluated at the solved node voltages — not from source
+// branch currents — because the convergence-aid gmin shunts carry ~1e-12 A,
+// which would swamp the 1e-17 A TFET leakage this study measures.
+
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+#include "spice/transient.hpp"
+
+namespace tfetsram::spice {
+
+struct DevicePower {
+    std::string label;
+    double watts; ///< positive dissipates, negative delivers
+};
+
+struct PowerReport {
+    double dissipated = 0.0;           ///< sum over non-source devices [W]
+    double delivered_by_sources = 0.0; ///< from source branch currents [W]
+    std::vector<DevicePower> devices;
+};
+
+/// Break down power at a solved operating point.
+PowerReport power_report(const Circuit& circuit, const la::Vector& x);
+
+/// Static (leakage) power at the operating point: the device-equation sum,
+/// immune to gmin artifacts.
+double static_power(const Circuit& circuit, const la::Vector& x);
+
+/// Energy delivered by all voltage sources over [t0, t1] of a recorded
+/// transient (trapezoidal integration of v * i using the MNA branch
+/// currents). This is the dynamic energy of the operation the transient
+/// simulated — e.g. the cost of pulsing an assist rail.
+double source_energy(const Circuit& circuit, const TransientResult& result,
+                     double t0, double t1);
+
+} // namespace tfetsram::spice

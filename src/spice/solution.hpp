@@ -1,0 +1,24 @@
+#pragma once
+// Helpers to read physical quantities out of the raw MNA unknown vector.
+// The unknown ordering is: node voltages for nodes 1..N-1 (ground is
+// eliminated), followed by one branch current per voltage source.
+
+#include "la/matrix.hpp"
+#include "spice/types.hpp"
+
+namespace tfetsram::spice {
+
+/// Voltage of node n in solution x. Ground reads as exactly 0.
+inline double node_voltage(const la::Vector& x, NodeId n) {
+    if (n == kGround)
+        return 0.0;
+    TFET_EXPECTS(n - 1 < x.size());
+    return x[n - 1];
+}
+
+/// Difference v(a) - v(b).
+inline double branch_voltage(const la::Vector& x, NodeId a, NodeId b) {
+    return node_voltage(x, a) - node_voltage(x, b);
+}
+
+} // namespace tfetsram::spice

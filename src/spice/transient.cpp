@@ -1,0 +1,245 @@
+#include "spice/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "spice/dc.hpp"
+#include "spice/solution.hpp"
+
+namespace tfetsram::spice {
+
+// ---------------------------------------------------------- TransientResult
+
+const la::Vector& TransientResult::state(std::size_t i) const {
+    TFET_EXPECTS(i < states_.size());
+    return states_[i];
+}
+
+double TransientResult::end_time() const {
+    TFET_EXPECTS(!time_.empty());
+    return time_.back();
+}
+
+void TransientResult::append(double t, la::Vector x) {
+    TFET_EXPECTS(time_.empty() || t >= time_.back());
+    time_.push_back(t);
+    states_.push_back(std::move(x));
+}
+
+double TransientResult::voltage(NodeId node, std::size_t i) const {
+    return node_voltage(state(i), node);
+}
+
+double TransientResult::voltage_at(NodeId node, double t) const {
+    TFET_EXPECTS(!time_.empty());
+    if (t <= time_.front())
+        return node_voltage(states_.front(), node);
+    if (t >= time_.back())
+        return node_voltage(states_.back(), node);
+    const auto it = std::upper_bound(time_.begin(), time_.end(), t);
+    const std::size_t hi = static_cast<std::size_t>(it - time_.begin());
+    const std::size_t lo = hi - 1;
+    const double span = time_[hi] - time_[lo];
+    const double frac = span > 0.0 ? (t - time_[lo]) / span : 0.0;
+    const double v_lo = node_voltage(states_[lo], node);
+    const double v_hi = node_voltage(states_[hi], node);
+    return v_lo + frac * (v_hi - v_lo);
+}
+
+double TransientResult::final_voltage(NodeId node) const {
+    TFET_EXPECTS(!states_.empty());
+    return node_voltage(states_.back(), node);
+}
+
+double TransientResult::min_difference(NodeId a, NodeId b, double t_from,
+                                       double t_to) const {
+    double m = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < time_.size(); ++i) {
+        if (time_[i] < t_from || time_[i] > t_to)
+            continue;
+        m = std::min(m, node_voltage(states_[i], a) -
+                            node_voltage(states_[i], b));
+    }
+    // Include the exact window edges via interpolation so narrow windows
+    // between samples still produce a value.
+    if (!time_.empty() && t_to >= time_.front() && t_from <= time_.back()) {
+        m = std::min(m, voltage_at(a, t_from) - voltage_at(b, t_from));
+        m = std::min(m, voltage_at(a, t_to) - voltage_at(b, t_to));
+    }
+    return m;
+}
+
+double TransientResult::first_crossing_below(NodeId a, NodeId b,
+                                             double threshold,
+                                             double t_from) const {
+    double prev_d = std::numeric_limits<double>::quiet_NaN();
+    double prev_t = 0.0;
+    for (std::size_t i = 0; i < time_.size(); ++i) {
+        if (time_[i] < t_from)
+            continue;
+        const double d =
+            node_voltage(states_[i], a) - node_voltage(states_[i], b);
+        if (!std::isnan(prev_d) && prev_d > threshold && d <= threshold) {
+            const double frac = (prev_d - threshold) / (prev_d - d);
+            return prev_t + frac * (time_[i] - prev_t);
+        }
+        if (std::isnan(prev_d) && d <= threshold)
+            return time_[i];
+        prev_d = d;
+        prev_t = time_[i];
+    }
+    return std::numeric_limits<double>::quiet_NaN();
+}
+
+// ----------------------------------------------------------- transient run
+
+namespace {
+
+/// Max over node unknowns of |err| / (abstol + reltol*|x|).
+double lte_ratio(const la::Vector& x, const la::Vector& x_pred,
+                 std::size_t n_node_unknowns, const SolverOptions& opts) {
+    double worst = 0.0;
+    for (std::size_t i = 0; i < n_node_unknowns; ++i) {
+        const double tol =
+            opts.lte_abstol + opts.lte_reltol * std::fabs(x[i]);
+        worst = std::max(worst, std::fabs(x[i] - x_pred[i]) / tol);
+    }
+    return worst;
+}
+
+} // namespace
+
+TransientResult solve_transient(Circuit& circuit, const SolverOptions& opts,
+                                double t_end, const StopCondition& stop,
+                                const la::Vector* dc_guess) {
+    TFET_EXPECTS(t_end > 0.0);
+    TransientResult result;
+
+    // Operating point at t = 0.
+    DcResult dc = solve_dc(circuit, opts, 0.0, dc_guess);
+    if (!dc.converged) {
+        result.message = "transient: t=0 operating point did not converge";
+        return result;
+    }
+    for (const auto& dev : circuit.devices())
+        dev->begin_transient(dc.x);
+    result.append(0.0, dc.x);
+
+    const std::size_t n_node_unknowns = circuit.num_nodes() - 1;
+
+    std::vector<double> breakpoints = circuit.source_breakpoints();
+    breakpoints.push_back(t_end);
+    std::size_t next_bp = 0;
+
+    double t = 0.0;
+    double dt = opts.dt_initial;
+    la::Vector x = dc.x;       // accepted state at t
+    la::Vector x_prev = dc.x;  // accepted state one step earlier
+    double dt_prev = 0.0;
+    bool history_valid = false; // can we form the LTE predictor?
+    bool force_be = true;       // backward Euler on first step / post-break
+
+    AnalysisState as;
+    as.mode = AnalysisMode::kTransient;
+    as.integrator = opts.integrator;
+
+    for (std::size_t step = 0; step < opts.max_steps; ++step) {
+        if (t >= t_end - 1e-21) {
+            result.completed = true;
+            return result;
+        }
+        // Advance past consumed breakpoints; land on the next one.
+        while (next_bp < breakpoints.size() &&
+               breakpoints[next_bp] <= t + 1e-21)
+            ++next_bp;
+        if (next_bp < breakpoints.size())
+            dt = std::min(dt, breakpoints[next_bp] - t);
+        dt = std::min(dt, t_end - t);
+        dt = std::min(dt, opts.dt_max);
+
+        // Newton solve for the candidate step, shrinking dt on failure.
+        la::Vector x_new;
+        bool solved = false;
+        for (int attempt = 0; attempt < 40; ++attempt) {
+            as.time = t + dt;
+            as.dt = dt;
+            // After two failed attempts, drop this step to backward Euler:
+            // L-stable and independent of the trapezoidal current history,
+            // which can turn hostile across sharp source edges.
+            as.first_transient_step = force_be || attempt >= 2;
+            x_new = x; // warm start from the current state
+            const int iters =
+                detail::newton_raphson(circuit, as, opts, opts.gmin, x_new);
+            if (iters > 0) {
+                solved = true;
+                break;
+            }
+            dt *= 0.25;
+            if (dt < opts.dt_min) {
+                char buf[128];
+                std::snprintf(buf, sizeof(buf),
+                              "transient: Newton failed at t=%.6e s with dt "
+                              "below dt_min (step %zu)",
+                              t, step);
+                result.message = buf;
+                return result;
+            }
+        }
+        if (!solved) {
+            result.message = "transient: Newton retries exhausted";
+            return result;
+        }
+
+        // Local truncation error control via linear-extrapolation predictor.
+        if (history_valid && dt_prev > 0.0) {
+            la::Vector x_pred(x.size());
+            const double slope = dt / dt_prev;
+            for (std::size_t i = 0; i < x.size(); ++i)
+                x_pred[i] = x[i] + slope * (x[i] - x_prev[i]);
+            const double ratio =
+                lte_ratio(x_new, x_pred, n_node_unknowns, opts);
+            if (ratio > 4.0 && dt > opts.dt_min * 8.0) {
+                dt *= 0.5; // reject and retry with a finer step
+                continue;
+            }
+            const double grow =
+                ratio > 0.0 ? 0.9 * std::pow(ratio, -1.0 / 3.0) : 2.0;
+            dt_prev = dt;
+            dt *= std::clamp(grow, 0.3, 2.0);
+        } else {
+            dt_prev = dt;
+            dt *= 2.0;
+        }
+
+        // Accept the step.
+        for (const auto& dev : circuit.devices())
+            dev->accept_step(as, x_new);
+        x_prev = std::move(x);
+        x = x_new;
+        t = as.time;
+        result.append(t, x);
+        history_valid = true;
+        force_be = false;
+
+        // A breakpoint lands exactly on t: slope discontinuity ahead, so the
+        // predictor and trapezoidal history are invalid.
+        if (next_bp < breakpoints.size() &&
+            std::fabs(breakpoints[next_bp] - t) <= 1e-21) {
+            history_valid = false;
+            force_be = true;
+            dt = opts.dt_initial;
+        }
+
+        if (stop && stop(t, x)) {
+            result.completed = true;
+            result.stopped_early = true;
+            return result;
+        }
+    }
+    result.message = "transient: max step count exceeded";
+    return result;
+}
+
+} // namespace tfetsram::spice

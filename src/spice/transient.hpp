@@ -1,0 +1,68 @@
+#pragma once
+// Adaptive transient analysis. Starts from the t=0 operating point, steps
+// with trapezoidal integration (backward Euler on the first step and after
+// waveform breakpoints), controls the step with a predictor-based local
+// truncation error estimate, and lands exactly on source breakpoints.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+#include "spice/solver_options.hpp"
+
+namespace tfetsram::spice {
+
+/// Optional early-exit predicate evaluated on each accepted step.
+using StopCondition = std::function<bool(double t, const la::Vector& x)>;
+
+/// Recorded trajectory of a transient run.
+class TransientResult {
+public:
+    bool completed = false;     ///< reached t_end or the stop condition
+    bool stopped_early = false; ///< the stop condition fired before t_end
+    std::string message;        ///< failure diagnostics when !completed
+
+    [[nodiscard]] std::size_t size() const { return time_.size(); }
+    [[nodiscard]] const std::vector<double>& times() const { return time_; }
+    [[nodiscard]] const la::Vector& state(std::size_t i) const;
+    [[nodiscard]] double end_time() const;
+
+    /// Voltage of `node` at sample index i.
+    [[nodiscard]] double voltage(NodeId node, std::size_t i) const;
+
+    /// Linearly interpolated voltage of `node` at time t (clamped to the
+    /// recorded range).
+    [[nodiscard]] double voltage_at(NodeId node, double t) const;
+
+    /// Voltage at the final recorded point.
+    [[nodiscard]] double final_voltage(NodeId node) const;
+
+    /// Minimum of v(a) - v(b) over times in [t_from, t_to].
+    [[nodiscard]] double min_difference(NodeId a, NodeId b, double t_from,
+                                        double t_to) const;
+
+    /// Earliest recorded time >= t_from at which v(a) - v(b) crosses below
+    /// `threshold` (linear interpolation between samples); NaN if never.
+    [[nodiscard]] double first_crossing_below(NodeId a, NodeId b,
+                                              double threshold,
+                                              double t_from) const;
+
+    void append(double t, la::Vector x);
+
+private:
+    std::vector<double> time_;
+    std::vector<la::Vector> states_;
+};
+
+/// Run a transient to t_end. The circuit's sources define the stimulus.
+/// `stop` (optional) ends the run early when it returns true.
+/// `dc_guess` (optional) seeds the t=0 operating point — essential for
+/// bistable circuits, where it selects which stable state the cell starts
+/// in.
+TransientResult solve_transient(Circuit& circuit, const SolverOptions& opts,
+                                double t_end,
+                                const StopCondition& stop = nullptr,
+                                const la::Vector* dc_guess = nullptr);
+
+} // namespace tfetsram::spice

@@ -1,0 +1,46 @@
+#pragma once
+// The contract between the circuit engine and device physics: a transistor
+// model supplies the channel current (with partial derivatives) and the two
+// terminal capacitances, all normalized per micron of width. Concrete models
+// (analytic TFET/MOSFET physics and the lookup-table flavor the paper's
+// Verilog-A flow uses) live in src/device.
+
+#include <memory>
+
+namespace tfetsram::spice {
+
+/// Channel current and its partial derivatives at one bias point,
+/// per micron of device width. Current is taken positive drain->source.
+struct IvSample {
+    double ids;  ///< drain-source current [A/um]
+    double gm;   ///< d ids / d vgs [S/um]
+    double gds;  ///< d ids / d vds [S/um]
+};
+
+/// Terminal capacitances at one bias point, per micron of width.
+struct CvSample {
+    double cgs; ///< gate-source capacitance [F/um]
+    double cgd; ///< gate-drain capacitance [F/um]
+};
+
+/// Abstract transistor characteristics. Implementations must be smooth
+/// enough for Newton iteration (C1 in both arguments) and defined for all
+/// real (vgs, vds) — including reverse bias, where TFET physics differs
+/// fundamentally from MOSFETs.
+class TransistorModel {
+public:
+    virtual ~TransistorModel() = default;
+
+    /// I-V characteristic with derivatives.
+    [[nodiscard]] virtual IvSample iv(double vgs, double vds) const = 0;
+
+    /// C-V characteristic.
+    [[nodiscard]] virtual CvSample cv(double vgs, double vds) const = 0;
+
+    /// Short human-readable name for reports ("nTFET", "pMOS", ...).
+    [[nodiscard]] virtual const char* name() const = 0;
+};
+
+using TransistorModelPtr = std::shared_ptr<const TransistorModel>;
+
+} // namespace tfetsram::spice

@@ -1,0 +1,16 @@
+#pragma once
+// Shared identifiers and numeric constants for the circuit engine.
+
+#include <cstddef>
+
+namespace tfetsram::spice {
+
+/// Node identifier within a Circuit. Node 0 is always ground.
+using NodeId = std::size_t;
+
+inline constexpr NodeId kGround = 0;
+
+/// Boltzmann constant times T over q at 300 K: the thermal voltage.
+inline constexpr double kThermalVoltage = 0.02585; // V
+
+} // namespace tfetsram::spice

@@ -1,0 +1,59 @@
+#include "spice/waveform.hpp"
+
+#include <algorithm>
+
+namespace tfetsram::spice {
+
+Waveform Waveform::dc(double level) {
+    Waveform w;
+    w.points_.push_back({0.0, level});
+    return w;
+}
+
+Waveform Waveform::pwl(std::vector<PwlPoint> points) {
+    TFET_EXPECTS(!points.empty());
+    for (std::size_t i = 1; i < points.size(); ++i)
+        TFET_EXPECTS(points[i].time > points[i - 1].time);
+    Waveform w;
+    w.points_ = std::move(points);
+    w.breakpoints_.reserve(w.points_.size());
+    for (const auto& p : w.points_)
+        if (p.time > 0.0)
+            w.breakpoints_.push_back(p.time);
+    return w;
+}
+
+Waveform Waveform::pulse(double base, double active, double t_start,
+                         double t_rise, double t_width, double t_fall) {
+    TFET_EXPECTS(t_start >= 0.0);
+    TFET_EXPECTS(t_rise > 0.0 && t_fall > 0.0 && t_width >= 0.0);
+    return pwl({{t_start, base},
+                {t_start + t_rise, active},
+                {t_start + t_rise + t_width, active},
+                {t_start + t_rise + t_width + t_fall, base}});
+}
+
+double Waveform::at(double t) const {
+    TFET_EXPECTS(!points_.empty());
+    if (points_.size() == 1 || t <= points_.front().time)
+        return points_.front().value;
+    if (t >= points_.back().time)
+        return points_.back().value;
+    // Binary search for the segment containing t.
+    const auto it = std::upper_bound(
+        points_.begin(), points_.end(), t,
+        [](double tt, const PwlPoint& p) { return tt < p.time; });
+    const PwlPoint& hi = *it;
+    const PwlPoint& lo = *(it - 1);
+    const double frac = (t - lo.time) / (hi.time - lo.time);
+    return lo.value + frac * (hi.value - lo.value);
+}
+
+Waveform Waveform::scaled(double k) const {
+    Waveform w = *this;
+    for (auto& p : w.points_)
+        p.value *= k;
+    return w;
+}
+
+} // namespace tfetsram::spice

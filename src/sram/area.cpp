@@ -1,0 +1,16 @@
+#include "sram/area.hpp"
+
+namespace tfetsram::sram {
+
+double cell_area(const SramCell& cell, const AreaModel& model) {
+    double width_sum = 0.0;
+    std::size_t count = 0;
+    for (const spice::Transistor* t : cell.circuit.transistors()) {
+        width_sum += t->width_um();
+        ++count;
+    }
+    return width_sum * model.pitch_um +
+           static_cast<double>(count) * model.per_transistor + model.fixed;
+}
+
+} // namespace tfetsram::sram

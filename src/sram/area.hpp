@@ -1,0 +1,20 @@
+#pragma once
+// First-order cell area model: active width sets the diffusion area, plus
+// per-transistor contact/spacing overhead and fixed cell overhead (well
+// taps, wordline strap). Calibrated so the 7T cell of [14] lands 10-15 %
+// above the 6T cells, as its authors report.
+
+#include "sram/cell.hpp"
+
+namespace tfetsram::sram {
+
+struct AreaModel {
+    double pitch_um = 0.15;       ///< gate pitch contribution per um of width
+    double per_transistor = 0.05; ///< contacts/spacing [um^2]
+    double fixed = 0.45;          ///< taps/straps [um^2]
+};
+
+/// Area of a built cell in um^2, from its actual transistor widths.
+double cell_area(const SramCell& cell, const AreaModel& model = {});
+
+} // namespace tfetsram::sram

@@ -1,0 +1,100 @@
+#include "sram/assist.hpp"
+
+#include "util/contracts.hpp"
+
+namespace tfetsram::sram {
+
+bool is_write_assist(Assist a) {
+    switch (a) {
+    case Assist::kWaVddLowering:
+    case Assist::kWaGndRaising:
+    case Assist::kWaWordlineLowering:
+    case Assist::kWaBitlineRaising:
+        return true;
+    default:
+        return false;
+    }
+}
+
+bool is_read_assist(Assist a) {
+    switch (a) {
+    case Assist::kRaVddRaising:
+    case Assist::kRaGndLowering:
+    case Assist::kRaWordlineRaising:
+    case Assist::kRaBitlineLowering:
+        return true;
+    default:
+        return false;
+    }
+}
+
+const char* to_string(Assist a) {
+    switch (a) {
+    case Assist::kNone:
+        return "none";
+    case Assist::kWaVddLowering:
+        return "VDD lowering WA";
+    case Assist::kWaGndRaising:
+        return "GND raising WA";
+    case Assist::kWaWordlineLowering:
+        return "wordline lowering WA";
+    case Assist::kWaBitlineRaising:
+        return "bitline raising WA";
+    case Assist::kRaVddRaising:
+        return "VDD raising RA";
+    case Assist::kRaGndLowering:
+        return "GND lowering RA";
+    case Assist::kRaWordlineRaising:
+        return "wordline raising RA";
+    case Assist::kRaBitlineLowering:
+        return "bitline lowering RA";
+    }
+    return "?";
+}
+
+AssistLevels assist_levels(double vdd, double wl_active, Assist a,
+                           double fraction) {
+    TFET_EXPECTS(vdd > 0.0);
+    TFET_EXPECTS(fraction >= 0.0 && fraction < 1.0);
+    const double delta = fraction * vdd;
+    // Overdriving past the active level strengthens the access device;
+    // backing off toward the inactive level weakens it. For an active-low
+    // wordline (p-type access) "strengthen" means lower, matching the
+    // paper's naming of the techniques.
+    const bool active_low = wl_active < vdd / 2.0;
+    const double wl_strengthen = active_low ? wl_active - delta : wl_active + delta;
+    const double wl_weaken = active_low ? wl_active + delta : wl_active - delta;
+
+    AssistLevels lv{vdd, 0.0, wl_active, vdd, 0.0};
+    switch (a) {
+    case Assist::kNone:
+        break;
+    case Assist::kWaVddLowering:
+        lv.vdd = vdd - delta;
+        break;
+    case Assist::kWaGndRaising:
+        lv.vss = delta;
+        break;
+    case Assist::kWaWordlineLowering:
+        lv.wl_active = wl_strengthen;
+        break;
+    case Assist::kWaBitlineRaising:
+        lv.bl_high = vdd + delta;
+        break;
+    case Assist::kRaVddRaising:
+        lv.vdd = vdd + delta;
+        break;
+    case Assist::kRaGndLowering:
+        lv.vss = -delta;
+        break;
+    case Assist::kRaWordlineRaising:
+        lv.wl_active = wl_weaken;
+        break;
+    case Assist::kRaBitlineLowering:
+        lv.bl_high = vdd - delta;
+        break;
+    }
+    return lv;
+}
+
+} // namespace tfetsram::sram

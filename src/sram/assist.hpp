@@ -1,0 +1,67 @@
+#pragma once
+// The eight write-assist (WA) and read-assist (RA) techniques of Sec. 4.
+// Each technique perturbs one rail or line by a fixed fraction of VDD
+// (30 % in the paper) for the duration of the operation. Note the polarity
+// flip relative to CMOS practice: with p-type access transistors the
+// wordline is active-low, so "wordline lowering" strengthens the access
+// device (WA) and "wordline raising" weakens it (RA).
+
+#include <string>
+
+namespace tfetsram::sram {
+
+enum class Assist {
+    kNone,
+    // Write assists (Sec. 4.1).
+    kWaVddLowering,
+    kWaGndRaising,
+    kWaWordlineLowering,
+    kWaBitlineRaising,
+    // Read assists (Sec. 4.2).
+    kRaVddRaising,
+    kRaGndLowering,
+    kRaWordlineRaising,
+    kRaBitlineLowering,
+};
+
+/// All four write assists, in the paper's order.
+inline constexpr Assist kWriteAssists[] = {
+    Assist::kWaVddLowering,
+    Assist::kWaGndRaising,
+    Assist::kWaWordlineLowering,
+    Assist::kWaBitlineRaising,
+};
+
+/// All four read assists, in the paper's order.
+inline constexpr Assist kReadAssists[] = {
+    Assist::kRaVddRaising,
+    Assist::kRaGndLowering,
+    Assist::kRaWordlineRaising,
+    Assist::kRaBitlineLowering,
+};
+
+/// The paper's assist strength: 30 % of VDD.
+inline constexpr double kDefaultAssistFraction = 0.3;
+
+[[nodiscard]] bool is_write_assist(Assist a);
+[[nodiscard]] bool is_read_assist(Assist a);
+[[nodiscard]] const char* to_string(Assist a);
+
+/// Rail/line levels during an operation once an assist is applied.
+struct AssistLevels {
+    double vdd;       ///< cell supply during the operation
+    double vss;       ///< cell ground during the operation
+    double wl_active; ///< asserted wordline level
+    double bl_high;   ///< the high bitline level (write) / precharge (read)
+    double bl_low;    ///< the low bitline level during write
+};
+
+/// Compute the operation levels for a cell with nominal supply `vdd`,
+/// wordline active level `wl_active` (0 for p-type access, vdd for n-type),
+/// and assist `a` at strength `fraction` * vdd. Wordline assists resolve
+/// their polarity from wl_active: "strengthen" overdrives past the active
+/// level, "weaken" backs off toward the inactive level.
+AssistLevels assist_levels(double vdd, double wl_active, Assist a,
+                           double fraction);
+
+} // namespace tfetsram::sram

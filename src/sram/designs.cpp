@@ -1,0 +1,56 @@
+#include "sram/designs.hpp"
+
+namespace tfetsram::sram {
+
+DesignSpec proposed_design(double vdd, const device::ModelSet& models) {
+    DesignSpec d;
+    d.name = "6T inpTFET + GND-lowering RA";
+    d.config.kind = CellKind::kTfet6T;
+    d.config.access = AccessDevice::kInwardP;
+    d.config.vdd = vdd;
+    d.config.beta = 0.6; // sized for robust write (Sec. 4.3)
+    d.config.models = models;
+    d.read_assist = Assist::kRaGndLowering;
+    return d;
+}
+
+DesignSpec cmos_design(double vdd, const device::ModelSet& models) {
+    DesignSpec d;
+    d.name = "6T CMOS SRAM (32nm)";
+    d.config.kind = CellKind::kCmos6T;
+    d.config.access = AccessDevice::kCmos;
+    d.config.vdd = vdd;
+    d.config.beta = 1.5; // conventional read-stability sizing
+    d.config.models = models;
+    return d;
+}
+
+DesignSpec tfet7t_design(double vdd, const device::ModelSet& models) {
+    DesignSpec d;
+    d.name = "7T TFET SRAM [14]";
+    d.config.kind = CellKind::kTfet7T;
+    d.config.vdd = vdd;
+    d.config.beta = 0.8; // read is decoupled, so sizing can favor write
+    d.config.models = models;
+    return d;
+}
+
+DesignSpec asym6t_design(double vdd, const device::ModelSet& models) {
+    DesignSpec d;
+    d.name = "asym. 6T TFET SRAM [15]";
+    d.config.kind = CellKind::kTfetAsym6T;
+    d.config.vdd = vdd;
+    d.config.beta = 1.0;
+    d.config.models = models;
+    d.write_assist = Assist::kWaGndRaising; // built into the design
+    d.wlcrit_defined = false;               // no separatrix (Sec. 5)
+    return d;
+}
+
+std::vector<DesignSpec> comparison_designs(double vdd,
+                                           const device::ModelSet& models) {
+    return {proposed_design(vdd, models), cmos_design(vdd, models),
+            asym6t_design(vdd, models), tfet7t_design(vdd, models)};
+}
+
+} // namespace tfetsram::sram

@@ -1,0 +1,43 @@
+#pragma once
+// Named cell designs for the Sec. 5 comparison: the proposed 6T inpTFET
+// SRAM with GND-lowering RA, the 32 nm 6T CMOS baseline, the 7T TFET SRAM
+// [14], and the asymmetric 6T TFET SRAM [15].
+
+#include <string>
+#include <vector>
+
+#include "sram/assist.hpp"
+#include "sram/cell.hpp"
+
+namespace tfetsram::sram {
+
+/// A cell configuration plus the assists its operations use.
+struct DesignSpec {
+    std::string name;
+    CellConfig config;
+    Assist read_assist = Assist::kNone;
+    Assist write_assist = Assist::kNone;
+
+    /// WLcrit is undefined for designs without a write separatrix (the
+    /// asymmetric cell, per the paper's Fig. 12 note).
+    bool wlcrit_defined = true;
+};
+
+/// The paper's proposal: inward pTFET access, beta = 0.6 (sized for write),
+/// GND-lowering read assist.
+DesignSpec proposed_design(double vdd, const device::ModelSet& models);
+
+/// 32 nm 6T CMOS baseline.
+DesignSpec cmos_design(double vdd, const device::ModelSet& models);
+
+/// 7T TFET SRAM with separate read port [14].
+DesignSpec tfet7t_design(double vdd, const device::ModelSet& models);
+
+/// Asymmetric 6T TFET SRAM [15].
+DesignSpec asym6t_design(double vdd, const device::ModelSet& models);
+
+/// All four, in the paper's comparison order.
+std::vector<DesignSpec> comparison_designs(double vdd,
+                                           const device::ModelSet& models);
+
+} // namespace tfetsram::sram

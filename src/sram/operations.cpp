@@ -1,0 +1,249 @@
+#include "sram/operations.hpp"
+
+#include "spice/dc.hpp"
+#include "spice/solution.hpp"
+
+namespace tfetsram::sram {
+
+namespace {
+
+using spice::Waveform;
+
+/// Base level until t_on, ramp to `active` over `edge`, hold until t_off,
+/// ramp back. Collapses to DC when the levels coincide.
+Waveform excursion(double base, double active, double t_on, double t_off,
+                   double edge) {
+    if (base == active)
+        return Waveform::dc(base);
+    TFET_EXPECTS(t_off >= t_on + edge);
+    return Waveform::pwl({{t_on, base},
+                          {t_on + edge, active},
+                          {t_off, active},
+                          {t_off + edge, base}});
+}
+
+/// Hold level of the write bitlines for a topology: the 7T cell of [14]
+/// clamps its write bitlines low precisely to keep its outward access
+/// devices out of reverse bias.
+double bitline_hold_level(const SramCell& cell) {
+    return cell.config.kind == CellKind::kTfet7T ? 0.0 : cell.config.vdd;
+}
+
+/// Switch control that opens (1 -> 0) shortly before t_open.
+Waveform open_before(double t_open) {
+    const double lead = 4e-12;
+    TFET_EXPECTS(t_open > lead);
+    return Waveform::pwl({{t_open - lead, 1.0}, {t_open - lead / 2.0, 0.0}});
+}
+
+} // namespace
+
+bool preferred_write_value(CellKind kind) {
+    // The asymmetric cell's outward access device can only discharge q, so
+    // it writes 0 natively; every other topology is exercised writing 1.
+    return kind != CellKind::kTfetAsym6T;
+}
+
+void program_hold(SramCell& cell) {
+    const double vdd = cell.config.vdd;
+    cell.v_vdd->set_waveform(Waveform::dc(vdd));
+    cell.v_vss->set_waveform(Waveform::dc(0.0));
+    cell.v_wl->set_waveform(Waveform::dc(cell.wl_inactive_level()));
+    cell.v_bl->set_waveform(Waveform::dc(bitline_hold_level(cell)));
+    cell.v_blb->set_waveform(Waveform::dc(bitline_hold_level(cell)));
+    cell.sw_bl->set_control(Waveform::dc(1.0));
+    cell.sw_blb->set_control(Waveform::dc(1.0));
+    if (cell.config.kind == CellKind::kTfet7T) {
+        cell.v_rwl->set_waveform(Waveform::dc(vdd));
+        cell.v_rbl->set_waveform(Waveform::dc(vdd));
+        cell.sw_rbl->set_control(Waveform::dc(1.0));
+    }
+}
+
+OperationWindow program_write(SramCell& cell, bool value, double pulse_width,
+                              Assist assist, double fraction,
+                              const OperationTiming& timing) {
+    TFET_EXPECTS(pulse_width > 0.0);
+    TFET_EXPECTS(assist == Assist::kNone || is_write_assist(assist));
+    program_hold(cell);
+
+    const CellConfig& cfg = cell.config;
+    // The asymmetric cell of [15] has a raising write-assist built into its
+    // operation; writes always use it.
+    if (cfg.kind == CellKind::kTfetAsym6T && assist == Assist::kNone)
+        assist = Assist::kWaGndRaising;
+    if (cfg.kind == CellKind::kTfetAsym6T)
+        TFET_EXPECTS(value == preferred_write_value(cfg.kind));
+
+    const double wl_active = cell.wl_active_level();
+    const double wl_inactive = cell.wl_inactive_level();
+    const AssistLevels lv = assist_levels(cfg.vdd, wl_active, assist, fraction);
+
+    OperationWindow w;
+    const double ta_on = timing.t_settle;
+    w.wl_start = ta_on + timing.assist_edge + timing.assist_lead;
+    w.wl_mid = w.wl_start + timing.wl_edge / 2.0;
+    const double wl_fall_start = w.wl_start + timing.wl_edge + pulse_width;
+    w.wl_end = wl_fall_start + timing.wl_edge;
+    const double ta_off = w.wl_end + timing.assist_lag;
+    w.t_end = w.wl_end + timing.t_post;
+
+    cell.v_vdd->set_waveform(
+        excursion(cfg.vdd, lv.vdd, ta_on, ta_off, timing.assist_edge));
+    cell.v_vss->set_waveform(
+        excursion(0.0, lv.vss, ta_on, ta_off, timing.assist_edge));
+    cell.v_wl->set_waveform(
+        excursion(wl_inactive, lv.wl_active, w.wl_start, wl_fall_start,
+                  timing.wl_edge));
+
+    const double hold = bitline_hold_level(cell);
+    const double high_target = lv.bl_high;
+    const double low_target = lv.bl_low;
+    // Bitlines switch to write levels alongside the assist and return after.
+    if (value) {
+        cell.v_bl->set_waveform(
+            excursion(hold, high_target, ta_on, ta_off, timing.assist_edge));
+        cell.v_blb->set_waveform(
+            excursion(hold, low_target, ta_on, ta_off, timing.assist_edge));
+    } else {
+        cell.v_bl->set_waveform(
+            excursion(hold, low_target, ta_on, ta_off, timing.assist_edge));
+        cell.v_blb->set_waveform(
+            excursion(hold, high_target, ta_on, ta_off, timing.assist_edge));
+    }
+    return w;
+}
+
+ReadSetup program_read(SramCell& cell, double read_duration, Assist assist,
+                       double fraction, const OperationTiming& timing,
+                       bool float_bitlines) {
+    TFET_EXPECTS(read_duration > 0.0);
+    TFET_EXPECTS(assist == Assist::kNone || is_read_assist(assist));
+    program_hold(cell);
+
+    const CellConfig& cfg = cell.config;
+    const double wl_active = cell.wl_active_level();
+    const double wl_inactive = cell.wl_inactive_level();
+    const AssistLevels lv = assist_levels(cfg.vdd, wl_active, assist, fraction);
+
+    ReadSetup setup;
+    OperationWindow& w = setup.window;
+    const double ta_on = timing.t_settle;
+    w.wl_start = ta_on + timing.assist_edge + timing.assist_lead;
+    w.wl_mid = w.wl_start + timing.wl_edge / 2.0;
+    const double wl_fall_start = w.wl_start + timing.wl_edge + read_duration;
+    w.wl_end = wl_fall_start + timing.wl_edge;
+    const double ta_off = w.wl_end + timing.assist_lag;
+    w.t_end = w.wl_end + timing.t_post;
+
+    cell.v_vdd->set_waveform(
+        excursion(cfg.vdd, lv.vdd, ta_on, ta_off, timing.assist_edge));
+    cell.v_vss->set_waveform(
+        excursion(0.0, lv.vss, ta_on, ta_off, timing.assist_edge));
+
+    setup.precharge_level = lv.bl_high;
+
+    switch (cfg.kind) {
+    case CellKind::kCmos6T:
+    case CellKind::kTfet6T: {
+        cell.v_wl->set_waveform(excursion(wl_inactive, lv.wl_active,
+                                          w.wl_start, wl_fall_start,
+                                          timing.wl_edge));
+        // Both bitlines precharged (possibly to a lowered level per the
+        // bitline-lowering RA).
+        cell.v_bl->set_waveform(excursion(cfg.vdd, lv.bl_high, ta_on, ta_off,
+                                          timing.assist_edge));
+        cell.v_blb->set_waveform(excursion(cfg.vdd, lv.bl_high, ta_on, ta_off,
+                                           timing.assist_edge));
+        if (float_bitlines) {
+            cell.sw_bl->set_control(open_before(w.wl_start));
+            cell.sw_blb->set_control(open_before(w.wl_start));
+        }
+        // Disturb side: the node storing 0 gets pulled up through its
+        // access device. Initialize q = 0.
+        setup.q_high_init = false;
+        setup.disturb_node = cell.q;
+        setup.safe_node = cell.qb;
+        setup.sense_node = cell.bl;
+        break;
+    }
+    case CellKind::kTfet7T: {
+        // Write wordline stays off; the read wordline drops to turn on the
+        // read buffer's source path.
+        cell.v_rwl->set_waveform(excursion(cfg.vdd, 0.0, w.wl_start,
+                                           wl_fall_start, timing.wl_edge));
+        cell.v_rbl->set_waveform(excursion(cfg.vdd, lv.bl_high, ta_on, ta_off,
+                                           timing.assist_edge));
+        if (float_bitlines)
+            cell.sw_rbl->set_control(open_before(w.wl_start));
+        // qb = 1 turns the read buffer on; the storage nodes are decoupled,
+        // so the "disturb" node only sees capacitive kick.
+        setup.q_high_init = false;
+        setup.disturb_node = cell.q;
+        setup.safe_node = cell.qb;
+        setup.sense_node = cell.rbl;
+        break;
+    }
+    case CellKind::kTfetAsym6T: {
+        cell.v_wl->set_waveform(excursion(wl_inactive, lv.wl_active,
+                                          w.wl_start, wl_fall_start,
+                                          timing.wl_edge));
+        // Read through the inward device on BLB: it pulls qb (storing 0)
+        // up while BLB droops.
+        cell.v_blb->set_waveform(excursion(cfg.vdd, lv.bl_high, ta_on, ta_off,
+                                           timing.assist_edge));
+        if (float_bitlines)
+            cell.sw_blb->set_control(open_before(w.wl_start));
+        setup.q_high_init = true;
+        setup.disturb_node = cell.qb;
+        setup.safe_node = cell.q;
+        setup.sense_node = cell.blb;
+        break;
+    }
+    }
+    return setup;
+}
+
+HoldState solve_hold_state(SramCell& cell, bool q_high,
+                           const spice::SolverOptions& opts) {
+    HoldState hs;
+    const double vdd = cell.config.vdd;
+
+    // First let every rail settle from a cold start (the cell lands in an
+    // arbitrary state), then override the storage nodes with the intended
+    // state and re-solve inside that basin of attraction.
+    spice::DcResult d0 = spice::solve_dc(cell.circuit, opts, 0.0);
+    la::Vector guess = d0.converged
+                           ? d0.x
+                           : la::Vector(cell.circuit.num_unknowns(), 0.0);
+    TFET_ASSERT(cell.q >= 1 && cell.qb >= 1);
+    guess[cell.q - 1] = q_high ? vdd : 0.0;
+    guess[cell.qb - 1] = q_high ? 0.0 : vdd;
+
+    auto check = [&](const la::Vector& x) {
+        const double diff = spice::branch_voltage(x, cell.q, cell.qb);
+        return q_high ? diff > 0.4 * vdd : diff < -0.4 * vdd;
+    };
+
+    spice::DcResult d1 = spice::solve_dc(cell.circuit, opts, 0.0, &guess);
+    hs.converged = d1.converged;
+    hs.x = std::move(d1.x);
+    hs.state_ok = hs.converged && check(hs.x);
+
+    if (!hs.state_ok) {
+        // The Newton path can wander out of the intended basin into the
+        // metastable saddle. Retry with a tight update limit: small steps
+        // from the forced guess stay inside the basin.
+        spice::SolverOptions crawl = opts;
+        crawl.dv_limit = 0.05;
+        spice::DcResult d2 = spice::solve_dc(cell.circuit, crawl, 0.0, &guess);
+        if (d2.converged && check(d2.x)) {
+            hs.converged = true;
+            hs.x = std::move(d2.x);
+            hs.state_ok = true;
+        }
+    }
+    return hs;
+}
+
+} // namespace tfetsram::sram

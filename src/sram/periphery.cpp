@@ -1,0 +1,101 @@
+#include "sram/periphery.hpp"
+
+namespace tfetsram::sram {
+
+namespace {
+const spice::TransistorModelPtr& n_model(const PeripheryConfig& cfg) {
+    return cfg.tfet ? cfg.models.ntfet : cfg.models.nmos;
+}
+const spice::TransistorModelPtr& p_model(const PeripheryConfig& cfg) {
+    return cfg.tfet ? cfg.models.ptfet : cfg.models.pmos;
+}
+} // namespace
+
+Precharge attach_precharge(spice::Circuit& ckt, const std::string& prefix,
+                           spice::NodeId bl, spice::NodeId blb,
+                           spice::NodeId vdd, const PeripheryConfig& cfg) {
+    Precharge pre;
+    const spice::NodeId ctl = ckt.add_node(prefix + "pre");
+    pre.v_pre = &ckt.add_vsource(prefix + "Vpre", ctl, spice::kGround,
+                                 spice::Waveform::dc(cfg.vdd)); // idle off
+    const auto& p = p_model(cfg);
+    // Pull-ups: p devices conduct vdd -> bitline, exactly the direction a
+    // precharge needs, so a single device per line suffices.
+    ckt.add_transistor(prefix + "MPREL", p, bl, ctl, vdd, cfg.w_precharge);
+    ckt.add_transistor(prefix + "MPRER", p, blb, ctl, vdd, cfg.w_precharge);
+    // Equalizer: current must flow in whichever direction balances the
+    // pair, which one unidirectional TFET cannot do — hence the
+    // anti-parallel pair (a single device would equalize only one
+    // polarity of imbalance).
+    ckt.add_transistor(prefix + "MEQ1", p, blb, ctl, bl, cfg.w_precharge);
+    ckt.add_transistor(prefix + "MEQ2", p, bl, ctl, blb, cfg.w_precharge);
+    return pre;
+}
+
+WriteDriver attach_write_driver(spice::Circuit& ckt,
+                                const std::string& prefix, spice::NodeId bl,
+                                spice::NodeId blb, spice::NodeId vdd,
+                                const PeripheryConfig& cfg) {
+    WriteDriver drv;
+    const spice::NodeId data = ckt.add_node(prefix + "wdata");
+    const spice::NodeId datab = ckt.add_node(prefix + "wdatab");
+    const spice::NodeId en_n = ckt.add_node(prefix + "wen_n");
+    const spice::NodeId en_p = ckt.add_node(prefix + "wen_p");
+    drv.v_data = &ckt.add_vsource(prefix + "Vwdata", data, spice::kGround,
+                                  spice::Waveform::dc(0.0));
+    drv.v_datab = &ckt.add_vsource(prefix + "Vwdatab", datab, spice::kGround,
+                                   spice::Waveform::dc(cfg.vdd));
+    drv.v_en_n = &ckt.add_vsource(prefix + "Vwen_n", en_n, spice::kGround,
+                                  spice::Waveform::dc(0.0)); // idle off
+    drv.v_en_p = &ckt.add_vsource(prefix + "Vwen_p", en_p, spice::kGround,
+                                  spice::Waveform::dc(cfg.vdd)); // idle off
+
+    const auto& nm = n_model(cfg);
+    const auto& pm = p_model(cfg);
+    const double w = cfg.w_driver;
+
+    // Tri-state stage driving BL to `data` (gates see the complement).
+    auto stage = [&](const std::string& tag, spice::NodeId out,
+                     spice::NodeId gate) {
+        const spice::NodeId np = ckt.add_node(prefix + tag + "_p");
+        const spice::NodeId nn = ckt.add_node(prefix + tag + "_n");
+        // Pull-up: vdd -> np -> out, both p-type (conduct source->drain).
+        ckt.add_transistor(prefix + "MPUD" + tag, pm, np, gate, vdd, w);
+        ckt.add_transistor(prefix + "MPUE" + tag, pm, out, en_p, np, w);
+        // Pull-down: out -> nn -> gnd, both n-type (conduct drain->source).
+        ckt.add_transistor(prefix + "MPDE" + tag, nm, out, en_n, nn, w);
+        ckt.add_transistor(prefix + "MPDD" + tag, nm, nn, gate,
+                           spice::kGround, w);
+    };
+    stage("bl", bl, datab);
+    stage("blb", blb, data);
+    return drv;
+}
+
+SenseAmp attach_sense_amp(spice::Circuit& ckt, const std::string& prefix,
+                          spice::NodeId bl, spice::NodeId blb,
+                          spice::NodeId vdd, const PeripheryConfig& cfg) {
+    SenseAmp sa;
+    const spice::NodeId sae = ckt.add_node(prefix + "sae");
+    sa.tail = ckt.add_node(prefix + "satail");
+    sa.v_sae = &ckt.add_vsource(prefix + "Vsae", sae, spice::kGround,
+                                spice::Waveform::dc(0.0)); // idle off
+    const auto& nm = n_model(cfg);
+    const auto& pm = p_model(cfg);
+    TFET_EXPECTS(cfg.w_sense_skew > -1.0 && cfg.w_sense_skew < 1.0);
+    const double wl_side = cfg.w_sense * (1.0 + cfg.w_sense_skew);
+    const double wr_side = cfg.w_sense * (1.0 - cfg.w_sense_skew);
+    // Cross-coupled latch regenerating directly on the bitlines. A skewed
+    // left/right split models input offset: the stronger left pull-down
+    // biases the latch toward resolving BL low.
+    ckt.add_transistor(prefix + "MSNL", nm, bl, blb, sa.tail, wl_side);
+    ckt.add_transistor(prefix + "MSNR", nm, blb, bl, sa.tail, wr_side);
+    ckt.add_transistor(prefix + "MSPL", pm, bl, blb, vdd, wr_side);
+    ckt.add_transistor(prefix + "MSPR", pm, blb, bl, vdd, wl_side);
+    // Footer: releases the latch when the sense enable rises.
+    ckt.add_transistor(prefix + "MSFT", nm, sa.tail, sae, spice::kGround,
+                       2.0 * cfg.w_sense);
+    return sa;
+}
+
+} // namespace tfetsram::sram

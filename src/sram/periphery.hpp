@@ -1,0 +1,68 @@
+#pragma once
+// Transistor-level bitline periphery: precharge/equalize network,
+// tri-state write driver, and a latch-type sense amplifier. These replace
+// the ideal switches of the cell-level metrics when a full read/write
+// path is simulated, and they surface a periphery-specific consequence of
+// TFET unidirectionality: a single pass device cannot equalize two
+// bitlines (current must flow either way), so the equalizer needs an
+// anti-parallel pair.
+
+#include "device/models.hpp"
+#include "spice/circuit.hpp"
+
+namespace tfetsram::sram {
+
+/// Periphery device sizing and technology.
+struct PeripheryConfig {
+    double vdd = 0.8;
+    double w_precharge = 2.0;  ///< precharge device width [um]
+    double w_driver = 8.0;     ///< write-driver width [um] — TFET drivers must
+                               ///  be wide or the bitline sags under the
+                               ///  cell current and the steep access
+                               ///  transfer cancels the write
+    double w_sense = 1.0;      ///< sense-amp latch width [um]
+    /// Relative width mismatch of the latch halves, emulating the input
+    /// offset of a real sense amplifier (a 1+skew / 1-skew split). The
+    /// skewed latch needs a minimum input differential to resolve
+    /// correctly, which is what sense-timing studies measure.
+    double w_sense_skew = 0.0;
+    bool tfet = true;          ///< TFET periphery (else CMOS)
+    device::ModelSet models;
+};
+
+/// Precharge-and-equalize network on a bitline pair. The control is
+/// active-low (like the p-type devices implementing it): drive `v_pre` to
+/// 0 to precharge, to vdd to release.
+struct Precharge {
+    spice::VoltageSource* v_pre = nullptr;
+};
+Precharge attach_precharge(spice::Circuit& ckt, const std::string& prefix,
+                           spice::NodeId bl, spice::NodeId blb,
+                           spice::NodeId vdd, const PeripheryConfig& cfg);
+
+/// Tri-state write driver pair: drives (bl, blb) to (data, !data) while
+/// enabled, high-impedance otherwise. Drive `v_data` with the datum and
+/// the enables via `v_en_n` (active high) / `v_en_p` (active low).
+struct WriteDriver {
+    spice::VoltageSource* v_data = nullptr;  ///< data rail for BL (BLB gets the complement internally)
+    spice::VoltageSource* v_datab = nullptr;
+    spice::VoltageSource* v_en_n = nullptr;  ///< pull-down enable (high = on)
+    spice::VoltageSource* v_en_p = nullptr;  ///< pull-up enable (low = on)
+};
+WriteDriver attach_write_driver(spice::Circuit& ckt,
+                                const std::string& prefix, spice::NodeId bl,
+                                spice::NodeId blb, spice::NodeId vdd,
+                                const PeripheryConfig& cfg);
+
+/// Latch-type sense amplifier regenerating directly on the bitline pair:
+/// cross-coupled inverters whose foot is released by the sense enable.
+/// Drive `v_sae` high to fire (the footer is n-type).
+struct SenseAmp {
+    spice::VoltageSource* v_sae = nullptr;
+    spice::NodeId tail = 0; ///< common source node of the latch pull-downs
+};
+SenseAmp attach_sense_amp(spice::Circuit& ckt, const std::string& prefix,
+                          spice::NodeId bl, spice::NodeId blb,
+                          spice::NodeId vdd, const PeripheryConfig& cfg);
+
+} // namespace tfetsram::sram

@@ -1,0 +1,38 @@
+#pragma once
+// Static noise margin (butterfly) analysis — the classical alternative to
+// the paper's dynamic DRNM/WLcrit metrics (the paper argues its dynamic
+// approach "captures the dynamic behavior ... and hence is more accurate",
+// Sec. 3). Provided as an extension so both methodologies can be compared
+// on the same cells.
+//
+// Method: break the feedback loop and trace both voltage-transfer curves
+// by clamping one storage node and solving DC for the other; the SNM is
+// the side of the largest square that fits inside each lobe of the
+// butterfly, computed in the standard 45-degree rotated frame.
+
+#include "sram/cell.hpp"
+#include "spice/solver_options.hpp"
+
+namespace tfetsram::sram {
+
+/// Bias condition for the SNM measurement.
+enum class SnmMode {
+    kHold, ///< wordline inactive, bitlines at their hold levels
+    kRead, ///< wordline active, bitlines precharged (read disturb included)
+};
+
+struct SnmResult {
+    double snm = 0.0;      ///< min of the two lobes [V]
+    double lobe_high = 0.0; ///< square in the upper-left lobe [V]
+    double lobe_low = 0.0;  ///< square in the lower-right lobe [V]
+    bool valid = false;
+};
+
+/// Compute the static noise margin of the cell's storage loop under the
+/// given bias mode. `config` is copied; the probe circuits are built
+/// internally. `points` controls the VTC sweep resolution.
+SnmResult static_noise_margin(const CellConfig& config, SnmMode mode,
+                              std::size_t points = 81,
+                              const spice::SolverOptions& opts = {});
+
+} // namespace tfetsram::sram

@@ -1,0 +1,45 @@
+#pragma once
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects()", I.8 "Prefer Ensures()"). Violations throw so that
+// tests can observe them; they are never compiled out because every caller of
+// this library is an offline analysis tool where correctness dominates speed.
+
+#include <stdexcept>
+#include <string>
+
+namespace tfetsram {
+
+/// Thrown when a precondition is violated.
+class contract_violation : public std::logic_error {
+public:
+    explicit contract_violation(const std::string& what_arg)
+        : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+    throw contract_violation(std::string(kind) + " failed: " + expr + " at " +
+                             file + ":" + std::to_string(line));
+}
+} // namespace detail
+
+} // namespace tfetsram
+
+/// Precondition check: argument/state requirements at function entry.
+#define TFET_EXPECTS(cond)                                                      \
+    ((cond) ? static_cast<void>(0)                                              \
+            : ::tfetsram::detail::contract_fail("precondition", #cond,          \
+                                                __FILE__, __LINE__))
+
+/// Postcondition check: guarantees at function exit.
+#define TFET_ENSURES(cond)                                                      \
+    ((cond) ? static_cast<void>(0)                                              \
+            : ::tfetsram::detail::contract_fail("postcondition", #cond,         \
+                                                __FILE__, __LINE__))
+
+/// Internal invariant check.
+#define TFET_ASSERT(cond)                                                       \
+    ((cond) ? static_cast<void>(0)                                              \
+            : ::tfetsram::detail::contract_fail("invariant", #cond,             \
+                                                __FILE__, __LINE__))

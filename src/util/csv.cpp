@@ -1,0 +1,46 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace tfetsram {
+
+std::string csv_escape(const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+    if (!out_)
+        throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0)
+            out_ << ',';
+        out_ << csv_escape(cells[i]);
+    }
+    out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0)
+            out_ << ',';
+        out_ << format_sci(cells[i], 8);
+    }
+    out_ << '\n';
+}
+
+} // namespace tfetsram

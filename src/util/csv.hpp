@@ -1,0 +1,26 @@
+#pragma once
+// Minimal CSV writer so benchmark sweeps can be exported for plotting.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace tfetsram {
+
+/// Streams rows to a CSV file. Cells containing commas/quotes are quoted.
+class CsvWriter {
+public:
+    /// Opens (truncates) the file; throws std::runtime_error on failure.
+    explicit CsvWriter(const std::string& path);
+
+    void write_row(const std::vector<std::string>& cells);
+    void write_row(const std::vector<double>& cells);
+
+private:
+    std::ofstream out_;
+};
+
+/// Escape one CSV cell (exposed for testing).
+std::string csv_escape(const std::string& cell);
+
+} // namespace tfetsram

@@ -1,0 +1,103 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/contracts.hpp"
+#include "util/units.hpp"
+
+namespace tfetsram {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+    TFET_EXPECTS(bins >= 1);
+    TFET_EXPECTS(hi > lo);
+}
+
+void Histogram::add(double x) {
+    ++total_;
+    if (!std::isfinite(x)) {
+        ++n_nonfinite_;
+        return;
+    }
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    auto bin = static_cast<std::size_t>((x - lo_) / width);
+    bin = std::min(bin, counts_.size() - 1);
+    ++counts_[bin];
+}
+
+void Histogram::add(std::span<const double> xs) {
+    for (double x : xs)
+        add(x);
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+    TFET_EXPECTS(bin < counts_.size());
+    return counts_[bin];
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+    TFET_EXPECTS(bin < counts_.size());
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + width * (static_cast<double>(bin) + 0.5);
+}
+
+std::string Histogram::render(std::size_t bar_width) const {
+    std::size_t max_count = 1;
+    for (std::size_t c : counts_)
+        max_count = std::max(max_count, c);
+
+    std::ostringstream os;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const std::size_t len =
+            counts_[i] * bar_width / max_count;
+        os << format_si(bin_center(i), "") << " | ";
+        os.width(5);
+        os << counts_[i] << " | " << std::string(len, '#') << '\n';
+    }
+    if (underflow_ > 0)
+        os << "(underflow: " << underflow_ << ")\n";
+    if (overflow_ > 0)
+        os << "(overflow: " << overflow_ << ")\n";
+    if (n_nonfinite_ > 0)
+        os << "(non-finite, e.g. write failure: " << n_nonfinite_ << ")\n";
+    return os.str();
+}
+
+Histogram Histogram::of(std::span<const double> xs, std::size_t bins) {
+    double lo = 0.0;
+    double hi = 1.0;
+    bool seen = false;
+    for (double x : xs) {
+        if (!std::isfinite(x))
+            continue;
+        if (!seen) {
+            lo = hi = x;
+            seen = true;
+        } else {
+            lo = std::min(lo, x);
+            hi = std::max(hi, x);
+        }
+    }
+    if (!seen || hi <= lo) {
+        hi = lo + 1.0;
+    } else {
+        // pad so the max sample lands inside the top bin
+        const double pad = (hi - lo) * 1e-6 + 1e-300;
+        hi += pad;
+    }
+    Histogram h(lo, hi, bins);
+    h.add(xs);
+    return h;
+}
+
+} // namespace tfetsram

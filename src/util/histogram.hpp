@@ -1,0 +1,48 @@
+#pragma once
+// Fixed-bin histogram with an ASCII rendering, used to reproduce the
+// Monte-Carlo occurrence plots of the paper (Figs. 9 and 10).
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tfetsram {
+
+/// A histogram over [lo, hi) with uniform bins. Out-of-range samples are
+/// counted in underflow/overflow; non-finite samples in n_nonfinite.
+class Histogram {
+public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+    void add(std::span<const double> xs);
+
+    [[nodiscard]] double lo() const { return lo_; }
+    [[nodiscard]] double hi() const { return hi_; }
+    [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+    [[nodiscard]] std::size_t count(std::size_t bin) const;
+    [[nodiscard]] std::size_t underflow() const { return underflow_; }
+    [[nodiscard]] std::size_t overflow() const { return overflow_; }
+    [[nodiscard]] std::size_t nonfinite() const { return n_nonfinite_; }
+    [[nodiscard]] std::size_t total() const { return total_; }
+
+    /// Center of a bin.
+    [[nodiscard]] double bin_center(std::size_t bin) const;
+
+    /// Render as rows of "center | count | bar" suitable for console output.
+    [[nodiscard]] std::string render(std::size_t bar_width = 50) const;
+
+    /// Convenience: build a histogram spanning the finite sample range.
+    static Histogram of(std::span<const double> xs, std::size_t bins);
+
+private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t underflow_ = 0;
+    std::size_t overflow_ = 0;
+    std::size_t n_nonfinite_ = 0;
+    std::size_t total_ = 0;
+};
+
+} // namespace tfetsram

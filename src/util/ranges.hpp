@@ -1,0 +1,47 @@
+#pragma once
+// Numeric range helpers used by sweeps throughout the library.
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace tfetsram {
+
+/// n evenly spaced points from lo to hi inclusive. n >= 2, or n == 1 (-> {lo}).
+inline std::vector<double> linspace(double lo, double hi, std::size_t n) {
+    TFET_EXPECTS(n >= 1);
+    std::vector<double> v;
+    v.reserve(n);
+    if (n == 1) {
+        v.push_back(lo);
+        return v;
+    }
+    const double step = (hi - lo) / static_cast<double>(n - 1);
+    for (std::size_t i = 0; i < n; ++i)
+        v.push_back(lo + step * static_cast<double>(i));
+    v.back() = hi; // exact endpoint despite rounding
+    return v;
+}
+
+/// n logarithmically spaced points from lo to hi inclusive (lo, hi > 0).
+inline std::vector<double> logspace(double lo, double hi, std::size_t n) {
+    TFET_EXPECTS(lo > 0.0 && hi > 0.0);
+    std::vector<double> v = linspace(std::log10(lo), std::log10(hi), n);
+    for (double& x : v)
+        x = std::pow(10.0, x);
+    return v;
+}
+
+/// Inclusive arithmetic progression lo, lo+step, ... <= hi (+ tolerance).
+inline std::vector<double> arange(double lo, double hi, double step) {
+    TFET_EXPECTS(step > 0.0);
+    std::vector<double> v;
+    const double tol = step * 1e-9;
+    for (double x = lo; x <= hi + tol; x += step)
+        v.push_back(x);
+    return v;
+}
+
+} // namespace tfetsram

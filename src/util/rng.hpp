@@ -1,0 +1,59 @@
+#pragma once
+// Deterministic random number generation for Monte-Carlo studies. A thin,
+// seed-explicit wrapper over std::mt19937_64 so every experiment is
+// reproducible from a single integer.
+
+#include <cstdint>
+#include <random>
+
+#include "util/contracts.hpp"
+
+namespace tfetsram {
+
+/// Seedable RNG with the distributions the Monte-Carlo engine needs.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) {
+        TFET_EXPECTS(hi >= lo);
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /// Normal with the given mean and standard deviation.
+    double normal(double mean, double stddev) {
+        TFET_EXPECTS(stddev >= 0.0);
+        if (stddev == 0.0)
+            return mean;
+        return std::normal_distribution<double>(mean, stddev)(engine_);
+    }
+
+    /// Normal truncated to [mean - bound, mean + bound] by resampling.
+    /// Used for "controlled to within +/-5 %" style process windows.
+    double truncated_normal(double mean, double stddev, double bound) {
+        TFET_EXPECTS(bound > 0.0);
+        if (stddev == 0.0)
+            return mean;
+        for (int i = 0; i < 1000; ++i) {
+            const double x = normal(mean, stddev);
+            if (x >= mean - bound && x <= mean + bound)
+                return x;
+        }
+        return mean; // pathological stddev/bound ratio; fall back to mean
+    }
+
+    /// Uniform integer in [0, n).
+    std::uint64_t index(std::uint64_t n) {
+        TFET_EXPECTS(n > 0);
+        return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_);
+    }
+
+    /// Fork a statistically independent child stream (for per-sample RNGs).
+    Rng fork() { return Rng(engine_()); }
+
+private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace tfetsram

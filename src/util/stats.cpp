@@ -1,0 +1,67 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace tfetsram {
+
+namespace {
+std::vector<double> finite_sorted(std::span<const double> samples) {
+    std::vector<double> v;
+    v.reserve(samples.size());
+    for (double x : samples)
+        if (std::isfinite(x))
+            v.push_back(x);
+    std::sort(v.begin(), v.end());
+    return v;
+}
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+    TFET_EXPECTS(q >= 0.0 && q <= 1.0);
+    if (sorted.empty())
+        return 0.0;
+    if (sorted.size() == 1)
+        return sorted.front();
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= sorted.size())
+        return sorted.back();
+    return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+} // namespace
+
+SampleSummary summarize(std::span<const double> samples) {
+    SampleSummary s;
+    const std::vector<double> v = finite_sorted(samples);
+    s.n_infinite = samples.size() - v.size();
+    s.count = v.size();
+    if (v.empty())
+        return s;
+
+    double sum = 0.0;
+    for (double x : v)
+        sum += x;
+    s.mean = sum / static_cast<double>(v.size());
+
+    double ss = 0.0;
+    for (double x : v)
+        ss += (x - s.mean) * (x - s.mean);
+    s.stddev = v.size() > 1
+                   ? std::sqrt(ss / static_cast<double>(v.size() - 1))
+                   : 0.0;
+    s.min = v.front();
+    s.max = v.back();
+    s.median = percentile_sorted(v, 0.5);
+    s.p05 = percentile_sorted(v, 0.05);
+    s.p95 = percentile_sorted(v, 0.95);
+    return s;
+}
+
+double percentile(std::span<const double> samples, double q) {
+    return percentile_sorted(finite_sorted(samples), q);
+}
+
+} // namespace tfetsram

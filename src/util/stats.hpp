@@ -1,0 +1,29 @@
+#pragma once
+// Descriptive statistics over samples produced by Monte-Carlo runs.
+
+#include <span>
+#include <vector>
+
+namespace tfetsram {
+
+/// Summary statistics of a sample set. Produced by summarize().
+struct SampleSummary {
+    std::size_t count = 0;   ///< number of finite samples
+    std::size_t n_infinite = 0; ///< samples that were +/-inf (e.g. write failures)
+    double mean = 0.0;
+    double stddev = 0.0;     ///< sample standard deviation (n-1 denominator)
+    double min = 0.0;
+    double max = 0.0;
+    double median = 0.0;
+    double p05 = 0.0;        ///< 5th percentile
+    double p95 = 0.0;        ///< 95th percentile
+};
+
+/// Compute summary statistics. Non-finite samples are counted separately and
+/// excluded from the moments; an all-non-finite input yields count == 0.
+SampleSummary summarize(std::span<const double> samples);
+
+/// Linear-interpolated percentile (q in [0,1]) of the finite samples.
+double percentile(std::span<const double> samples, double q);
+
+} // namespace tfetsram

@@ -1,0 +1,48 @@
+#include "util/table_printer.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace tfetsram {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+    TFET_EXPECTS(!header_.empty());
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+    TFET_EXPECTS(row.size() == header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::render() const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit = [&](std::ostringstream& os, const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    std::ostringstream os;
+    emit(os, header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_)
+        emit(os, row);
+    return os.str();
+}
+
+} // namespace tfetsram

@@ -1,0 +1,30 @@
+#pragma once
+// Aligned console tables: every benchmark prints the rows/series of the
+// corresponding paper table or figure through this one facility, so the
+// output format is uniform across the harness.
+
+#include <string>
+#include <vector>
+
+namespace tfetsram {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class TablePrinter {
+public:
+    explicit TablePrinter(std::vector<std::string> header);
+
+    /// Append a row; must have the same number of cells as the header.
+    void add_row(std::vector<std::string> row);
+
+    /// Number of data rows added so far.
+    [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+    /// Render with a header underline and two-space column gaps.
+    [[nodiscard]] std::string render() const;
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace tfetsram

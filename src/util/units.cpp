@@ -1,0 +1,44 @@
+#include "util/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tfetsram {
+
+std::string format_si(double x, const std::string& unit) {
+    if (std::isnan(x))
+        return "nan";
+    if (std::isinf(x))
+        return (x > 0 ? "inf" : "-inf") + (unit.empty() ? "" : " " + unit);
+    if (x == 0.0)
+        return "0" + (unit.empty() ? "" : " " + unit);
+
+    static const struct {
+        double scale;
+        const char* prefix;
+    } prefixes[] = {
+        {1e18, "E"}, {1e15, "P"}, {1e12, "T"}, {1e9, "G"},  {1e6, "M"},
+        {1e3, "k"},  {1.0, ""},   {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"},
+        {1e-12, "p"}, {1e-15, "f"}, {1e-18, "a"}, {1e-21, "z"}, {1e-24, "y"},
+    };
+
+    const double mag = std::fabs(x);
+    for (const auto& p : prefixes) {
+        if (mag >= p.scale * 0.9995) {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%.3g %s%s", x / p.scale, p.prefix,
+                          unit.c_str());
+            return buf;
+        }
+    }
+    // Smaller than the smallest prefix: fall back to scientific notation.
+    return format_sci(x) + (unit.empty() ? "" : " " + unit);
+}
+
+std::string format_sci(double x, int digits) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", digits, x);
+    return buf;
+}
+
+} // namespace tfetsram

@@ -1,0 +1,16 @@
+#pragma once
+// Engineering-notation formatting for console reports ("45.2 ps", "1.3 fA").
+
+#include <string>
+
+namespace tfetsram {
+
+/// Format x with an SI prefix and optional unit, e.g. format_si(4.5e-11, "s")
+/// == "45 ps". Non-finite values render as "inf"/"nan". Values of exactly 0
+/// render as "0 <unit>".
+std::string format_si(double x, const std::string& unit);
+
+/// Format x in scientific notation with the given significant digits.
+std::string format_sci(double x, int digits = 3);
+
+} // namespace tfetsram

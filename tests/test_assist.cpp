@@ -1,0 +1,110 @@
+// Assist-technique tests: classification, level computation for both
+// wordline polarities, and the paper's 30 % convention.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "sram/assist.hpp"
+
+#include "util/contracts.hpp"
+
+namespace tfetsram::sram {
+namespace {
+
+TEST(Assist, Classification) {
+    for (Assist a : kWriteAssists) {
+        EXPECT_TRUE(is_write_assist(a));
+        EXPECT_FALSE(is_read_assist(a));
+    }
+    for (Assist a : kReadAssists) {
+        EXPECT_TRUE(is_read_assist(a));
+        EXPECT_FALSE(is_write_assist(a));
+    }
+    EXPECT_FALSE(is_write_assist(Assist::kNone));
+    EXPECT_FALSE(is_read_assist(Assist::kNone));
+}
+
+TEST(Assist, NamesAreDistinct) {
+    std::set<std::string> names;
+    names.insert(to_string(Assist::kNone));
+    for (Assist a : kWriteAssists)
+        names.insert(to_string(a));
+    for (Assist a : kReadAssists)
+        names.insert(to_string(a));
+    EXPECT_EQ(names.size(), 9u);
+}
+
+TEST(AssistLevels, NoneLeavesNominal) {
+    const AssistLevels lv = assist_levels(0.8, 0.0, Assist::kNone, 0.3);
+    EXPECT_DOUBLE_EQ(lv.vdd, 0.8);
+    EXPECT_DOUBLE_EQ(lv.vss, 0.0);
+    EXPECT_DOUBLE_EQ(lv.wl_active, 0.0);
+    EXPECT_DOUBLE_EQ(lv.bl_high, 0.8);
+    EXPECT_DOUBLE_EQ(lv.bl_low, 0.0);
+}
+
+TEST(AssistLevels, RailAssists) {
+    EXPECT_DOUBLE_EQ(
+        assist_levels(0.8, 0.0, Assist::kWaVddLowering, 0.3).vdd, 0.56);
+    EXPECT_DOUBLE_EQ(
+        assist_levels(0.8, 0.0, Assist::kWaGndRaising, 0.3).vss, 0.24);
+    EXPECT_DOUBLE_EQ(
+        assist_levels(0.8, 0.0, Assist::kRaVddRaising, 0.3).vdd,
+        0.8 + 0.24);
+    EXPECT_DOUBLE_EQ(
+        assist_levels(0.8, 0.0, Assist::kRaGndLowering, 0.3).vss, -0.24);
+}
+
+TEST(AssistLevels, BitlineAssists) {
+    EXPECT_DOUBLE_EQ(
+        assist_levels(0.8, 0.0, Assist::kWaBitlineRaising, 0.3).bl_high,
+        0.8 + 0.24);
+    EXPECT_DOUBLE_EQ(
+        assist_levels(0.8, 0.0, Assist::kRaBitlineLowering, 0.3).bl_high,
+        0.56);
+}
+
+TEST(AssistLevels, WordlinePolarityActiveLow) {
+    // p-type access: active-low wordline. "Lowering" strengthens (below
+    // ground), "raising" weakens (toward VDD) — the paper's Sec. 4 naming.
+    const AssistLevels wa =
+        assist_levels(0.8, 0.0, Assist::kWaWordlineLowering, 0.3);
+    EXPECT_DOUBLE_EQ(wa.wl_active, -0.24);
+    const AssistLevels ra =
+        assist_levels(0.8, 0.0, Assist::kRaWordlineRaising, 0.3);
+    EXPECT_DOUBLE_EQ(ra.wl_active, 0.24);
+}
+
+TEST(AssistLevels, WordlinePolarityActiveHigh) {
+    // n-type access: the same techniques overdrive above VDD / back off
+    // below it (the paper notes CMOS uses WL raising to assist writes).
+    const AssistLevels wa =
+        assist_levels(0.8, 0.8, Assist::kWaWordlineLowering, 0.3);
+    EXPECT_DOUBLE_EQ(wa.wl_active, 0.8 + 0.24);
+    const AssistLevels ra =
+        assist_levels(0.8, 0.8, Assist::kRaWordlineRaising, 0.3);
+    EXPECT_DOUBLE_EQ(ra.wl_active, 0.56);
+}
+
+TEST(AssistLevels, FractionScales) {
+    const AssistLevels lv10 =
+        assist_levels(0.8, 0.0, Assist::kWaVddLowering, 0.1);
+    const AssistLevels lv50 =
+        assist_levels(0.8, 0.0, Assist::kWaVddLowering, 0.5);
+    EXPECT_NEAR(lv10.vdd, 0.72, 1e-12);
+    EXPECT_NEAR(lv50.vdd, 0.40, 1e-12);
+}
+
+TEST(AssistLevels, RejectsBadInputs) {
+    EXPECT_THROW(assist_levels(0.0, 0.0, Assist::kNone, 0.3),
+                 contract_violation);
+    EXPECT_THROW(assist_levels(0.8, 0.0, Assist::kNone, 1.0),
+                 contract_violation);
+    EXPECT_THROW(assist_levels(0.8, 0.0, Assist::kNone, -0.1),
+                 contract_violation);
+}
+
+} // namespace
+} // namespace tfetsram::sram

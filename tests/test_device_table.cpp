@@ -1,0 +1,215 @@
+// Lookup-table model tests: grid interpolation exactness, asinh round trip,
+// fidelity of the tabulated model against its analytic source across the
+// full 13-decade current range, and derivative continuity.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/grid2d.hpp"
+#include "device/models.hpp"
+#include "device/table_builder.hpp"
+#include "util/rng.hpp"
+
+namespace tfetsram::device {
+namespace {
+
+TEST(Grid2d, ReproducesLinearSurfaceExactly) {
+    // Catmull-Rom reproduces polynomials up to cubic; a plane is trivial.
+    Grid2d g(0.0, 1.0, 6, 0.0, 2.0, 6);
+    for (std::size_t iy = 0; iy < g.ny(); ++iy)
+        for (std::size_t ix = 0; ix < g.nx(); ++ix)
+            g.at(ix, iy) = 2.0 * g.x_at(ix) - 3.0 * g.y_at(iy) + 1.0;
+
+    Rng rng(5);
+    for (int i = 0; i < 50; ++i) {
+        const double x = rng.uniform(0.0, 1.0);
+        const double y = rng.uniform(0.0, 2.0);
+        const Grid2d::Sample s = g.eval(x, y);
+        EXPECT_NEAR(s.f, 2.0 * x - 3.0 * y + 1.0, 1e-12);
+        EXPECT_NEAR(s.fx, 2.0, 1e-9);
+        EXPECT_NEAR(s.fy, -3.0, 1e-9);
+    }
+}
+
+TEST(Grid2d, InterpolatesNodesExactly) {
+    Grid2d g(-1.0, 1.0, 8, -1.0, 1.0, 8);
+    for (std::size_t iy = 0; iy < g.ny(); ++iy)
+        for (std::size_t ix = 0; ix < g.nx(); ++ix)
+            g.at(ix, iy) = std::sin(3.0 * g.x_at(ix)) * g.y_at(iy);
+    for (std::size_t iy = 1; iy + 1 < g.ny(); ++iy)
+        for (std::size_t ix = 1; ix + 1 < g.nx(); ++ix) {
+            const Grid2d::Sample s = g.eval(g.x_at(ix), g.y_at(iy));
+            EXPECT_NEAR(s.f, g.at(ix, iy), 1e-12);
+        }
+}
+
+TEST(Grid2d, ContinuousAcrossCellBoundaries) {
+    Grid2d g(0.0, 1.0, 11, 0.0, 1.0, 11);
+    for (std::size_t iy = 0; iy < g.ny(); ++iy)
+        for (std::size_t ix = 0; ix < g.nx(); ++ix)
+            g.at(ix, iy) = std::exp(g.x_at(ix)) * std::cos(g.y_at(iy));
+    const double eps = 1e-10;
+    // Value and gradient continuity at an interior node boundary.
+    const double xb = g.x_at(5);
+    const Grid2d::Sample lo = g.eval(xb - eps, 0.37);
+    const Grid2d::Sample hi = g.eval(xb + eps, 0.37);
+    EXPECT_NEAR(lo.f, hi.f, 1e-8);
+    EXPECT_NEAR(lo.fx, hi.fx, 1e-5);
+    EXPECT_NEAR(lo.fy, hi.fy, 1e-5);
+}
+
+TEST(Grid2d, LinearExtensionOutsideDomain) {
+    Grid2d g(0.0, 1.0, 6, 0.0, 1.0, 6);
+    for (std::size_t iy = 0; iy < g.ny(); ++iy)
+        for (std::size_t ix = 0; ix < g.nx(); ++ix)
+            g.at(ix, iy) = 5.0 * g.x_at(ix);
+    const Grid2d::Sample s = g.eval(2.0, 0.5); // 1.0 beyond the edge
+    EXPECT_NEAR(s.f, 10.0, 1e-9);
+    EXPECT_NEAR(s.fx, 5.0, 1e-9);
+    EXPECT_TRUE(std::isfinite(g.eval(100.0, -50.0).f));
+}
+
+TEST(Grid2d, RejectsTinyGrids) {
+    EXPECT_THROW(Grid2d(0.0, 1.0, 3, 0.0, 1.0, 8), contract_violation);
+}
+
+TEST(DeviceTable, OutputShapeOddAndSmooth) {
+    const DeviceTable t("t", TableSpec{});
+    const auto p = t.output_shape(0.3);
+    const auto m = t.output_shape(-0.3);
+    EXPECT_NEAR(p.f, -m.f, 1e-15);
+    EXPECT_NEAR(p.df, m.df, 1e-15);
+    const auto z = t.output_shape(0.0);
+    EXPECT_NEAR(z.f, 0.0, 1e-15);
+    EXPECT_NEAR(z.df, 1.0 / t.spec().v_out, 1e-12);
+}
+
+TEST(DeviceTable, MatchesAnalyticAcrossDecades) {
+    // The output-function factorization keeps the stored surface smooth, so
+    // the reconstruction tracks the source to a few percent across the
+    // full 13-decade range INCLUDING the zero crossing at vds = 0.
+    const auto analytic = make_ntfet();
+    const auto table = build_table(*analytic);
+    Rng rng(17);
+    for (int k = 0; k < 400; ++k) {
+        const double vgs = rng.uniform(-1.2, 1.2);
+        const double vds = rng.uniform(-1.2, 1.2);
+        const double ia = analytic->iv(vgs, vds).ids;
+        const double it = table->iv(vgs, vds).ids;
+        EXPECT_NEAR(it, ia, std::fabs(ia) * 0.05 + 1e-19)
+            << "vgs=" << vgs << " vds=" << vds;
+    }
+}
+
+TEST(DeviceTable, AccurateInsideTheFirstVdsCell) {
+    // The historical failure mode: currents within one grid cell of
+    // vds = 0 were underestimated by many orders. Now they reconstruct to
+    // a few percent.
+    const auto analytic = make_ntfet();
+    const auto table = build_table(*analytic);
+    Rng rng(19);
+    for (int k = 0; k < 200; ++k) {
+        const double vgs = rng.uniform(0.0, 1.2);
+        const double vds = rng.uniform(-0.01, 0.01);
+        const double ia = analytic->iv(vgs, vds).ids;
+        const double it = table->iv(vgs, vds).ids;
+        EXPECT_NEAR(it, ia, std::fabs(ia) * 0.08 + 1e-19)
+            << "vgs=" << vgs << " vds=" << vds;
+    }
+}
+
+TEST(DeviceTable, DerivativesConsistentWithReconstruction) {
+    // Newton correctness requirement: gm/gds must be the exact derivatives
+    // of the interpolated current surface.
+    const auto table = build_table(*make_ntfet());
+    Rng rng(23);
+    for (int k = 0; k < 150; ++k) {
+        const double vgs = rng.uniform(-1.0, 1.0);
+        const double vds = rng.uniform(-1.0, 1.0);
+        const spice::IvSample s = table->iv(vgs, vds);
+        const double h = 1e-7;
+        const double gm_fd =
+            (table->iv(vgs + h, vds).ids - table->iv(vgs - h, vds).ids) /
+            (2 * h);
+        const double gds_fd =
+            (table->iv(vgs, vds + h).ids - table->iv(vgs, vds - h).ids) /
+            (2 * h);
+        // The separable monotone-Hermite scheme is nonlinear in its data,
+        // so cross-derivatives are consistent to ~percent rather than
+        // machine precision; that is ample for Newton.
+        EXPECT_NEAR(s.gm, gm_fd, std::fabs(gm_fd) * 2e-2 + 1e-10)
+            << "vgs=" << vgs << " vds=" << vds;
+        EXPECT_NEAR(s.gds, gds_fd, std::fabs(gds_fd) * 2e-2 + 1e-10)
+            << "vgs=" << vgs << " vds=" << vds;
+    }
+}
+
+TEST(DeviceTable, ConductancesMatchAnalyticInOrder) {
+    // Guards against the catastrophic failure mode (conductance starved by
+    // ten orders of magnitude at the vds = 0 crossing): the tabulated gds
+    // must stay within a small factor of the analytic one wherever the
+    // latter is significant.
+    const auto analytic = make_ntfet();
+    const auto table = build_table(*analytic);
+    Rng rng(29);
+    for (int k = 0; k < 200; ++k) {
+        const double vgs = rng.uniform(-1.0, 1.0);
+        const double vds = rng.uniform(-1.0, 1.0);
+        const double gt = table->iv(vgs, vds).gds;
+        const double ga = analytic->iv(vgs, vds).gds;
+        if (ga < 1e-9)
+            continue;
+        EXPECT_GT(gt, 0.3 * ga) << "vgs=" << vgs << " vds=" << vds;
+        EXPECT_LT(gt, 3.0 * ga) << "vgs=" << vgs << " vds=" << vds;
+    }
+}
+
+TEST(DeviceTable, OnStateConductanceAtZeroVds) {
+    // The latch-stability killer: an on device at vds = 0 must present its
+    // full channel conductance, not the cliff-flattened slope.
+    const auto analytic = make_ntfet();
+    const auto table = build_table(*analytic);
+    const double g_true = analytic->iv(0.8, 0.0).gds;
+    const double g_tab = table->iv(0.8, 0.0).gds;
+    EXPECT_GT(g_true, 1e-6);
+    EXPECT_NEAR(g_tab, g_true, g_true * 0.05);
+}
+
+TEST(DeviceTable, CapsInterpolatedPositive) {
+    const auto table = build_table(*make_ptfet());
+    Rng rng(31);
+    for (int k = 0; k < 100; ++k) {
+        const spice::CvSample c =
+            table->cv(rng.uniform(-1.4, 1.4), rng.uniform(-1.4, 1.4));
+        EXPECT_GT(c.cgs, 0.0);
+        EXPECT_GT(c.cgd, 0.0);
+    }
+}
+
+TEST(DeviceTable, AnchorsSurviveTabulation) {
+    const auto table = build_table(*make_ntfet());
+    EXPECT_NEAR(table->iv(1.0, 1.0).ids, 1e-4, 1e-4 * 0.05);
+    const double ioff = table->iv(0.0, 1.0).ids;
+    EXPECT_GT(ioff, 1e-18);
+    EXPECT_LT(ioff, 1e-16);
+}
+
+TEST(DeviceTable, NameMarksTabulated) {
+    const auto table = build_table(*make_ntfet());
+    EXPECT_NE(std::string(table->name()).find("[tab]"), std::string::npos);
+}
+
+TEST(ModelSet, TabulatedFlagControlsTfetsOnly) {
+    const ModelSet tab = make_model_set({}, true);
+    const ModelSet ana = make_model_set({}, false);
+    EXPECT_NE(std::string(tab.ntfet->name()).find("[tab]"),
+              std::string::npos);
+    EXPECT_EQ(std::string(ana.ntfet->name()).find("[tab]"),
+              std::string::npos);
+    // CMOS stays analytic in both (the paper's flow tabulates TFETs only).
+    EXPECT_EQ(std::string(tab.nmos->name()), "nMOS");
+}
+
+} // namespace
+} // namespace tfetsram::device

@@ -1,0 +1,81 @@
+// End-to-end test of the design-exploration flow: the explorer must
+// rediscover the paper's conclusions from scratch — inward pTFET access,
+// write-favoring beta, a read-assist technique as the winner.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/explorer.hpp"
+#include "core/report.hpp"
+
+namespace tfetsram::core {
+namespace {
+
+ExplorerOptions quick_options() {
+    ExplorerOptions opt;
+    // Trimmed grids keep this test under control; the full sweep lives in
+    // the benchmark harness.
+    opt.wa_betas = {1.5, 2.5};
+    opt.ra_betas = {0.6, 1.0};
+    opt.mc_samples = 0;
+    return opt;
+}
+
+TEST(Explorer, RediscoversThePapersDesign) {
+    const RobustDesignReport report = explore(quick_options());
+
+    // Stage 1: only the inward devices are quiet; only inward pTFET writes.
+    ASSERT_EQ(report.access_study.size(), 4u);
+    for (const AccessStudyRow& row : report.access_study) {
+        const bool outward = row.access == sram::AccessDevice::kOutwardN ||
+                             row.access == sram::AccessDevice::kOutwardP;
+        if (outward) {
+            EXPECT_GT(row.static_power, 1e-12) << sram::to_string(row.access);
+        } else {
+            EXPECT_LT(row.static_power, 1e-15) << sram::to_string(row.access);
+        }
+        if (row.access == sram::AccessDevice::kInwardN)
+            EXPECT_FALSE(row.write_ok);
+    }
+    ASSERT_TRUE(report.chosen_access.has_value());
+    EXPECT_EQ(*report.chosen_access, sram::AccessDevice::kInwardP);
+
+    // Stage 2/3: a read assist at a write-favoring beta wins.
+    ASSERT_TRUE(report.chosen_assist.has_value());
+    EXPECT_TRUE(sram::is_read_assist(*report.chosen_assist));
+    EXPECT_LE(report.chosen_beta, 1.0);
+
+    // The recommended design is fully specified.
+    EXPECT_EQ(report.recommended.config.access,
+              sram::AccessDevice::kInwardP);
+    EXPECT_NE(report.recommended.read_assist, sram::Assist::kNone);
+}
+
+TEST(Explorer, ReportRendersAllSections) {
+    const RobustDesignReport report = explore(quick_options());
+    const std::string text = report.to_text();
+    EXPECT_NE(text.find("access-device study"), std::string::npos);
+    EXPECT_NE(text.find("assist techniques"), std::string::npos);
+    EXPECT_NE(text.find("recommended design"), std::string::npos);
+    EXPECT_NE(text.find("inward pTFET"), std::string::npos);
+}
+
+TEST(Explorer, AssistCurvesCoverAllTechniques) {
+    const RobustDesignReport report = explore(quick_options());
+    // 8 techniques x 2 betas each.
+    EXPECT_EQ(report.assist_curves.size(), 16u);
+    EXPECT_EQ(report.assist_scores.size(), 8u);
+}
+
+TEST(ReportFormatting, PulseMarginPower) {
+    EXPECT_EQ(format_pulse(std::numeric_limits<double>::infinity()),
+              "inf (write failure)");
+    EXPECT_EQ(format_pulse(std::nan("")), "n/a");
+    EXPECT_EQ(format_pulse(1.5e-10), "150 ps");
+    EXPECT_EQ(format_margin(0.123), "123 mV");
+    EXPECT_NE(format_power(1.6e-17).find("e-17"), std::string::npos);
+}
+
+} // namespace
+} // namespace tfetsram::core

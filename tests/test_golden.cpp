@@ -1,0 +1,95 @@
+// Golden-value regression pins. Every number here was measured on the
+// calibrated reproduction and cross-checked against the paper's reported
+// shape (see EXPERIMENTS.md); the generous tolerances catch silent
+// calibration drift — a changed default, a broken table, a solver
+// regression — without over-constraining legitimate numeric noise.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sram/designs.hpp"
+#include "sram/metrics.hpp"
+#include "sram/snm.hpp"
+
+namespace tfetsram::sram {
+namespace {
+
+const device::ModelSet& models() {
+    static const device::ModelSet set = device::make_model_set();
+    return set;
+}
+
+const MetricOptions kOpts{};
+
+TEST(Golden, ProposedCellAtNominal) {
+    SramCell cell = build_cell(proposed_design(0.8, models()).config);
+
+    const double wl = critical_wordline_pulse(cell, Assist::kNone, kOpts);
+    EXPECT_NEAR(wl, 82e-12, 25e-12); // measured 81.6 ps
+
+    const DrnmResult d =
+        dynamic_read_noise_margin(cell, Assist::kRaGndLowering, kOpts);
+    ASSERT_TRUE(d.valid);
+    EXPECT_NEAR(d.drnm, 0.96, 0.15); // measured 959 mV
+
+    const double p = worst_hold_static_power(cell, kOpts);
+    EXPECT_NEAR(std::log10(p), std::log10(1.66e-17), 0.4);
+
+    const double td_w = write_delay(cell, Assist::kNone, kOpts);
+    EXPECT_NEAR(td_w, 85e-12, 30e-12);
+}
+
+TEST(Golden, StaticPowerLandscapeAtNominal) {
+    // The three headline ratios of the paper, pinned.
+    const device::ModelSet& m = models();
+    SramCell prop = build_cell(proposed_design(0.8, m).config);
+    SramCell cmos = build_cell(cmos_design(0.8, m).config);
+    const double p_prop = worst_hold_static_power(prop, kOpts);
+    const double p_cmos = worst_hold_static_power(cmos, kOpts);
+    EXPECT_NEAR(std::log10(p_cmos / p_prop), 5.96, 0.5);
+
+    CellConfig outward = proposed_design(0.8, m).config;
+    outward.access = AccessDevice::kOutwardN;
+    outward.beta = 1.0;
+    SramCell out = build_cell(outward);
+    const double p_out = worst_hold_static_power(out, kOpts);
+    EXPECT_NEAR(std::log10(p_out / p_prop), 9.6, 0.6);
+}
+
+TEST(Golden, UnassistedBetaSweepShape) {
+    // The write-failure boundary and growth rate of Fig. 4(b).
+    const struct {
+        double beta;
+        double wlcrit_ps;
+    } pins[] = {{0.4, 41.3}, {0.6, 81.6}, {0.8, 182.6}, {1.0, 680.6}};
+    for (const auto& pin : pins) {
+        CellConfig cfg = proposed_design(0.8, models()).config;
+        cfg.beta = pin.beta;
+        SramCell cell = build_cell(cfg);
+        const double wl = critical_wordline_pulse(cell, Assist::kNone, kOpts);
+        EXPECT_NEAR(wl, pin.wlcrit_ps * 1e-12, pin.wlcrit_ps * 1e-12 * 0.3)
+            << "beta=" << pin.beta;
+    }
+}
+
+TEST(Golden, DeviceAnchors) {
+    const auto& n = models().ntfet;
+    EXPECT_NEAR(n->iv(1.0, 1.0).ids, 1.0e-4, 0.1e-4);
+    EXPECT_NEAR(std::log10(n->iv(0.0, 1.0).ids), -17.0, 0.2);
+    EXPECT_NEAR(std::log10(-n->iv(0.0, -0.8).ids), -7.0, 0.3);
+    const auto& mos = models().nmos;
+    EXPECT_NEAR(std::log10(mos->iv(0.0, 0.8).ids), std::log10(7e-12), 0.3);
+}
+
+TEST(Golden, HoldSnmAndDrv) {
+    const CellConfig cfg = proposed_design(0.8, models()).config;
+    const SnmResult snm = static_noise_margin(cfg, SnmMode::kHold);
+    ASSERT_TRUE(snm.valid);
+    EXPECT_NEAR(snm.snm, 0.43, 0.08); // measured 428 mV
+    const double drv = data_retention_voltage(cfg);
+    EXPECT_NEAR(drv, 0.087, 0.04); // measured 87 mV
+}
+
+} // namespace
+} // namespace tfetsram::sram

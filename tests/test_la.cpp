@@ -1,0 +1,122 @@
+// Unit tests for the dense linear algebra kernel under the MNA solver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/lu.hpp"
+#include "la/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace tfetsram::la {
+namespace {
+
+TEST(Matrix, IdentityAndMultiply) {
+    const Matrix id = Matrix::identity(3);
+    const Vector x = {1.0, 2.0, 3.0};
+    const Vector y = id.multiply(x);
+    EXPECT_EQ(y, x);
+}
+
+TEST(Matrix, SetZero) {
+    Matrix m(2, 2, 5.0);
+    m.set_zero();
+    EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(m(1, 1), 0.0);
+}
+
+TEST(Matrix, BoundsChecked) {
+    Matrix m(2, 2);
+    EXPECT_THROW(m(2, 0), contract_violation);
+}
+
+TEST(Matrix, Norms) {
+    const Vector v = {3.0, -4.0};
+    EXPECT_DOUBLE_EQ(norm2(v), 5.0);
+    EXPECT_DOUBLE_EQ(norm_inf(v), 4.0);
+}
+
+TEST(Lu, Solves2x2) {
+    Matrix a(2, 2);
+    a(0, 0) = 2.0;
+    a(0, 1) = 1.0;
+    a(1, 0) = 1.0;
+    a(1, 1) = 3.0;
+    const auto x = solve_linear(a, {5.0, 10.0});
+    ASSERT_TRUE(x.has_value());
+    EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+    EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(Lu, RequiresPivoting) {
+    // Zero on the diagonal forces a row swap.
+    Matrix a(2, 2);
+    a(0, 0) = 0.0;
+    a(0, 1) = 1.0;
+    a(1, 0) = 1.0;
+    a(1, 1) = 0.0;
+    const auto x = solve_linear(a, {2.0, 3.0});
+    ASSERT_TRUE(x.has_value());
+    EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+    EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(Lu, DetectsSingular) {
+    Matrix a(2, 2);
+    a(0, 0) = 1.0;
+    a(0, 1) = 2.0;
+    a(1, 0) = 2.0;
+    a(1, 1) = 4.0;
+    EXPECT_FALSE(solve_linear(a, {1.0, 2.0}).has_value());
+}
+
+TEST(Lu, FactorReusableAcrossRhs) {
+    Matrix a(2, 2);
+    a(0, 0) = 4.0;
+    a(0, 1) = 1.0;
+    a(1, 0) = 1.0;
+    a(1, 1) = 3.0;
+    const auto lu = LuFactorization::factor(a);
+    ASSERT_TRUE(lu.has_value());
+    const Vector x1 = lu->solve({5.0, 4.0});
+    const Vector x2 = lu->solve({9.0, 7.0});
+    const Vector y1 = a.multiply(x1);
+    const Vector y2 = a.multiply(x2);
+    EXPECT_NEAR(y1[0], 5.0, 1e-12);
+    EXPECT_NEAR(y1[1], 4.0, 1e-12);
+    EXPECT_NEAR(y2[0], 9.0, 1e-12);
+    EXPECT_NEAR(y2[1], 7.0, 1e-12);
+}
+
+class LuRandomSystems : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuRandomSystems, ResidualSmall) {
+    const int n = GetParam();
+    Rng rng(static_cast<std::uint64_t>(n) * 977 + 5);
+    Matrix a(n, n);
+    Vector b(n);
+    for (int r = 0; r < n; ++r) {
+        b[r] = rng.uniform(-1.0, 1.0);
+        for (int c = 0; c < n; ++c)
+            a(r, c) = rng.uniform(-1.0, 1.0);
+        a(r, r) += 4.0; // diagonally dominant => nonsingular
+    }
+    const auto x = solve_linear(a, b);
+    ASSERT_TRUE(x.has_value());
+    const Vector res = subtract(a.multiply(*x), b);
+    EXPECT_LT(norm_inf(res), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRandomSystems,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(Lu, PivotSpreadFinite) {
+    Matrix a = Matrix::identity(3);
+    a(2, 2) = 1e-6;
+    const auto lu = LuFactorization::factor(a);
+    ASSERT_TRUE(lu.has_value());
+    EXPECT_NEAR(lu->pivot_spread_log10(), 6.0, 1e-9);
+}
+
+} // namespace
+} // namespace tfetsram::la

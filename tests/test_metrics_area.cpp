@@ -1,0 +1,181 @@
+// Metric API behaviour (flip detection, delay measurement, failure
+// signaling) and the cell area model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sram/area.hpp"
+#include "sram/designs.hpp"
+#include "sram/metrics.hpp"
+
+namespace tfetsram::sram {
+namespace {
+
+const device::ModelSet& models() {
+    static const device::ModelSet set = device::make_model_set();
+    return set;
+}
+
+SramCell proposed(double vdd = 0.8) {
+    return build_cell(proposed_design(vdd, models()).config);
+}
+
+TEST(Metrics, AttemptWriteShortPulseFails) {
+    SramCell cell = proposed();
+    const WriteOutcome out =
+        attempt_write(cell, 2e-12, Assist::kNone, MetricOptions{});
+    EXPECT_TRUE(out.simulated);
+    EXPECT_FALSE(out.flipped);
+}
+
+TEST(Metrics, AttemptWriteLongPulseSucceeds) {
+    SramCell cell = proposed();
+    const WriteOutcome out =
+        attempt_write(cell, 600e-12, Assist::kNone, MetricOptions{});
+    EXPECT_TRUE(out.simulated);
+    EXPECT_TRUE(out.flipped);
+    EXPECT_GT(out.final_separation, 0.6);
+}
+
+TEST(Metrics, WlcritBracketsAttempts) {
+    // The bisected WLcrit must separate failing from succeeding pulses.
+    SramCell cell = proposed();
+    const MetricOptions opts;
+    const double wl = critical_wordline_pulse(cell, Assist::kNone, opts);
+    ASSERT_TRUE(std::isfinite(wl));
+    const WriteOutcome above =
+        attempt_write(cell, wl * 1.2, Assist::kNone, opts);
+    EXPECT_TRUE(above.flipped);
+    const WriteOutcome below =
+        attempt_write(cell, wl * 0.7, Assist::kNone, opts);
+    EXPECT_FALSE(below.flipped);
+}
+
+TEST(Metrics, WriteDelayShorterThanProbePulse) {
+    SramCell cell = proposed();
+    const MetricOptions opts;
+    const double td = write_delay(cell, Assist::kNone, opts);
+    ASSERT_FALSE(std::isnan(td));
+    EXPECT_GT(td, 1e-12);
+    EXPECT_LT(td, opts.write_probe_pulse);
+}
+
+TEST(Metrics, ReadDelayPositiveAndSmall) {
+    SramCell cell = proposed();
+    const double rd = read_delay(cell, Assist::kRaGndLowering, MetricOptions{});
+    ASSERT_FALSE(std::isnan(rd));
+    EXPECT_GT(rd, 1e-12);
+    EXPECT_LT(rd, 400e-12);
+}
+
+TEST(Metrics, ReadDelayScalesWithBitlineCap) {
+    CellConfig cfg = proposed_design(0.8, models()).config;
+    cfg.c_bitline = 5e-15;
+    SramCell light = build_cell(cfg);
+    cfg.c_bitline = 40e-15;
+    SramCell heavy = build_cell(cfg);
+    const double rd_light = read_delay(light, Assist::kNone, MetricOptions{});
+    const double rd_heavy = read_delay(heavy, Assist::kNone, MetricOptions{});
+    ASSERT_FALSE(std::isnan(rd_light));
+    ASSERT_FALSE(std::isnan(rd_heavy));
+    EXPECT_GT(rd_heavy, 2.0 * rd_light);
+}
+
+TEST(Metrics, StaticPowerBothPolaritiesClose) {
+    // The symmetric 6T cell should leak nearly identically for both
+    // stored values.
+    SramCell cell = proposed();
+    const double p0 = hold_static_power(cell, false, MetricOptions{});
+    const double p1 = hold_static_power(cell, true, MetricOptions{});
+    ASSERT_FALSE(std::isnan(p0));
+    ASSERT_FALSE(std::isnan(p1));
+    EXPECT_NEAR(p0 / p1, 1.0, 0.2);
+}
+
+TEST(Metrics, DrnmSaturatesAtRailSeparation) {
+    // With a strong assist the margin cannot exceed the rail span.
+    SramCell cell = proposed();
+    const DrnmResult d =
+        dynamic_read_noise_margin(cell, Assist::kRaGndLowering,
+                                  MetricOptions{});
+    ASSERT_TRUE(d.valid);
+    EXPECT_LT(d.drnm, 0.8 + 0.24 + 0.05);
+}
+
+class DrnmVsVdd : public ::testing::TestWithParam<double> {};
+
+TEST_P(DrnmVsVdd, ValidAcrossSupplyRange) {
+    // The paper sweeps VDD = 0.5..0.9 V (Figs. 11-12); every point must
+    // simulate cleanly with the design's assist.
+    const double vdd = GetParam();
+    SramCell cell = proposed(vdd);
+    const DrnmResult d = dynamic_read_noise_margin(
+        cell, Assist::kRaGndLowering, MetricOptions{});
+    EXPECT_TRUE(d.valid) << "vdd=" << vdd;
+    EXPECT_FALSE(d.flipped) << "vdd=" << vdd;
+    EXPECT_GT(d.drnm, 0.1) << "vdd=" << vdd;
+}
+
+INSTANTIATE_TEST_SUITE_P(SupplySweep, DrnmVsVdd,
+                         ::testing::Values(0.5, 0.6, 0.7, 0.8, 0.9));
+
+class WlcritVsVdd : public ::testing::TestWithParam<double> {};
+
+TEST_P(WlcritVsVdd, FiniteAcrossSupplyRange) {
+    const double vdd = GetParam();
+    SramCell cell = proposed(vdd);
+    const double wl =
+        critical_wordline_pulse(cell, Assist::kNone, MetricOptions{});
+    EXPECT_TRUE(std::isfinite(wl)) << "vdd=" << vdd;
+}
+
+INSTANTIATE_TEST_SUITE_P(SupplySweep, WlcritVsVdd,
+                         ::testing::Values(0.5, 0.6, 0.7, 0.8, 0.9));
+
+// ---- Area model ----
+
+TEST(Area, SevenTCostsTenToFifteenPercent) {
+    const device::ModelSet& m = models();
+    SramCell six = build_cell(proposed_design(0.8, m).config);
+    SramCell seven = build_cell(tfet7t_design(0.8, m).config);
+    const double increase = cell_area(seven) / cell_area(six) - 1.0;
+    EXPECT_GT(increase, 0.08);
+    EXPECT_LT(increase, 0.20);
+}
+
+TEST(Area, MonotoneInBeta) {
+    const device::ModelSet& m = models();
+    CellConfig cfg = proposed_design(0.8, m).config;
+    cfg.beta = 0.6;
+    SramCell small = build_cell(cfg);
+    cfg.beta = 2.0;
+    SramCell large = build_cell(cfg);
+    EXPECT_GT(cell_area(large), cell_area(small));
+}
+
+TEST(Area, SixTDesignsEqualWidthsEqualArea) {
+    const device::ModelSet& m = models();
+    CellConfig a = proposed_design(0.8, m).config;
+    CellConfig b = asym6t_design(0.8, m).config;
+    b.beta = a.beta;
+    SramCell ca = build_cell(a);
+    SramCell cb = build_cell(b);
+    EXPECT_NEAR(cell_area(ca), cell_area(cb), 1e-12);
+}
+
+TEST(Designs, ComparisonSetContents) {
+    const auto designs = comparison_designs(0.7, models());
+    ASSERT_EQ(designs.size(), 4u);
+    EXPECT_EQ(designs[0].config.kind, CellKind::kTfet6T);
+    EXPECT_EQ(designs[0].read_assist, Assist::kRaGndLowering);
+    EXPECT_NEAR(designs[0].config.beta, 0.6, 1e-12);
+    EXPECT_EQ(designs[1].config.kind, CellKind::kCmos6T);
+    EXPECT_FALSE(designs[2].wlcrit_defined); // asymmetric: no separatrix
+    EXPECT_EQ(designs[3].config.kind, CellKind::kTfet7T);
+    for (const auto& d : designs)
+        EXPECT_DOUBLE_EQ(d.config.vdd, 0.7);
+}
+
+} // namespace
+} // namespace tfetsram::sram

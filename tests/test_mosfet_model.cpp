@@ -1,0 +1,151 @@
+// EKV MOSFET tests: 32 nm LP anchors, the source/drain-swap symmetry that
+// gives CMOS its bidirectional access transistors, subthreshold behaviour,
+// and derivative consistency.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/models.hpp"
+#include "device/mosfet_model.hpp"
+
+namespace tfetsram::device {
+namespace {
+
+const MosfetParams kNmos{};
+
+TEST(MosfetModel, OnCurrentScale) {
+    const MosfetModel m(kNmos);
+    const double ion = m.iv(0.8, 0.8).ids;
+    EXPECT_GT(ion, 1e-4);
+    EXPECT_LT(ion, 1e-3);
+}
+
+TEST(MosfetModel, OffCurrentScale) {
+    // ~1e-11 A/um: 6 orders above the TFET, per the paper's comparison.
+    const MosfetModel m(kNmos);
+    const double ioff = m.iv(0.0, 0.8).ids;
+    EXPECT_GT(ioff, 1e-12);
+    EXPECT_LT(ioff, 1e-10);
+}
+
+TEST(MosfetModel, SubthresholdSwingNear78mV) {
+    const MosfetModel m(kNmos);
+    const double i1 = m.iv(0.15, 0.8).ids;
+    const double i2 = m.iv(0.25, 0.8).ids;
+    const double swing_mv = 0.1 / std::log10(i2 / i1) * 1e3;
+    EXPECT_NEAR(swing_mv, 78.0, 8.0);
+}
+
+TEST(MosfetModel, NeverBelowSixtyMv) {
+    // Thermionic limit: MOSFET swing cannot beat 60 mV/dec; this is the
+    // fundamental contrast with the TFET.
+    const MosfetModel m(kNmos);
+    for (double vgs = 0.05; vgs < 0.45; vgs += 0.05) {
+        const double i1 = m.iv(vgs, 0.8).ids;
+        const double i2 = m.iv(vgs + 0.05, 0.8).ids;
+        const double swing_mv = 0.05 / std::log10(i2 / i1) * 1e3;
+        EXPECT_GT(swing_mv, 59.9) << "vgs=" << vgs;
+    }
+}
+
+TEST(MosfetModel, SourceDrainSwapIdentity) {
+    // I(vgs, -vds) == -I(vgs + vds, vds): the device is the same with the
+    // terminals exchanged.
+    const MosfetModel m(kNmos);
+    for (double vg : {0.3, 0.6, 0.9}) {
+        for (double vd : {0.1, 0.4, 0.8}) {
+            const double fwd = m.iv(vg + vd, vd).ids;
+            const double rev = m.iv(vg, -vd).ids;
+            EXPECT_NEAR(rev, -fwd, std::fabs(fwd) * 1e-9 + 1e-18);
+        }
+    }
+}
+
+TEST(MosfetModel, BidirectionalUnlikeTfet) {
+    // Symmetric conduction magnitude at mirrored gate-overdrive bias: the
+    // property TFETs lack.
+    const MosfetModel m(kNmos);
+    const double fwd = m.iv(0.8, 0.4).ids;
+    const double rev = -m.iv(0.4, -0.4).ids; // swapped: vgs' = 0.8, vds' = 0.4
+    EXPECT_NEAR(rev, fwd, fwd * 1e-9);
+}
+
+TEST(MosfetModel, ZeroVdsZeroCurrent) {
+    const MosfetModel m(kNmos);
+    EXPECT_NEAR(m.iv(0.8, 0.0).ids, 0.0, 1e-15);
+}
+
+TEST(MosfetModel, MonotoneInBothBiases) {
+    const MosfetModel m(kNmos);
+    double prev = -1.0;
+    for (double vgs = 0.0; vgs <= 1.0; vgs += 0.1) {
+        const double i = m.iv(vgs, 0.5).ids;
+        EXPECT_GT(i, prev);
+        prev = i;
+    }
+    prev = -1.0;
+    for (double vds = 0.0; vds <= 1.0; vds += 0.1) {
+        const double i = m.iv(0.8, vds).ids;
+        EXPECT_GE(i, prev);
+        prev = i;
+    }
+}
+
+class MosfetDerivatives
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(MosfetDerivatives, MatchFiniteDifferences) {
+    const MosfetModel m(kNmos);
+    const auto [vgs, vds] = GetParam();
+    const double h = 1e-6;
+    const spice::IvSample s = m.iv(vgs, vds);
+    const double gm_fd =
+        (m.iv(vgs + h, vds).ids - m.iv(vgs - h, vds).ids) / (2 * h);
+    const double gds_fd =
+        (m.iv(vgs, vds + h).ids - m.iv(vgs, vds - h).ids) / (2 * h);
+    EXPECT_NEAR(s.gm, gm_fd, 1e-9 + 1e-4 * std::fabs(gm_fd));
+    EXPECT_NEAR(s.gds, gds_fd, 1e-9 + 1e-4 * std::fabs(gds_fd));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BiasGrid, MosfetDerivatives,
+    ::testing::Values(std::pair{0.0, 0.5}, std::pair{0.5, 0.5},
+                      std::pair{0.8, 0.1}, std::pair{1.0, 1.0},
+                      std::pair{0.6, -0.4}, std::pair{0.3, -0.8},
+                      std::pair{0.9, 0.01}));
+
+TEST(MosfetModel, CvSwapsUnderMirror) {
+    const MosfetModel m(kNmos);
+    const spice::CvSample fwd = m.cv(0.8 + 0.4, 0.4);
+    const spice::CvSample rev = m.cv(0.8, -0.4);
+    EXPECT_NEAR(rev.cgs, fwd.cgd, 1e-18);
+    EXPECT_NEAR(rev.cgd, fwd.cgs, 1e-18);
+}
+
+TEST(PmosMirror, ConductsWithNegativeBias) {
+    const auto p = make_pmos();
+    const double ion = p->iv(-0.8, -0.8).ids;
+    EXPECT_LT(ion, -5e-5); // conducts, source -> drain
+    const double ioff = p->iv(0.0, -0.8).ids;
+    EXPECT_GT(std::fabs(ioff), 1e-13);
+    EXPECT_LT(std::fabs(ioff), 1e-10);
+}
+
+TEST(PmosMirror, WeakerThanNmos) {
+    const auto n = make_nmos();
+    const auto p = make_pmos();
+    EXPECT_LT(std::fabs(p->iv(-0.8, -0.8).ids), n->iv(0.8, 0.8).ids);
+}
+
+TEST(MosfetModel, TfetLeakageSixOrdersBelow) {
+    // The headline static-power claim traces to this ratio.
+    const MosfetModel mos(kNmos);
+    const TfetModel tfet{TfetParams{}};
+    const double ratio = mos.iv(0.0, 0.8).ids / tfet.iv(0.0, 0.8).ids;
+    EXPECT_GT(ratio, 1e5);
+    EXPECT_LT(ratio, 1e8);
+}
+
+} // namespace
+} // namespace tfetsram::device

@@ -1,0 +1,193 @@
+// Operation-programming tests: waveform levels at key instants for hold,
+// write, and read across topologies and assists, plus hold-state solving.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sram/operations.hpp"
+#include "spice/solution.hpp"
+
+namespace tfetsram::sram {
+namespace {
+
+device::ModelSet models() {
+    static const device::ModelSet set = device::make_model_set({}, false);
+    return set;
+}
+
+SramCell make_cell(CellKind kind = CellKind::kTfet6T,
+                   AccessDevice access = AccessDevice::kInwardP,
+                   double beta = 0.6) {
+    CellConfig cfg;
+    cfg.kind = kind;
+    cfg.access = access;
+    cfg.beta = beta;
+    cfg.models = models();
+    return build_cell(cfg);
+}
+
+TEST(Operations, HoldLevels) {
+    SramCell cell = make_cell();
+    program_hold(cell);
+    EXPECT_DOUBLE_EQ(cell.v_vdd->waveform().at(1e-9), 0.8);
+    EXPECT_DOUBLE_EQ(cell.v_vss->waveform().at(1e-9), 0.0);
+    EXPECT_DOUBLE_EQ(cell.v_wl->waveform().at(1e-9), 0.8); // inactive (p)
+    EXPECT_DOUBLE_EQ(cell.v_bl->waveform().at(1e-9), 0.8); // clamped at VDD
+}
+
+TEST(Operations, WriteWaveformSchedule) {
+    SramCell cell = make_cell();
+    const OperationWindow w =
+        program_write(cell, /*value=*/true, 200e-12, Assist::kNone);
+    // Before the pulse: everything at hold levels.
+    EXPECT_DOUBLE_EQ(cell.v_wl->waveform().at(0.0), 0.8);
+    // During the pulse: wordline active (low for p-access), bitlines split.
+    const double mid = w.wl_start + 50e-12;
+    EXPECT_DOUBLE_EQ(cell.v_wl->waveform().at(mid), 0.0);
+    EXPECT_DOUBLE_EQ(cell.v_bl->waveform().at(mid), 0.8);
+    EXPECT_DOUBLE_EQ(cell.v_blb->waveform().at(mid), 0.0);
+    // After everything: back to hold.
+    EXPECT_DOUBLE_EQ(cell.v_wl->waveform().at(w.t_end), 0.8);
+    EXPECT_DOUBLE_EQ(cell.v_blb->waveform().at(w.t_end), 0.8);
+    // Window ordering.
+    EXPECT_LT(w.wl_start, w.wl_end);
+    EXPECT_LT(w.wl_end, w.t_end);
+    EXPECT_NEAR(w.wl_end - w.wl_start, 200e-12 + 2 * 5e-12, 1e-15);
+}
+
+TEST(Operations, WriteZeroSwapsBitlines) {
+    SramCell cell = make_cell();
+    const OperationWindow w =
+        program_write(cell, /*value=*/false, 200e-12, Assist::kNone);
+    const double mid = w.wl_start + 50e-12;
+    EXPECT_DOUBLE_EQ(cell.v_bl->waveform().at(mid), 0.0);
+    EXPECT_DOUBLE_EQ(cell.v_blb->waveform().at(mid), 0.8);
+}
+
+TEST(Operations, WriteAssistAppliesBeforeWordline) {
+    SramCell cell = make_cell(CellKind::kTfet6T, AccessDevice::kInwardP, 2.0);
+    const OperationWindow w =
+        program_write(cell, true, 200e-12, Assist::kWaVddLowering, 0.3);
+    // Assist lead: VDD already lowered before the wordline asserts.
+    EXPECT_NEAR(cell.v_vdd->waveform().at(w.wl_start - 1e-12), 0.56, 1e-9);
+    EXPECT_DOUBLE_EQ(cell.v_vdd->waveform().at(0.0), 0.8);
+    EXPECT_DOUBLE_EQ(cell.v_vdd->waveform().at(w.t_end), 0.8);
+}
+
+TEST(Operations, WordlineLoweringDrivesBelowGround) {
+    SramCell cell = make_cell(CellKind::kTfet6T, AccessDevice::kInwardP, 2.0);
+    const OperationWindow w = program_write(
+        cell, true, 200e-12, Assist::kWaWordlineLowering, 0.3);
+    const double mid = w.wl_start + 50e-12;
+    EXPECT_NEAR(cell.v_wl->waveform().at(mid), -0.24, 1e-9);
+}
+
+TEST(Operations, WriteRejectsReadAssist) {
+    SramCell cell = make_cell();
+    EXPECT_THROW(
+        program_write(cell, true, 200e-12, Assist::kRaGndLowering),
+        contract_violation);
+}
+
+TEST(Operations, ReadRejectsWriteAssist) {
+    SramCell cell = make_cell();
+    EXPECT_THROW(program_read(cell, 200e-12, Assist::kWaGndRaising),
+                 contract_violation);
+}
+
+TEST(Operations, ReadSetupSixT) {
+    SramCell cell = make_cell();
+    const ReadSetup s = program_read(cell, 300e-12, Assist::kNone);
+    EXPECT_FALSE(s.q_high_init); // disturb the node storing 0
+    EXPECT_EQ(s.disturb_node, cell.q);
+    EXPECT_EQ(s.safe_node, cell.qb);
+    EXPECT_EQ(s.sense_node, cell.bl);
+    EXPECT_DOUBLE_EQ(s.precharge_level, 0.8);
+    // Both bitlines precharged.
+    const double mid = s.window.wl_start + 50e-12;
+    EXPECT_DOUBLE_EQ(cell.v_bl->waveform().at(mid), 0.8);
+    EXPECT_DOUBLE_EQ(cell.v_blb->waveform().at(mid), 0.8);
+}
+
+TEST(Operations, ReadGndLoweringDropsVss) {
+    SramCell cell = make_cell();
+    const ReadSetup s =
+        program_read(cell, 300e-12, Assist::kRaGndLowering, 0.3);
+    const double mid = s.window.wl_start + 50e-12;
+    EXPECT_NEAR(cell.v_vss->waveform().at(mid), -0.24, 1e-9);
+    EXPECT_DOUBLE_EQ(cell.v_vss->waveform().at(0.0), 0.0);
+}
+
+TEST(Operations, ReadBitlineLoweringDropsPrecharge) {
+    SramCell cell = make_cell();
+    const ReadSetup s =
+        program_read(cell, 300e-12, Assist::kRaBitlineLowering, 0.3);
+    EXPECT_NEAR(s.precharge_level, 0.56, 1e-9);
+}
+
+TEST(Operations, ReadFloatOpensSwitches) {
+    SramCell cell = make_cell();
+    const ReadSetup s = program_read(cell, 300e-12, Assist::kNone,
+                                     kDefaultAssistFraction, {}, true);
+    // Switch control low (open) once the wordline is active.
+    EXPECT_DOUBLE_EQ(cell.sw_bl->resistance_at(s.window.wl_start), 1e12);
+    EXPECT_DOUBLE_EQ(cell.sw_bl->resistance_at(0.0), 1e3);
+}
+
+TEST(Operations, SevenTReadUsesReadPort) {
+    SramCell cell = make_cell(CellKind::kTfet7T);
+    const ReadSetup s = program_read(cell, 300e-12, Assist::kNone);
+    EXPECT_EQ(s.sense_node, cell.rbl);
+    const double mid = s.window.wl_start + 50e-12;
+    EXPECT_DOUBLE_EQ(cell.v_rwl->waveform().at(mid), 0.0); // asserted low
+    EXPECT_DOUBLE_EQ(cell.v_wl->waveform().at(mid), 0.0);  // write WL off
+}
+
+TEST(Operations, AsymmetricWritesZeroOnly) {
+    EXPECT_FALSE(preferred_write_value(CellKind::kTfetAsym6T));
+    EXPECT_TRUE(preferred_write_value(CellKind::kTfet6T));
+    SramCell cell = make_cell(CellKind::kTfetAsym6T);
+    EXPECT_THROW(program_write(cell, true, 200e-12), contract_violation);
+    EXPECT_NO_THROW(program_write(cell, false, 200e-12));
+}
+
+TEST(Operations, AsymmetricReadDisturbsQb) {
+    SramCell cell = make_cell(CellKind::kTfetAsym6T);
+    const ReadSetup s = program_read(cell, 300e-12, Assist::kNone);
+    EXPECT_TRUE(s.q_high_init);
+    EXPECT_EQ(s.disturb_node, cell.qb);
+    EXPECT_EQ(s.sense_node, cell.blb);
+}
+
+TEST(Operations, HoldStateSelectsBothPolarities) {
+    SramCell cell = make_cell();
+    program_hold(cell);
+    const spice::SolverOptions opts;
+    const HoldState high = solve_hold_state(cell, true, opts);
+    ASSERT_TRUE(high.converged);
+    EXPECT_TRUE(high.state_ok);
+    EXPECT_GT(spice::branch_voltage(high.x, cell.q, cell.qb), 0.6);
+
+    const HoldState low = solve_hold_state(cell, false, opts);
+    ASSERT_TRUE(low.converged);
+    EXPECT_TRUE(low.state_ok);
+    EXPECT_LT(spice::branch_voltage(low.x, cell.q, cell.qb), -0.6);
+}
+
+TEST(Operations, HoldStateAllKinds) {
+    for (CellKind kind : {CellKind::kCmos6T, CellKind::kTfet6T,
+                          CellKind::kTfet7T, CellKind::kTfetAsym6T}) {
+        SramCell cell = make_cell(
+            kind, kind == CellKind::kCmos6T ? AccessDevice::kCmos
+                                            : AccessDevice::kInwardP,
+            1.0);
+        program_hold(cell);
+        const HoldState hs = solve_hold_state(cell, true, {});
+        EXPECT_TRUE(hs.converged) << to_string(kind);
+        EXPECT_TRUE(hs.state_ok) << to_string(kind);
+    }
+}
+
+} // namespace
+} // namespace tfetsram::sram

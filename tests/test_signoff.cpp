@@ -1,0 +1,84 @@
+// Sign-off flow tests: the paper's proposed design must qualify against a
+// realistic requirements table; impossible requirements must produce
+// legible violations; the report must render every section.
+
+#include <gtest/gtest.h>
+
+#include "core/signoff.hpp"
+
+namespace tfetsram::core {
+namespace {
+
+SignoffConditions quick_conditions() {
+    SignoffConditions cond;
+    cond.vdd_corners = {0.7, 0.9};
+    cond.temperature_corners = {300.0};
+    cond.mc_samples = 4;
+    return cond;
+}
+
+SignoffRequirements loose_requirements() {
+    SignoffRequirements req;
+    req.max_wlcrit = 4e-9;
+    req.max_write_delay = 4e-9;
+    return req;
+}
+
+TEST(Signoff, ProposedDesignPasses) {
+    const device::ModelSet models = device::make_model_set();
+    const sram::DesignSpec design = sram::proposed_design(0.8, models);
+    const SignoffReport rep =
+        signoff(design, {}, loose_requirements(), quick_conditions());
+    EXPECT_TRUE(rep.passed()) << rep.to_text();
+    EXPECT_EQ(rep.corners.size(), 2u);
+    EXPECT_EQ(rep.temperatures.size(), 1u);
+    EXPECT_GT(rep.hold_snm, 0.1);
+    EXPECT_GT(rep.mc_drnm.count, 0u);
+}
+
+TEST(Signoff, ImpossibleRequirementFailsLegibly) {
+    const device::ModelSet models = device::make_model_set();
+    const sram::DesignSpec design = sram::proposed_design(0.8, models);
+    SignoffRequirements req = loose_requirements();
+    req.max_static_power = 1e-30; // unobtainable
+    SignoffConditions cond = quick_conditions();
+    cond.mc_samples = 0;
+    const SignoffReport rep = signoff(design, {}, req, cond);
+    EXPECT_FALSE(rep.passed());
+    ASSERT_FALSE(rep.failures.empty());
+    EXPECT_NE(rep.failures.front().find("static power"), std::string::npos);
+    EXPECT_NE(rep.to_text().find("FAIL"), std::string::npos);
+}
+
+TEST(Signoff, CmosBaselineFailsTfetLeakageTarget) {
+    // The comparison the whole paper is about, as a sign-off verdict: the
+    // CMOS cell cannot meet an attowatt-class leakage budget.
+    const device::ModelSet models = device::make_model_set();
+    const sram::DesignSpec design = sram::cmos_design(0.8, models);
+    SignoffConditions cond = quick_conditions();
+    cond.mc_samples = 0;
+    const SignoffReport rep =
+        signoff(design, {}, loose_requirements(), cond);
+    EXPECT_FALSE(rep.passed());
+    bool leakage_flagged = false;
+    for (const std::string& f : rep.failures)
+        if (f.find("static power") != std::string::npos)
+            leakage_flagged = true;
+    EXPECT_TRUE(leakage_flagged);
+}
+
+TEST(Signoff, ReportRendersSections) {
+    const device::ModelSet models = device::make_model_set();
+    const sram::DesignSpec design = sram::proposed_design(0.8, models);
+    SignoffConditions cond = quick_conditions();
+    cond.mc_samples = 0;
+    const std::string text =
+        signoff(design, {}, loose_requirements(), cond).to_text();
+    EXPECT_NE(text.find("Sign-off:"), std::string::npos);
+    EXPECT_NE(text.find("WLcrit"), std::string::npos);
+    EXPECT_NE(text.find("retention voltage"), std::string::npos);
+    EXPECT_NE(text.find("verdict"), std::string::npos);
+}
+
+} // namespace
+} // namespace tfetsram::core

@@ -1,0 +1,79 @@
+// Static-noise-margin extension tests: butterfly analysis on the cells,
+// cross-checked against the paper's qualitative stability structure.
+
+#include <gtest/gtest.h>
+
+#include "sram/designs.hpp"
+#include "sram/snm.hpp"
+
+namespace tfetsram::sram {
+namespace {
+
+const device::ModelSet& models() {
+    static const device::ModelSet set = device::make_model_set();
+    return set;
+}
+
+CellConfig tfet6t(double beta) {
+    CellConfig cfg;
+    cfg.kind = CellKind::kTfet6T;
+    cfg.access = AccessDevice::kInwardP;
+    cfg.beta = beta;
+    cfg.models = models();
+    return cfg;
+}
+
+TEST(Snm, HoldMarginHealthy) {
+    const SnmResult r = static_noise_margin(tfet6t(0.6), SnmMode::kHold);
+    ASSERT_TRUE(r.valid);
+    EXPECT_GT(r.snm, 0.15);      // a solid fraction of VDD = 0.8
+    EXPECT_LT(r.snm, 0.45);      // and below the half-VDD bound
+    EXPECT_GT(r.lobe_high, 0.0);
+    EXPECT_GT(r.lobe_low, 0.0);
+}
+
+TEST(Snm, ReadMarginBelowHoldMargin) {
+    // The access disturb always erodes the butterfly.
+    const SnmResult hold = static_noise_margin(tfet6t(1.0), SnmMode::kHold);
+    const SnmResult read = static_noise_margin(tfet6t(1.0), SnmMode::kRead);
+    ASSERT_TRUE(hold.valid);
+    ASSERT_TRUE(read.valid);
+    EXPECT_LT(read.snm, hold.snm);
+}
+
+TEST(Snm, ReadMarginGrowsWithBeta) {
+    // Same trend the dynamic DRNM shows (Fig. 4a).
+    const SnmResult small = static_noise_margin(tfet6t(0.6), SnmMode::kRead);
+    const SnmResult large = static_noise_margin(tfet6t(2.0), SnmMode::kRead);
+    ASSERT_TRUE(small.valid);
+    ASSERT_TRUE(large.valid);
+    EXPECT_GT(large.snm, small.snm);
+}
+
+TEST(Snm, WriteSizedCellLosesStaticReadMargin) {
+    // beta = 0.6: the dynamic analysis says unassisted reads flip; the
+    // static butterfly should collapse (one lobe pinched) accordingly.
+    const SnmResult read = static_noise_margin(tfet6t(0.6), SnmMode::kRead);
+    ASSERT_TRUE(read.valid);
+    EXPECT_LT(read.snm, 0.05);
+}
+
+TEST(Snm, CmosReadButterflyHealthyAtConventionalSizing) {
+    CellConfig cfg;
+    cfg.kind = CellKind::kCmos6T;
+    cfg.access = AccessDevice::kCmos;
+    cfg.beta = 1.5;
+    cfg.models = models();
+    const SnmResult read = static_noise_margin(cfg, SnmMode::kRead);
+    ASSERT_TRUE(read.valid);
+    EXPECT_GT(read.snm, 0.05);
+}
+
+TEST(Snm, SymmetricCellHasSymmetricLobes) {
+    const SnmResult r = static_noise_margin(tfet6t(1.0), SnmMode::kHold);
+    ASSERT_TRUE(r.valid);
+    EXPECT_NEAR(r.lobe_high, r.lobe_low, 0.05);
+}
+
+} // namespace
+} // namespace tfetsram::sram

@@ -1,0 +1,315 @@
+// The paper's circuit-level claims, encoded as tests. These run full
+// transient simulations with the tabulated device models (the paper's
+// flow), so they are the slowest tests in the suite — but they are the
+// reproduction's ground truth.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sram/designs.hpp"
+#include "sram/metrics.hpp"
+
+namespace tfetsram::sram {
+namespace {
+
+const device::ModelSet& models() {
+    static const device::ModelSet set = device::make_model_set();
+    return set;
+}
+
+SramCell tfet6t(AccessDevice access, double beta, double vdd = 0.8) {
+    CellConfig cfg;
+    cfg.kind = CellKind::kTfet6T;
+    cfg.access = access;
+    cfg.beta = beta;
+    cfg.vdd = vdd;
+    cfg.models = models();
+    return build_cell(cfg);
+}
+
+SramCell cmos6t(double beta = 1.5) {
+    CellConfig cfg;
+    cfg.kind = CellKind::kCmos6T;
+    cfg.access = AccessDevice::kCmos;
+    cfg.beta = beta;
+    cfg.models = models();
+    return build_cell(cfg);
+}
+
+const MetricOptions kOpts{};
+
+// ---- Sec. 3: static power ----
+
+TEST(Sec3StaticPower, InwardCellsLeakAttowatts) {
+    for (AccessDevice a : {AccessDevice::kInwardN, AccessDevice::kInwardP}) {
+        SramCell cell = tfet6t(a, 1.0);
+        const double p = worst_hold_static_power(cell, kOpts);
+        EXPECT_GT(p, 1e-18) << to_string(a);
+        EXPECT_LT(p, 1e-16) << to_string(a);
+    }
+}
+
+TEST(Sec3StaticPower, OutwardAccessCatastrophic) {
+    // "5 and 9 orders of magnitude higher static power ... at 0.6V and
+    // 0.8V" — the access transistor on the 0-storing side is reverse
+    // biased through the whole hold.
+    for (double vdd : {0.6, 0.8}) {
+        SramCell in = tfet6t(AccessDevice::kInwardP, 1.0, vdd);
+        SramCell out = tfet6t(AccessDevice::kOutwardN, 1.0, vdd);
+        const double p_in = worst_hold_static_power(in, kOpts);
+        const double p_out = worst_hold_static_power(out, kOpts);
+        const double orders = std::log10(p_out / p_in);
+        if (vdd == 0.6) {
+            EXPECT_GT(orders, 4.0);
+            EXPECT_LT(orders, 8.0);
+        } else {
+            EXPECT_GT(orders, 8.0);
+            EXPECT_LT(orders, 11.0);
+        }
+    }
+}
+
+TEST(Sec3StaticPower, TfetBeatsCmosBySixOrders) {
+    // The headline claim: 6-7 orders of magnitude lower static power than
+    // the 32 nm CMOS cell.
+    SramCell tfet = tfet6t(AccessDevice::kInwardP, 0.6);
+    SramCell cmos = cmos6t();
+    const double p_tfet = worst_hold_static_power(tfet, kOpts);
+    const double p_cmos = worst_hold_static_power(cmos, kOpts);
+    const double orders = std::log10(p_cmos / p_tfet);
+    EXPECT_GT(orders, 5.0);
+    EXPECT_LT(orders, 8.0);
+}
+
+// ---- Sec. 3: cell stability ----
+
+TEST(Sec3Stability, InwardNtfetCannotWrite) {
+    // "the WLcrit is infinite for all beta" for inward nTFET access.
+    for (double beta : {0.4, 1.0}) {
+        SramCell cell = tfet6t(AccessDevice::kInwardN, beta);
+        EXPECT_TRUE(std::isinf(critical_wordline_pulse(cell, Assist::kNone,
+                                                       kOpts)))
+            << "beta=" << beta;
+    }
+}
+
+TEST(Sec3Stability, InwardPtfetWritesForSmallBeta) {
+    // "... and [infinite] for beta > 1 for inward pTFET".
+    SramCell small = tfet6t(AccessDevice::kInwardP, 0.6);
+    const double wl_small =
+        critical_wordline_pulse(small, Assist::kNone, kOpts);
+    EXPECT_TRUE(std::isfinite(wl_small));
+    EXPECT_LT(wl_small, 500e-12);
+
+    SramCell large = tfet6t(AccessDevice::kInwardP, 1.3);
+    EXPECT_TRUE(std::isinf(
+        critical_wordline_pulse(large, Assist::kNone, kOpts)));
+}
+
+TEST(Sec3Stability, WlcritGrowsWithBeta) {
+    double prev = 0.0;
+    for (double beta : {0.4, 0.6, 0.8, 1.0}) {
+        SramCell cell = tfet6t(AccessDevice::kInwardP, beta);
+        const double wl = critical_wordline_pulse(cell, Assist::kNone, kOpts);
+        ASSERT_TRUE(std::isfinite(wl)) << "beta=" << beta;
+        EXPECT_GT(wl, prev) << "beta=" << beta;
+        prev = wl;
+    }
+}
+
+TEST(Sec3Stability, DrnmGrowsWithBeta) {
+    // Larger pull-downs resist the read disturb (Fig. 4a).
+    SramCell small = tfet6t(AccessDevice::kInwardP, 0.6);
+    SramCell large = tfet6t(AccessDevice::kInwardP, 1.5);
+    const DrnmResult d_small =
+        dynamic_read_noise_margin(small, Assist::kNone, kOpts);
+    const DrnmResult d_large =
+        dynamic_read_noise_margin(large, Assist::kNone, kOpts);
+    ASSERT_TRUE(d_small.valid);
+    ASSERT_TRUE(d_large.valid);
+    EXPECT_GT(d_large.drnm, d_small.drnm + 0.1);
+    EXPECT_FALSE(d_large.flipped);
+}
+
+TEST(Sec3Stability, WriteSizedCellCannotReadUnassisted) {
+    // The central tension of the paper: beta sized for write (0.6) loses
+    // the read. This is why a read assist is required at all.
+    SramCell cell = tfet6t(AccessDevice::kInwardP, 0.6);
+    const DrnmResult d = dynamic_read_noise_margin(cell, Assist::kNone, kOpts);
+    ASSERT_TRUE(d.valid);
+    EXPECT_TRUE(d.flipped || d.drnm < 0.05);
+}
+
+TEST(Sec3Stability, CmosWritesAtAnyBeta) {
+    // Bidirectional access transistors: both sides conduct during a CMOS
+    // write (Fig. 5a/b), so WLcrit stays finite and small even at beta
+    // values that kill the TFET cell.
+    for (double beta : {0.6, 1.5, 3.0}) {
+        SramCell cell = cmos6t(beta);
+        const double wl = critical_wordline_pulse(cell, Assist::kNone, kOpts);
+        ASSERT_TRUE(std::isfinite(wl)) << "beta=" << beta;
+        EXPECT_LT(wl, 300e-12) << "beta=" << beta;
+    }
+}
+
+TEST(Sec3Stability, BetaAffectsTfetMoreThanCmos) {
+    // "the value of beta has a much larger effect on the 6T TFET SRAM
+    // than the 6T CMOS SRAM."
+    SramCell t1 = tfet6t(AccessDevice::kInwardP, 0.4);
+    SramCell t2 = tfet6t(AccessDevice::kInwardP, 1.0);
+    SramCell c1 = cmos6t(0.4);
+    SramCell c2 = cmos6t(1.0);
+    const double t_ratio =
+        critical_wordline_pulse(t2, Assist::kNone, kOpts) /
+        critical_wordline_pulse(t1, Assist::kNone, kOpts);
+    const double c_ratio =
+        critical_wordline_pulse(c2, Assist::kNone, kOpts) /
+        critical_wordline_pulse(c1, Assist::kNone, kOpts);
+    EXPECT_GT(t_ratio, 2.0 * c_ratio);
+}
+
+// ---- Sec. 4: assists ----
+
+TEST(Sec4WriteAssist, GndRaisingWorksAtAllBeta) {
+    double prev = 0.0;
+    for (double beta : {1.5, 2.0, 3.0}) {
+        SramCell cell = tfet6t(AccessDevice::kInwardP, beta);
+        const double wl =
+            critical_wordline_pulse(cell, Assist::kWaGndRaising, kOpts);
+        ASSERT_TRUE(std::isfinite(wl)) << "beta=" << beta;
+        EXPECT_GT(wl, prev);
+        prev = wl;
+    }
+}
+
+TEST(Sec4WriteAssist, AccessAssistsBestAtLowBetaOnly) {
+    // Fig. 6(e): wordline lowering / bitline raising beat the rail assists
+    // at low beta but their advantage vanishes as beta grows.
+    SramCell low = tfet6t(AccessDevice::kInwardP, 1.5);
+    const double gnd_low =
+        critical_wordline_pulse(low, Assist::kWaGndRaising, kOpts);
+    SramCell low2 = tfet6t(AccessDevice::kInwardP, 1.5);
+    const double wlb_low =
+        critical_wordline_pulse(low2, Assist::kWaWordlineLowering, kOpts);
+    EXPECT_LT(wlb_low, gnd_low) << "access assist should win at beta=1.5";
+
+    SramCell hi = tfet6t(AccessDevice::kInwardP, 3.0);
+    const double gnd_hi =
+        critical_wordline_pulse(hi, Assist::kWaGndRaising, kOpts);
+    SramCell hi2 = tfet6t(AccessDevice::kInwardP, 3.0);
+    const double wlb_hi =
+        critical_wordline_pulse(hi2, Assist::kWaWordlineLowering, kOpts);
+    EXPECT_GT(wlb_hi, gnd_hi) << "rail assist should win at beta=3";
+}
+
+TEST(Sec4ReadAssist, GndLoweringRescuesWriteSizedCell) {
+    // The paper's conclusion: beta ~ 0.6 + GND-lowering RA gives both
+    // operations.
+    SramCell cell = tfet6t(AccessDevice::kInwardP, 0.6);
+    const DrnmResult bare =
+        dynamic_read_noise_margin(cell, Assist::kNone, kOpts);
+    const DrnmResult assisted =
+        dynamic_read_noise_margin(cell, Assist::kRaGndLowering, kOpts);
+    ASSERT_TRUE(assisted.valid);
+    EXPECT_FALSE(assisted.flipped);
+    EXPECT_GT(assisted.drnm, 0.3);
+    EXPECT_GT(assisted.drnm, bare.drnm + 0.2);
+}
+
+TEST(Sec4ReadAssist, AllFourImproveReads) {
+    SramCell bare_cell = tfet6t(AccessDevice::kInwardP, 0.6);
+    const double bare =
+        dynamic_read_noise_margin(bare_cell, Assist::kNone, kOpts).drnm;
+    for (Assist a : kReadAssists) {
+        SramCell cell = tfet6t(AccessDevice::kInwardP, 0.6);
+        const DrnmResult d = dynamic_read_noise_margin(cell, a, kOpts);
+        ASSERT_TRUE(d.valid) << to_string(a);
+        EXPECT_GT(d.drnm, bare) << to_string(a);
+        EXPECT_FALSE(d.flipped) << to_string(a);
+    }
+}
+
+// ---- Sec. 5: design comparison spot checks ----
+
+TEST(Sec5Comparison, ProposedDesignMeetsBothMargins) {
+    const DesignSpec d = proposed_design(0.8, models());
+    SramCell cell = build_cell(d.config);
+    const double wl = critical_wordline_pulse(cell, d.write_assist, kOpts);
+    EXPECT_TRUE(std::isfinite(wl));
+    EXPECT_LT(wl, 400e-12);
+    const DrnmResult dr = dynamic_read_noise_margin(cell, d.read_assist, kOpts);
+    ASSERT_TRUE(dr.valid);
+    EXPECT_FALSE(dr.flipped);
+    EXPECT_GT(dr.drnm, 0.3);
+}
+
+TEST(Sec5Comparison, CmosWritesFasterThanTfet) {
+    // "the 6T CMOS SRAM has smaller [write] delay than all the TFET SRAMs
+    // over most VDD" — bidirectional conduction.
+    const DesignSpec dt = proposed_design(0.8, models());
+    const DesignSpec dc = cmos_design(0.8, models());
+    SramCell tfet = build_cell(dt.config);
+    SramCell cmos = build_cell(dc.config);
+    const double td_t = write_delay(tfet, dt.write_assist, kOpts);
+    const double td_c = write_delay(cmos, dc.write_assist, kOpts);
+    ASSERT_FALSE(std::isnan(td_t));
+    ASSERT_FALSE(std::isnan(td_c));
+    EXPECT_LT(td_c, td_t);
+}
+
+TEST(Sec5Comparison, SevenTReadIsNonDisturbing) {
+    // The separate read port decouples the storage nodes: DRNM equals the
+    // hold margin, the highest of all TFET designs at nominal VDD.
+    const DesignSpec d7 = tfet7t_design(0.8, models());
+    SramCell cell = build_cell(d7.config);
+    const DrnmResult d = dynamic_read_noise_margin(cell, d7.read_assist, kOpts);
+    ASSERT_TRUE(d.valid);
+    EXPECT_FALSE(d.flipped);
+    EXPECT_GT(d.drnm, 0.7);
+}
+
+TEST(Sec5Comparison, SevenTReadsAndWrites) {
+    const DesignSpec d7 = tfet7t_design(0.8, models());
+    SramCell cell = build_cell(d7.config);
+    const double wl = critical_wordline_pulse(cell, d7.write_assist, kOpts);
+    EXPECT_TRUE(std::isfinite(wl));
+    const double rd = read_delay(cell, d7.read_assist, kOpts);
+    EXPECT_FALSE(std::isnan(rd));
+    EXPECT_GT(rd, 0.0);
+}
+
+TEST(Sec5Comparison, AsymmetricCellStaticPowerPenalty) {
+    // "4 orders of magnitude [more static power] at VDD = 0.5V" unless the
+    // bitlines float.
+    const device::ModelSet& m = models();
+    SramCell prop = build_cell(proposed_design(0.5, m).config);
+    SramCell asym = build_cell(asym6t_design(0.5, m).config);
+    const double p_prop = worst_hold_static_power(prop, kOpts);
+    const double p_asym = worst_hold_static_power(asym, kOpts);
+    const double orders = std::log10(p_asym / p_prop);
+    EXPECT_GT(orders, 3.0);
+    EXPECT_LT(orders, 6.0);
+}
+
+TEST(Sec5Comparison, AsymmetricCellWritesItsPolarity) {
+    const DesignSpec da = asym6t_design(0.8, models());
+    SramCell cell = build_cell(da.config);
+    const WriteOutcome out = attempt_write(cell, 800e-12, da.write_assist, kOpts);
+    EXPECT_TRUE(out.simulated);
+    EXPECT_TRUE(out.flipped);
+}
+
+TEST(Sec5Comparison, SevenTStaticPowerAsLowAsProposed) {
+    // "the 6T inpTFET SRAM with lowering RA and the 7T TFET SRAM consume
+    // the same static power" — the 7T write bitlines idle at 0.
+    const device::ModelSet& m = models();
+    SramCell prop = build_cell(proposed_design(0.8, m).config);
+    SramCell seven = build_cell(tfet7t_design(0.8, m).config);
+    const double p_prop = worst_hold_static_power(prop, kOpts);
+    const double p_seven = worst_hold_static_power(seven, kOpts);
+    EXPECT_LT(std::fabs(std::log10(p_seven / p_prop)), 1.0);
+}
+
+} // namespace
+} // namespace tfetsram::sram

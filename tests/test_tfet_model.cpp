@@ -1,0 +1,240 @@
+// TFET device-physics tests: calibration anchors, the hallmark steep
+// subthreshold swing, unidirectional conduction (the property the whole
+// paper revolves around), reverse-branch anchors, derivative consistency,
+// mirror symmetry, and oxide-thickness sensitivity.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/models.hpp"
+#include "device/tfet_model.hpp"
+
+namespace tfetsram::device {
+namespace {
+
+const TfetParams kDefault{};
+
+TEST(TfetModel, CalibrationAnchors) {
+    const TfetModel m(kDefault);
+    EXPECT_NEAR(m.iv(1.0, 1.0).ids, 1e-4, 1e-4 * 0.02);
+    EXPECT_NEAR(m.iv(0.0, 1.0).ids, 1e-17, 1e-17 * 0.05);
+}
+
+TEST(TfetModel, OnOffRatioThirteenDecades) {
+    const TfetModel m(kDefault);
+    const double ratio = m.iv(1.0, 1.0).ids / m.iv(0.0, 1.0).ids;
+    EXPECT_NEAR(std::log10(ratio), 13.0, 0.1);
+}
+
+TEST(TfetModel, SteepSwingNearThreshold) {
+    // TFET selling point: swing well below the 60 mV/dec MOSFET limit at
+    // low vgs; the average over the full 1 V swing is 1 V / 13 dec = 77 mV.
+    const TfetModel m(kDefault);
+    const double i1 = m.iv(0.05, 1.0).ids;
+    const double i2 = m.iv(0.15, 1.0).ids;
+    const double swing_mv = 0.1 / std::log10(i2 / i1) * 1e3;
+    EXPECT_LT(swing_mv, 40.0);
+    EXPECT_GT(swing_mv, 5.0);
+}
+
+TEST(TfetModel, SwingFlattensAtHighVgs) {
+    const TfetModel m(kDefault);
+    const double low =
+        0.1 / std::log10(m.iv(0.15, 1.0).ids / m.iv(0.05, 1.0).ids);
+    const double high =
+        0.1 / std::log10(m.iv(0.95, 1.0).ids / m.iv(0.85, 1.0).ids);
+    EXPECT_GT(high, 2.0 * low) << "swing must degrade with overdrive";
+}
+
+TEST(TfetModel, MonotoneInVgsForward) {
+    const TfetModel m(kDefault);
+    double prev = 0.0;
+    for (double vgs = 0.0; vgs <= 1.2; vgs += 0.05) {
+        const double i = m.iv(vgs, 0.8).ids;
+        EXPECT_GT(i, prev) << "vgs=" << vgs;
+        prev = i;
+    }
+}
+
+TEST(TfetModel, OutputCharacteristicSaturates) {
+    const TfetModel m(kDefault);
+    const double i_040 = m.iv(0.8, 0.40).ids;
+    const double i_080 = m.iv(0.8, 0.80).ids;
+    // Early saturation: doubling vds past ~3 v_sat gains little.
+    EXPECT_LT(i_080 / i_040, 1.35);
+    EXPECT_GT(i_080, i_040);
+}
+
+TEST(TfetModel, ZeroVdsZeroCurrent) {
+    const TfetModel m(kDefault);
+    EXPECT_DOUBLE_EQ(m.iv(0.8, 0.0).ids, 0.0);
+    EXPECT_DOUBLE_EQ(m.iv(0.0, 0.0).ids, 0.0);
+}
+
+// --- Unidirectional conduction (paper Fig. 2b) ---
+
+TEST(TfetModel, ReverseDiodeAnchors) {
+    // The calibrated p-i-n branch (gate off): ~1e-11 A at -0.6 V, ~1e-7 at
+    // -0.8 V, approaching the on-current scale at -1.0 V. These anchors set
+    // the outward-access static-power penalty of Sec. 3 (~5 / ~9 orders at
+    // 0.6 / 0.8 V).
+    const TfetModel m(kDefault);
+    EXPECT_NEAR(std::log10(-m.iv(0.0, -0.6).ids), -11.0, 0.3);
+    EXPECT_NEAR(std::log10(-m.iv(0.0, -0.8).ids), -7.0, 0.3);
+    EXPECT_NEAR(std::log10(-m.iv(0.0, -1.0).ids), -5.1, 0.4);
+}
+
+TEST(TfetModel, GateControlCompressedAtHighReverseBias) {
+    // Fig. 2(b): at low reverse bias the gate commands ~13 decades; at
+    // vds = -1 V the p-i-n diode floor compresses its authority to under
+    // one decade.
+    const TfetModel m(kDefault);
+    const double i_off = -m.iv(0.0, -1.0).ids;
+    const double i_on = -m.iv(1.0, -1.0).ids;
+    EXPECT_LT(i_on / i_off, 10.0);
+    EXPECT_GT(i_on / i_off, 1.0);
+}
+
+TEST(TfetModel, GateModulatesAtLowReverseBias) {
+    // At small reverse bias the gated tunneling path still responds.
+    const TfetModel m(kDefault);
+    const double i_off = -m.iv(0.0, -0.15).ids;
+    const double i_on = -m.iv(1.0, -0.15).ids;
+    EXPECT_GT(i_on / i_off, 1e3);
+}
+
+TEST(TfetModel, ReverseOnCurrentBelowForwardExceptNearEndpoints) {
+    // Fig. 2(b): the reverse on-current sits well below the forward
+    // on-current "except for VDS close to 1V or 0V".
+    const TfetModel m(kDefault);
+    for (double v : {0.3, 0.4, 0.5, 0.6, 0.7}) {
+        const double fwd = m.iv(1.0, v).ids;
+        const double rev = -m.iv(1.0, -v).ids;
+        EXPECT_LT(rev, 0.6 * fwd) << "vds=" << v;
+    }
+    // ... but comparable near 1 V and near 0 (the paper's caveat).
+    EXPECT_GT(-m.iv(1.0, -1.0).ids, 0.2 * m.iv(1.0, 1.0).ids);
+    EXPECT_GT(-m.iv(1.0, -0.05).ids, 0.5 * m.iv(1.0, 0.05).ids);
+}
+
+TEST(TfetModel, ReverseBranchLinearizedBeyondVcrit) {
+    // No overflow / superexponential blowup at large reverse bias.
+    const TfetModel m(kDefault);
+    const double i_15 = -m.iv(0.0, -1.5).ids;
+    const double i_20 = -m.iv(0.0, -2.0).ids;
+    EXPECT_TRUE(std::isfinite(i_20));
+    EXPECT_LT(i_20 / i_15, 10.0) << "linear extension, not exponential";
+}
+
+// --- Derivative consistency (Newton depends on it) ---
+
+class TfetDerivatives
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(TfetDerivatives, MatchFiniteDifferences) {
+    const TfetModel m(kDefault);
+    const auto [vgs, vds] = GetParam();
+    const double h = 1e-6;
+    const spice::IvSample s = m.iv(vgs, vds);
+    const double gm_fd =
+        (m.iv(vgs + h, vds).ids - m.iv(vgs - h, vds).ids) / (2 * h);
+    const double gds_fd =
+        (m.iv(vgs, vds + h).ids - m.iv(vgs, vds - h).ids) / (2 * h);
+    const double tol_gm = 1e-9 + 1e-4 * std::fabs(gm_fd);
+    const double tol_gds = 1e-9 + 1e-4 * std::fabs(gds_fd);
+    EXPECT_NEAR(s.gm, gm_fd, tol_gm);
+    EXPECT_NEAR(s.gds, gds_fd, tol_gds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BiasGrid, TfetDerivatives,
+    ::testing::Values(std::pair{0.0, 0.5}, std::pair{0.4, 0.1},
+                      std::pair{0.8, 0.8}, std::pair{1.0, 0.05},
+                      std::pair{0.6, -0.3}, std::pair{0.2, -0.9},
+                      std::pair{-0.2, 0.4}, std::pair{0.9, -0.05}));
+
+TEST(TfetModel, ContinuousAcrossVdsZero) {
+    const TfetModel m(kDefault);
+    const double eps = 1e-9;
+    const spice::IvSample lo = m.iv(0.8, -eps);
+    const spice::IvSample hi = m.iv(0.8, +eps);
+    EXPECT_NEAR(lo.ids, hi.ids, 1e-12);
+    EXPECT_NEAR(lo.gds, hi.gds, 1e-6 * std::fabs(hi.gds) + 1e-12);
+}
+
+// --- C-V ---
+
+TEST(TfetModel, CapacitancesPositiveAndBounded) {
+    const TfetModel m(kDefault);
+    for (double vgs = -1.0; vgs <= 1.2; vgs += 0.2) {
+        for (double vds = -1.0; vds <= 1.2; vds += 0.2) {
+            const spice::CvSample c = m.cv(vgs, vds);
+            EXPECT_GT(c.cgs, 0.0);
+            EXPECT_GT(c.cgd, 0.0);
+            EXPECT_LT(c.cgs, 2e-15);
+            EXPECT_LT(c.cgd, 2e-15);
+        }
+    }
+}
+
+TEST(TfetModel, MillerCapacitanceDrainDominatedInSaturation) {
+    // In saturation the TFET channel charge couples to the drain (the
+    // enhanced Miller effect); near vds = 0 it splits roughly evenly.
+    const TfetModel m(kDefault);
+    const spice::CvSample sat = m.cv(0.8, 0.8);
+    EXPECT_GT(sat.cgd, 2.0 * sat.cgs);
+    const spice::CvSample lin = m.cv(0.8, 0.0);
+    EXPECT_NEAR(lin.cgd / lin.cgs, 1.0, 0.25);
+}
+
+// --- Polarity mirror ---
+
+TEST(PtfetMirror, MirrorsCurrentAndDerivatives) {
+    const auto n = make_ntfet();
+    const auto p = make_ptfet();
+    for (double vgs : {-0.8, -0.3, 0.2}) {
+        for (double vds : {-0.8, -0.2, 0.5}) {
+            const spice::IvSample sn = n->iv(-vgs, -vds);
+            const spice::IvSample sp = p->iv(vgs, vds);
+            EXPECT_NEAR(sp.ids, -sn.ids, 1e-18 + 1e-12 * std::fabs(sn.ids));
+            EXPECT_NEAR(sp.gm, sn.gm, 1e-15 + 1e-9 * std::fabs(sn.gm));
+            EXPECT_NEAR(sp.gds, sn.gds, 1e-15 + 1e-9 * std::fabs(sn.gds));
+        }
+    }
+}
+
+TEST(PtfetMirror, ForwardConductionNegativeBias) {
+    // pTFET conducts source->drain with vgs, vds < 0.
+    const auto p = make_ptfet();
+    EXPECT_NEAR(p->iv(-1.0, -1.0).ids, -1e-4, 1e-6);
+    EXPECT_NEAR(p->iv(0.0, -1.0).ids, -1e-17, 1e-18);
+}
+
+// --- Process variation hook ---
+
+TEST(TfetModel, ThinnerOxideRaisesOnCurrent) {
+    TfetParams thin = kDefault;
+    thin.tox = 0.95 * thin.tox_nom;
+    TfetParams thick = kDefault;
+    thick.tox = 1.05 * thick.tox_nom;
+    const TfetModel m_thin(thin);
+    const TfetModel m_nom(kDefault);
+    const TfetModel m_thick(thick);
+    const double i_thin = m_thin.iv(0.5, 0.8).ids;
+    const double i_nom = m_nom.iv(0.5, 0.8).ids;
+    const double i_thick = m_thick.iv(0.5, 0.8).ids;
+    EXPECT_GT(i_thin, i_nom);
+    EXPECT_GT(i_nom, i_thick);
+    // Exponential sensitivity: +/-5 % tox moves mid-swing current a lot.
+    EXPECT_GT(i_thin / i_thick, 2.0);
+}
+
+TEST(TfetModel, CalibrationRejectsBadAnchors) {
+    TfetParams bad = kDefault;
+    bad.i_off = 1e-3; // off above on
+    EXPECT_THROW(TfetModel{bad}, contract_violation);
+}
+
+} // namespace
+} // namespace tfetsram::device

@@ -1,0 +1,61 @@
+// Unit tests for stimulus waveforms: DC, PWL, pulse factories, scaling,
+// breakpoint reporting.
+
+#include <gtest/gtest.h>
+
+#include "spice/waveform.hpp"
+
+namespace tfetsram::spice {
+namespace {
+
+TEST(Waveform, DcIsConstant) {
+    const Waveform w = Waveform::dc(0.8);
+    EXPECT_DOUBLE_EQ(w.at(0.0), 0.8);
+    EXPECT_DOUBLE_EQ(w.at(1e-9), 0.8);
+    EXPECT_TRUE(w.is_dc());
+    EXPECT_TRUE(w.breakpoints().empty());
+}
+
+TEST(Waveform, PwlInterpolatesAndClamps) {
+    const Waveform w = Waveform::pwl({{1e-9, 0.0}, {2e-9, 1.0}});
+    EXPECT_DOUBLE_EQ(w.at(0.0), 0.0);      // before: first value holds
+    EXPECT_DOUBLE_EQ(w.at(1.5e-9), 0.5);   // midpoint
+    EXPECT_DOUBLE_EQ(w.at(3e-9), 1.0);     // after: last value holds
+    EXPECT_FALSE(w.is_dc());
+}
+
+TEST(Waveform, PwlRejectsNonMonotonicTimes) {
+    EXPECT_THROW(Waveform::pwl({{2e-9, 0.0}, {1e-9, 1.0}}), contract_violation);
+}
+
+TEST(Waveform, PulseShape) {
+    const Waveform w =
+        Waveform::pulse(/*base=*/0.0, /*active=*/1.0, /*t_start=*/1e-9,
+                        /*t_rise=*/1e-10, /*t_width=*/5e-10, /*t_fall=*/1e-10);
+    EXPECT_DOUBLE_EQ(w.at(0.0), 0.0);
+    EXPECT_NEAR(w.at(1.1e-9), 1.0, 1e-9);               // after rise
+    EXPECT_DOUBLE_EQ(w.at(1.35e-9), 1.0);               // mid-hold
+    EXPECT_NEAR(w.at(1.05e-9), 0.5, 1e-9);              // mid-rise
+    EXPECT_DOUBLE_EQ(w.at(2.0e-9), 0.0);                // back at base
+    EXPECT_EQ(w.breakpoints().size(), 4u);
+}
+
+TEST(Waveform, InitialIsValueAtZero) {
+    const Waveform w = Waveform::pwl({{0.0, 0.3}, {1e-9, 0.9}});
+    EXPECT_DOUBLE_EQ(w.initial(), 0.3);
+}
+
+TEST(Waveform, ScaledMultipliesValues) {
+    const Waveform w = Waveform::pwl({{1e-9, 1.0}, {2e-9, 2.0}}).scaled(0.5);
+    EXPECT_DOUBLE_EQ(w.at(1e-9), 0.5);
+    EXPECT_DOUBLE_EQ(w.at(2e-9), 1.0);
+}
+
+TEST(Waveform, BreakpointsExcludeZero) {
+    const Waveform w = Waveform::pwl({{0.0, 0.0}, {1e-9, 1.0}});
+    ASSERT_EQ(w.breakpoints().size(), 1u);
+    EXPECT_DOUBLE_EQ(w.breakpoints()[0], 1e-9);
+}
+
+} // namespace
+} // namespace tfetsram::spice
