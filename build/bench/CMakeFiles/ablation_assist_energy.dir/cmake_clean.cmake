@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_assist_energy.dir/ablation_assist_energy.cpp.o"
+  "CMakeFiles/ablation_assist_energy.dir/ablation_assist_energy.cpp.o.d"
+  "ablation_assist_energy"
+  "ablation_assist_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_assist_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

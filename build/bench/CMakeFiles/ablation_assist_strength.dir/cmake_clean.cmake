@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_assist_strength.dir/ablation_assist_strength.cpp.o"
+  "CMakeFiles/ablation_assist_strength.dir/ablation_assist_strength.cpp.o.d"
+  "ablation_assist_strength"
+  "ablation_assist_strength.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_assist_strength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/array_scaling.dir/array_scaling.cpp.o"
+  "CMakeFiles/array_scaling.dir/array_scaling.cpp.o.d"
+  "array_scaling"
+  "array_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/array_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_mc_read_assist.dir/fig10_mc_read_assist.cpp.o"
+  "CMakeFiles/fig10_mc_read_assist.dir/fig10_mc_read_assist.cpp.o.d"
+  "fig10_mc_read_assist"
+  "fig10_mc_read_assist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_mc_read_assist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

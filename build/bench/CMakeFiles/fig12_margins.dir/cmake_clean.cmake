@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_margins.dir/fig12_margins.cpp.o"
+  "CMakeFiles/fig12_margins.dir/fig12_margins.cpp.o.d"
+  "fig12_margins"
+  "fig12_margins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_margins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_tfet_iv.dir/fig2_tfet_iv.cpp.o"
+  "CMakeFiles/fig2_tfet_iv.dir/fig2_tfet_iv.cpp.o.d"
+  "fig2_tfet_iv"
+  "fig2_tfet_iv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_tfet_iv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_tfet_iv.
+# This may be replaced when dependencies are built.

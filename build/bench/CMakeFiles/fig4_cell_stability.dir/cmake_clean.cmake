@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cell_stability.dir/fig4_cell_stability.cpp.o"
+  "CMakeFiles/fig4_cell_stability.dir/fig4_cell_stability.cpp.o.d"
+  "fig4_cell_stability"
+  "fig4_cell_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cell_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

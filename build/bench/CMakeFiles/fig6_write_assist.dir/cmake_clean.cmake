@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_write_assist.dir/fig6_write_assist.cpp.o"
+  "CMakeFiles/fig6_write_assist.dir/fig6_write_assist.cpp.o.d"
+  "fig6_write_assist"
+  "fig6_write_assist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_write_assist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

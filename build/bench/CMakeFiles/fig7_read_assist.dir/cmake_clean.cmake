@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_read_assist.dir/fig7_read_assist.cpp.o"
+  "CMakeFiles/fig7_read_assist.dir/fig7_read_assist.cpp.o.d"
+  "fig7_read_assist"
+  "fig7_read_assist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_read_assist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

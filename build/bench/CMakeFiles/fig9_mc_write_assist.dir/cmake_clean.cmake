@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_mc_write_assist.dir/fig9_mc_write_assist.cpp.o"
+  "CMakeFiles/fig9_mc_write_assist.dir/fig9_mc_write_assist.cpp.o.d"
+  "fig9_mc_write_assist"
+  "fig9_mc_write_assist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_mc_write_assist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

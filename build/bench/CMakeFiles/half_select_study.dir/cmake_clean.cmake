@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/half_select_study.dir/half_select_study.cpp.o"
+  "CMakeFiles/half_select_study.dir/half_select_study.cpp.o.d"
+  "half_select_study"
+  "half_select_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/half_select_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for half_select_study.
+# This may be replaced when dependencies are built.

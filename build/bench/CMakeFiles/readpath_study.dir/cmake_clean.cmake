@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/readpath_study.dir/readpath_study.cpp.o"
+  "CMakeFiles/readpath_study.dir/readpath_study.cpp.o.d"
+  "readpath_study"
+  "readpath_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/readpath_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

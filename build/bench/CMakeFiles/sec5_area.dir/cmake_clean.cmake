@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_area.dir/sec5_area.cpp.o"
+  "CMakeFiles/sec5_area.dir/sec5_area.cpp.o.d"
+  "sec5_area"
+  "sec5_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_static_power.dir/sec5_static_power.cpp.o"
+  "CMakeFiles/sec5_static_power.dir/sec5_static_power.cpp.o.d"
+  "sec5_static_power"
+  "sec5_static_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_static_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

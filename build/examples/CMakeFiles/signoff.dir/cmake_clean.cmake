@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signoff.dir/signoff.cpp.o"
+  "CMakeFiles/signoff.dir/signoff.cpp.o.d"
+  "signoff"
+  "signoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

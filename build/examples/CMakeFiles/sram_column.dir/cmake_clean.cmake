@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sram_column.dir/sram_column.cpp.o"
+  "CMakeFiles/sram_column.dir/sram_column.cpp.o.d"
+  "sram_column"
+  "sram_column.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sram_column.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_array.dir/array/array.cpp.o"
+  "CMakeFiles/repro_array.dir/array/array.cpp.o.d"
+  "librepro_array.a"
+  "librepro_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

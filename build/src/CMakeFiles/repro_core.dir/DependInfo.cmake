@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/explorer.cpp" "src/CMakeFiles/repro_core.dir/core/explorer.cpp.o" "gcc" "src/CMakeFiles/repro_core.dir/core/explorer.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/repro_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/repro_core.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/signoff.cpp" "src/CMakeFiles/repro_core.dir/core/signoff.cpp.o" "gcc" "src/CMakeFiles/repro_core.dir/core/signoff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/repro_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/device_table.cpp" "src/CMakeFiles/repro_device.dir/device/device_table.cpp.o" "gcc" "src/CMakeFiles/repro_device.dir/device/device_table.cpp.o.d"
+  "/root/repo/src/device/grid2d.cpp" "src/CMakeFiles/repro_device.dir/device/grid2d.cpp.o" "gcc" "src/CMakeFiles/repro_device.dir/device/grid2d.cpp.o.d"
+  "/root/repo/src/device/models.cpp" "src/CMakeFiles/repro_device.dir/device/models.cpp.o" "gcc" "src/CMakeFiles/repro_device.dir/device/models.cpp.o.d"
+  "/root/repo/src/device/mosfet_model.cpp" "src/CMakeFiles/repro_device.dir/device/mosfet_model.cpp.o" "gcc" "src/CMakeFiles/repro_device.dir/device/mosfet_model.cpp.o.d"
+  "/root/repo/src/device/table_builder.cpp" "src/CMakeFiles/repro_device.dir/device/table_builder.cpp.o" "gcc" "src/CMakeFiles/repro_device.dir/device/table_builder.cpp.o.d"
+  "/root/repo/src/device/tfet_model.cpp" "src/CMakeFiles/repro_device.dir/device/tfet_model.cpp.o" "gcc" "src/CMakeFiles/repro_device.dir/device/tfet_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/repro_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

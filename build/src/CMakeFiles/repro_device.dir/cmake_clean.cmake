@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_device.dir/device/device_table.cpp.o"
+  "CMakeFiles/repro_device.dir/device/device_table.cpp.o.d"
+  "CMakeFiles/repro_device.dir/device/grid2d.cpp.o"
+  "CMakeFiles/repro_device.dir/device/grid2d.cpp.o.d"
+  "CMakeFiles/repro_device.dir/device/models.cpp.o"
+  "CMakeFiles/repro_device.dir/device/models.cpp.o.d"
+  "CMakeFiles/repro_device.dir/device/mosfet_model.cpp.o"
+  "CMakeFiles/repro_device.dir/device/mosfet_model.cpp.o.d"
+  "CMakeFiles/repro_device.dir/device/table_builder.cpp.o"
+  "CMakeFiles/repro_device.dir/device/table_builder.cpp.o.d"
+  "CMakeFiles/repro_device.dir/device/tfet_model.cpp.o"
+  "CMakeFiles/repro_device.dir/device/tfet_model.cpp.o.d"
+  "librepro_device.a"
+  "librepro_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

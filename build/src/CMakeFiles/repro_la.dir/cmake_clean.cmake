@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_la.dir/la/lu.cpp.o"
+  "CMakeFiles/repro_la.dir/la/lu.cpp.o.d"
+  "CMakeFiles/repro_la.dir/la/matrix.cpp.o"
+  "CMakeFiles/repro_la.dir/la/matrix.cpp.o.d"
+  "librepro_la.a"
+  "librepro_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_mc.dir/mc/monte_carlo.cpp.o"
+  "CMakeFiles/repro_mc.dir/mc/monte_carlo.cpp.o.d"
+  "CMakeFiles/repro_mc.dir/mc/statistics.cpp.o"
+  "CMakeFiles/repro_mc.dir/mc/statistics.cpp.o.d"
+  "CMakeFiles/repro_mc.dir/mc/variation.cpp.o"
+  "CMakeFiles/repro_mc.dir/mc/variation.cpp.o.d"
+  "librepro_mc.a"
+  "librepro_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_netlist.dir/netlist/netlist.cpp.o"
+  "CMakeFiles/repro_netlist.dir/netlist/netlist.cpp.o.d"
+  "librepro_netlist.a"
+  "librepro_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

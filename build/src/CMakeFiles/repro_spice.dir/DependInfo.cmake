@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/ac.cpp" "src/CMakeFiles/repro_spice.dir/spice/ac.cpp.o" "gcc" "src/CMakeFiles/repro_spice.dir/spice/ac.cpp.o.d"
+  "/root/repo/src/spice/circuit.cpp" "src/CMakeFiles/repro_spice.dir/spice/circuit.cpp.o" "gcc" "src/CMakeFiles/repro_spice.dir/spice/circuit.cpp.o.d"
+  "/root/repo/src/spice/dc.cpp" "src/CMakeFiles/repro_spice.dir/spice/dc.cpp.o" "gcc" "src/CMakeFiles/repro_spice.dir/spice/dc.cpp.o.d"
+  "/root/repo/src/spice/device.cpp" "src/CMakeFiles/repro_spice.dir/spice/device.cpp.o" "gcc" "src/CMakeFiles/repro_spice.dir/spice/device.cpp.o.d"
+  "/root/repo/src/spice/elements.cpp" "src/CMakeFiles/repro_spice.dir/spice/elements.cpp.o" "gcc" "src/CMakeFiles/repro_spice.dir/spice/elements.cpp.o.d"
+  "/root/repo/src/spice/mna.cpp" "src/CMakeFiles/repro_spice.dir/spice/mna.cpp.o" "gcc" "src/CMakeFiles/repro_spice.dir/spice/mna.cpp.o.d"
+  "/root/repo/src/spice/report.cpp" "src/CMakeFiles/repro_spice.dir/spice/report.cpp.o" "gcc" "src/CMakeFiles/repro_spice.dir/spice/report.cpp.o.d"
+  "/root/repo/src/spice/transient.cpp" "src/CMakeFiles/repro_spice.dir/spice/transient.cpp.o" "gcc" "src/CMakeFiles/repro_spice.dir/spice/transient.cpp.o.d"
+  "/root/repo/src/spice/transistor.cpp" "src/CMakeFiles/repro_spice.dir/spice/transistor.cpp.o" "gcc" "src/CMakeFiles/repro_spice.dir/spice/transistor.cpp.o.d"
+  "/root/repo/src/spice/waveform.cpp" "src/CMakeFiles/repro_spice.dir/spice/waveform.cpp.o" "gcc" "src/CMakeFiles/repro_spice.dir/spice/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/repro_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_spice.dir/spice/ac.cpp.o"
+  "CMakeFiles/repro_spice.dir/spice/ac.cpp.o.d"
+  "CMakeFiles/repro_spice.dir/spice/circuit.cpp.o"
+  "CMakeFiles/repro_spice.dir/spice/circuit.cpp.o.d"
+  "CMakeFiles/repro_spice.dir/spice/dc.cpp.o"
+  "CMakeFiles/repro_spice.dir/spice/dc.cpp.o.d"
+  "CMakeFiles/repro_spice.dir/spice/device.cpp.o"
+  "CMakeFiles/repro_spice.dir/spice/device.cpp.o.d"
+  "CMakeFiles/repro_spice.dir/spice/elements.cpp.o"
+  "CMakeFiles/repro_spice.dir/spice/elements.cpp.o.d"
+  "CMakeFiles/repro_spice.dir/spice/mna.cpp.o"
+  "CMakeFiles/repro_spice.dir/spice/mna.cpp.o.d"
+  "CMakeFiles/repro_spice.dir/spice/report.cpp.o"
+  "CMakeFiles/repro_spice.dir/spice/report.cpp.o.d"
+  "CMakeFiles/repro_spice.dir/spice/transient.cpp.o"
+  "CMakeFiles/repro_spice.dir/spice/transient.cpp.o.d"
+  "CMakeFiles/repro_spice.dir/spice/transistor.cpp.o"
+  "CMakeFiles/repro_spice.dir/spice/transistor.cpp.o.d"
+  "CMakeFiles/repro_spice.dir/spice/waveform.cpp.o"
+  "CMakeFiles/repro_spice.dir/spice/waveform.cpp.o.d"
+  "librepro_spice.a"
+  "librepro_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

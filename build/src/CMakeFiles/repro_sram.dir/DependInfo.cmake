@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sram/area.cpp" "src/CMakeFiles/repro_sram.dir/sram/area.cpp.o" "gcc" "src/CMakeFiles/repro_sram.dir/sram/area.cpp.o.d"
+  "/root/repo/src/sram/assist.cpp" "src/CMakeFiles/repro_sram.dir/sram/assist.cpp.o" "gcc" "src/CMakeFiles/repro_sram.dir/sram/assist.cpp.o.d"
+  "/root/repo/src/sram/cell.cpp" "src/CMakeFiles/repro_sram.dir/sram/cell.cpp.o" "gcc" "src/CMakeFiles/repro_sram.dir/sram/cell.cpp.o.d"
+  "/root/repo/src/sram/designs.cpp" "src/CMakeFiles/repro_sram.dir/sram/designs.cpp.o" "gcc" "src/CMakeFiles/repro_sram.dir/sram/designs.cpp.o.d"
+  "/root/repo/src/sram/metrics.cpp" "src/CMakeFiles/repro_sram.dir/sram/metrics.cpp.o" "gcc" "src/CMakeFiles/repro_sram.dir/sram/metrics.cpp.o.d"
+  "/root/repo/src/sram/operations.cpp" "src/CMakeFiles/repro_sram.dir/sram/operations.cpp.o" "gcc" "src/CMakeFiles/repro_sram.dir/sram/operations.cpp.o.d"
+  "/root/repo/src/sram/periphery.cpp" "src/CMakeFiles/repro_sram.dir/sram/periphery.cpp.o" "gcc" "src/CMakeFiles/repro_sram.dir/sram/periphery.cpp.o.d"
+  "/root/repo/src/sram/snm.cpp" "src/CMakeFiles/repro_sram.dir/sram/snm.cpp.o" "gcc" "src/CMakeFiles/repro_sram.dir/sram/snm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/repro_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_sram.dir/sram/area.cpp.o"
+  "CMakeFiles/repro_sram.dir/sram/area.cpp.o.d"
+  "CMakeFiles/repro_sram.dir/sram/assist.cpp.o"
+  "CMakeFiles/repro_sram.dir/sram/assist.cpp.o.d"
+  "CMakeFiles/repro_sram.dir/sram/cell.cpp.o"
+  "CMakeFiles/repro_sram.dir/sram/cell.cpp.o.d"
+  "CMakeFiles/repro_sram.dir/sram/designs.cpp.o"
+  "CMakeFiles/repro_sram.dir/sram/designs.cpp.o.d"
+  "CMakeFiles/repro_sram.dir/sram/metrics.cpp.o"
+  "CMakeFiles/repro_sram.dir/sram/metrics.cpp.o.d"
+  "CMakeFiles/repro_sram.dir/sram/operations.cpp.o"
+  "CMakeFiles/repro_sram.dir/sram/operations.cpp.o.d"
+  "CMakeFiles/repro_sram.dir/sram/periphery.cpp.o"
+  "CMakeFiles/repro_sram.dir/sram/periphery.cpp.o.d"
+  "CMakeFiles/repro_sram.dir/sram/snm.cpp.o"
+  "CMakeFiles/repro_sram.dir/sram/snm.cpp.o.d"
+  "librepro_sram.a"
+  "librepro_sram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

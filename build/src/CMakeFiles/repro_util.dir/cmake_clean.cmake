@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_util.dir/util/csv.cpp.o"
+  "CMakeFiles/repro_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/repro_util.dir/util/histogram.cpp.o"
+  "CMakeFiles/repro_util.dir/util/histogram.cpp.o.d"
+  "CMakeFiles/repro_util.dir/util/stats.cpp.o"
+  "CMakeFiles/repro_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/repro_util.dir/util/table_printer.cpp.o"
+  "CMakeFiles/repro_util.dir/util/table_printer.cpp.o.d"
+  "CMakeFiles/repro_util.dir/util/units.cpp.o"
+  "CMakeFiles/repro_util.dir/util/units.cpp.o.d"
+  "librepro_util.a"
+  "librepro_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_table.dir/test_device_table.cpp.o"
+  "CMakeFiles/test_device_table.dir/test_device_table.cpp.o.d"
+  "test_device_table"
+  "test_device_table.pdb"
+  "test_device_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics_area.dir/test_metrics_area.cpp.o"
+  "CMakeFiles/test_metrics_area.dir/test_metrics_area.cpp.o.d"
+  "test_metrics_area"
+  "test_metrics_area.pdb"
+  "test_metrics_area[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_periphery.
+# This may be replaced when dependencies are built.

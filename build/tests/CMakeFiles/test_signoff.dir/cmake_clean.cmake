@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_signoff.dir/test_signoff.cpp.o"
+  "CMakeFiles/test_signoff.dir/test_signoff.cpp.o.d"
+  "test_signoff"
+  "test_signoff.pdb"
+  "test_signoff[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_signoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice_ac.dir/test_spice_ac.cpp.o"
+  "CMakeFiles/test_spice_ac.dir/test_spice_ac.cpp.o.d"
+  "test_spice_ac"
+  "test_spice_ac.pdb"
+  "test_spice_ac[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice_ac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice_dc.dir/test_spice_dc.cpp.o"
+  "CMakeFiles/test_spice_dc.dir/test_spice_dc.cpp.o.d"
+  "test_spice_dc"
+  "test_spice_dc.pdb"
+  "test_spice_dc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice_dc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

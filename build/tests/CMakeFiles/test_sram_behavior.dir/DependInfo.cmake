@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sram_behavior.cpp" "tests/CMakeFiles/test_sram_behavior.dir/test_sram_behavior.cpp.o" "gcc" "tests/CMakeFiles/test_sram_behavior.dir/test_sram_behavior.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/repro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sram_behavior.dir/test_sram_behavior.cpp.o"
+  "CMakeFiles/test_sram_behavior.dir/test_sram_behavior.cpp.o.d"
+  "test_sram_behavior"
+  "test_sram_behavior.pdb"
+  "test_sram_behavior[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sram_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_temperature.dir/test_temperature.cpp.o"
+  "CMakeFiles/test_temperature.dir/test_temperature.cpp.o.d"
+  "test_temperature"
+  "test_temperature.pdb"
+  "test_temperature[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

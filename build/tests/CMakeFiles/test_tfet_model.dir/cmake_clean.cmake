@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tfet_model.dir/test_tfet_model.cpp.o"
+  "CMakeFiles/test_tfet_model.dir/test_tfet_model.cpp.o.d"
+  "test_tfet_model"
+  "test_tfet_model.pdb"
+  "test_tfet_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tfet_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

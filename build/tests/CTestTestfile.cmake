@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_la[1]_include.cmake")
+include("/root/repo/build/tests/test_waveform[1]_include.cmake")
+include("/root/repo/build/tests/test_spice_dc[1]_include.cmake")
+include("/root/repo/build/tests/test_spice_transient[1]_include.cmake")
+include("/root/repo/build/tests/test_tfet_model[1]_include.cmake")
+include("/root/repo/build/tests/test_mosfet_model[1]_include.cmake")
+include("/root/repo/build/tests/test_device_table[1]_include.cmake")
+include("/root/repo/build/tests/test_assist[1]_include.cmake")
+include("/root/repo/build/tests/test_cell[1]_include.cmake")
+include("/root/repo/build/tests/test_operations[1]_include.cmake")
+include("/root/repo/build/tests/test_sram_behavior[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics_area[1]_include.cmake")
+include("/root/repo/build/tests/test_mc[1]_include.cmake")
+include("/root/repo/build/tests/test_explorer[1]_include.cmake")
+include("/root/repo/build/tests/test_regressions[1]_include.cmake")
+include("/root/repo/build/tests/test_snm[1]_include.cmake")
+include("/root/repo/build/tests/test_spice_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_temperature[1]_include.cmake")
+include("/root/repo/build/tests/test_array[1]_include.cmake")
+include("/root/repo/build/tests/test_netlist[1]_include.cmake")
+include("/root/repo/build/tests/test_spice_ac[1]_include.cmake")
+include("/root/repo/build/tests/test_energy_drv[1]_include.cmake")
+include("/root/repo/build/tests/test_signoff[1]_include.cmake")
+include("/root/repo/build/tests/test_statistics[1]_include.cmake")
+include("/root/repo/build/tests/test_periphery[1]_include.cmake")
+include("/root/repo/build/tests/test_golden[1]_include.cmake")
