@@ -2,71 +2,12 @@
 // size on the dense-MNA engine. Documents where the O(n^3) LU kernel puts
 // the practical ceiling for this engine (a sparse factorization is the
 // natural next step for macro-scale arrays).
+// Runner-ported: see figures.cpp for the task graph.
 
-#include <chrono>
-
-#include "array/array.hpp"
-#include "bench_common.hpp"
-
-using namespace tfetsram;
-using clk = std::chrono::steady_clock;
+#include "figures.hpp"
 
 int main() {
-    bench::banner("Array scaling", "write+read wall time vs array size");
-    auto csv = bench::open_csv("array_scaling");
-    csv.write_row(std::vector<std::string>{"rows", "cols", "transistors",
-                                           "unknowns", "init_s", "write_s",
-                                           "read_s", "ok"});
-
-    TablePrinter table({"array", "transistors", "unknowns", "init", "write",
-                        "read", "functional"});
-    for (const auto [rows, cols] :
-         {std::pair<std::size_t, std::size_t>{2, 2}, {4, 2}, {4, 4},
-          {8, 4}}) {
-        array::ArrayConfig cfg;
-        cfg.rows = rows;
-        cfg.cols = cols;
-        cfg.cell = sram::proposed_design(0.8, bench::standard_models()).config;
-        cfg.read_assist = sram::Assist::kRaGndLowering;
-        array::SramArray arr(cfg);
-        const std::size_t unknowns = arr.circuit().num_unknowns();
-
-        const auto t0 = clk::now();
-        std::vector<std::vector<bool>> zeros(rows,
-                                             std::vector<bool>(cols, false));
-        const bool init_ok = arr.initialize(zeros);
-        const auto t1 = clk::now();
-        bool ok = init_ok;
-        if (init_ok)
-            ok = arr.write(rows / 2, cols / 2, true).ok;
-        const auto t2 = clk::now();
-        bool read_ok = false;
-        if (ok) {
-            const array::ReadResult r = arr.read(rows / 2, cols / 2);
-            read_ok = r.ok && r.value;
-        }
-        const auto t3 = clk::now();
-
-        auto secs = [](clk::time_point a, clk::time_point b) {
-            return std::chrono::duration<double>(b - a).count();
-        };
-        table.add_row(
-            {std::to_string(rows) + "x" + std::to_string(cols),
-             std::to_string(arr.circuit().transistors().size()),
-             std::to_string(unknowns), format_si(secs(t0, t1), "s"),
-             format_si(secs(t1, t2), "s"), format_si(secs(t2, t3), "s"),
-             ok && read_ok ? "yes" : "NO"});
-        csv.write_row({static_cast<double>(rows), static_cast<double>(cols),
-                       static_cast<double>(arr.circuit().transistors().size()),
-                       static_cast<double>(unknowns), secs(t0, t1),
-                       secs(t1, t2), secs(t2, t3),
-                       ok && read_ok ? 1.0 : 0.0});
-    }
-    std::cout << table.render();
-
-    bench::expectation(
-        "functional behaviour holds at every size; wall time grows roughly "
-        "with unknowns^3 per Newton solve (dense LU), flagging sparse "
-        "factorization as the next engine milestone for macro arrays.");
-    return 0;
+    using namespace tfetsram;
+    return bench::run_array_scaling(
+        runner::RunnerConfig::from_env("array_scaling"));
 }

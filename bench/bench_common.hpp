@@ -11,6 +11,7 @@
 #include "core/report.hpp"
 #include "device/models.hpp"
 #include "mc/monte_carlo.hpp"
+#include "runner/runner.hpp"
 #include "sram/designs.hpp"
 #include "sram/metrics.hpp"
 #include "util/csv.hpp"
@@ -31,10 +32,24 @@ inline const std::vector<double>& vdd_sweep() {
     return v;
 }
 
-/// Open a CSV sink for this benchmark under ./bench_csv.
+/// Open a CSV sink in `dir` (created on demand).
+inline CsvWriter open_csv(const std::string& name,
+                          const std::filesystem::path& dir) {
+    std::filesystem::create_directories(dir);
+    return CsvWriter((dir / (name + ".csv")).string());
+}
+
+/// Open a CSV sink for this benchmark under TFETSRAM_OUT_DIR, falling back
+/// to the historical ./bench_csv (relative to the cwd).
 inline CsvWriter open_csv(const std::string& name) {
-    std::filesystem::create_directories("bench_csv");
-    return CsvWriter("bench_csv/" + name + ".csv");
+    return open_csv(name, runner::out_dir_from_env());
+}
+
+/// Runner-ported benches route their CSV through the telemetry config so
+/// journal, BENCH json, and CSV all land in the same out dir.
+inline CsvWriter open_csv(const std::string& name,
+                          const runner::RunnerConfig& cfg) {
+    return open_csv(name, cfg.out_dir);
 }
 
 /// Standard banner.

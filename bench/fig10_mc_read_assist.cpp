@@ -3,79 +3,12 @@
 // paper's RA study point and final design). Prints the DRNM occurrence
 // histograms (a-d) and the WLcrit spread (e), which is much smaller than
 // the WA case thanks to the stronger access transistors.
+// Runner-ported: see figures.cpp for the task graph.
 
-#include <cmath>
-
-#include "bench_common.hpp"
-
-using namespace tfetsram;
+#include "figures.hpp"
 
 int main() {
-    const std::size_t samples = mc::mc_samples_from_env(60);
-    bench::banner("Fig. 10",
-                  "process variation vs read assists (beta = 0.6, " +
-                      std::to_string(samples) + " samples)");
-    const sram::MetricOptions opts;
-
-    sram::CellConfig cfg;
-    cfg.kind = sram::CellKind::kTfet6T;
-    cfg.access = sram::AccessDevice::kInwardP;
-    cfg.beta = 0.6;
-    cfg.models = bench::standard_models();
-
-    mc::VariationSpec vspec;
-    const mc::TfetVariationSampler sampler(vspec);
-
-    auto csv = bench::open_csv("fig10_mc_read_assist");
-    csv.write_row(std::vector<std::string>{"technique", "sample", "drnm"});
-
-    TablePrinter summary(
-        {"technique", "mean", "stddev", "min", "max", "flips"});
-    for (sram::Assist a : sram::kReadAssists) {
-        const mc::McResult res = mc::run_monte_carlo(
-            cfg, sampler, samples, 0xF10u,
-            [&](sram::SramCell& cell) {
-                const auto d = sram::dynamic_read_noise_margin(cell, a, opts);
-                // Flips report as NaN so the summary counts them.
-                if (!d.valid || d.flipped)
-                    return std::nan("");
-                return d.drnm;
-            });
-        const std::size_t flips = res.summary.n_infinite;
-        for (std::size_t i = 0; i < res.samples.size(); ++i)
-            csv.write_row({sram::to_string(a), std::to_string(i),
-                           format_sci(res.samples[i], 6)});
-
-        summary.add_row({sram::to_string(a),
-                         core::format_margin(res.summary.mean),
-                         core::format_margin(res.summary.stddev),
-                         core::format_margin(res.summary.min),
-                         core::format_margin(res.summary.max),
-                         std::to_string(flips)});
-        std::cout << "-- DRNM occurrences, " << sram::to_string(a) << " --\n"
-                  << res.histogram(12).render() << '\n';
-    }
-    std::cout << summary.render() << '\n';
-
-    // Fig. 10(e): WLcrit under variation at the RA sizing.
-    const mc::McResult wl = mc::run_monte_carlo(
-        cfg, sampler, samples, 0xF10u,
-        [&](sram::SramCell& cell) {
-            return sram::critical_wordline_pulse(cell, sram::Assist::kNone,
-                                                 opts);
-        });
-    std::cout << "-- WLcrit occurrences (beta = 0.6, no WA needed) --\n"
-              << wl.histogram(12).render();
-    std::cout << "WLcrit spread: mean " << core::format_pulse(wl.summary.mean)
-              << ", stddev " << core::format_pulse(wl.summary.stddev)
-              << " (cv = "
-              << format_sci(wl.summary.stddev / wl.summary.mean, 2)
-              << "), failures " << wl.summary.n_infinite << "\n";
-
-    bench::expectation(
-        "DRNM is minimally impacted by variation for all RA techniques; the "
-        "WLcrit spread at beta = 0.6 is much smaller than in the WA study "
-        "(Fig. 9) thanks to the much stronger access transistors. This "
-        "motivates the final design: small beta + GND-lowering RA.");
-    return 0;
+    using namespace tfetsram;
+    return bench::run_fig10_mc_read_assist(
+        runner::RunnerConfig::from_env("fig10_mc_read_assist"));
 }

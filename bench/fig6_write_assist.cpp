@@ -1,54 +1,11 @@
 // Fig. 6(e) reproduction: WLcrit versus beta for the four write-assist
 // techniques (all at 30 % of VDD), on the inward-pTFET 6T cell.
+// Runner-ported: see figures.cpp for the task graph.
 
-#include "bench_common.hpp"
-
-using namespace tfetsram;
+#include "figures.hpp"
 
 int main() {
-    bench::banner("Fig. 6(e)",
-                  "write-assist effectiveness: WLcrit vs beta (VDD = 0.8 V)");
-    const sram::MetricOptions opts;
-    const std::vector<double> betas = {1.0, 1.5, 2.0, 2.5, 3.0};
-
-    TablePrinter table([&] {
-        std::vector<std::string> h = {"beta"};
-        for (sram::Assist a : sram::kWriteAssists)
-            h.push_back(sram::to_string(a));
-        return h;
-    }());
-    auto csv = bench::open_csv("fig6_write_assist");
-    csv.write_row(std::vector<std::string>{"beta", "vdd_lowering",
-                                           "gnd_raising", "wl_lowering",
-                                           "bl_raising"});
-
-    for (double beta : betas) {
-        std::vector<std::string> row = {format_sci(beta, 1)};
-        std::vector<double> vals = {beta};
-        for (sram::Assist a : sram::kWriteAssists) {
-            sram::CellConfig cfg;
-            cfg.kind = sram::CellKind::kTfet6T;
-            cfg.access = sram::AccessDevice::kInwardP;
-            cfg.beta = beta;
-            cfg.models = bench::standard_models();
-            sram::SramCell cell = sram::build_cell(cfg);
-            const double wl = sram::critical_wordline_pulse(cell, a, opts);
-            row.push_back(core::format_pulse(wl));
-            vals.push_back(wl);
-        }
-        table.add_row(row);
-        csv.write_row(vals);
-    }
-    std::cout << table.render();
-
-    bench::expectation(
-        "at low beta the access-strengthening assists (wordline lowering, "
-        "bitline raising) give the smallest WLcrit; their advantage "
-        "vanishes as beta grows, where weakening the pull-downs (GND "
-        "raising — and in the paper also VDD lowering) wins. Deviation "
-        "documented in EXPERIMENTS.md: in our device physics VDD lowering "
-        "stays finite but degrades at large beta, because the unidirectional "
-        "pull-up limits how fast the internal high node can track the "
-        "lowered rail.");
-    return 0;
+    using namespace tfetsram;
+    return bench::run_fig6_write_assist(
+        runner::RunnerConfig::from_env("fig6_write_assist"));
 }

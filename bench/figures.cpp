@@ -1,0 +1,369 @@
+// Runner-based implementations of the ported figures. The pattern shared
+// by all three: build one setup task for the tabulated model set, one
+// cacheable task per sweep point keyed on every input that matters, run
+// the graph, then assemble console table + CSV from the (possibly
+// replayed) TaskResults — so a warm run is byte-identical to the cold one.
+
+#include "figures.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "array/array.hpp"
+#include "bench_common.hpp"
+
+namespace tfetsram::bench {
+
+namespace {
+
+/// Setup node shared by every sweep: forces the one-per-process model
+/// tables to build before the sweep tasks fan out (they'd otherwise
+/// serialize on the magic static the first time through).
+runner::TaskId add_models_task(runner::Runner& r) {
+    runner::TaskSpec spec;
+    spec.id = "build_models";
+    spec.setup_only = true;
+    spec.fn = [] {
+        standard_models();
+        return runner::TaskResult{};
+    };
+    return r.add(std::move(spec));
+}
+
+} // namespace
+
+// ------------------------------------------------------------- Fig. 6(e)
+
+int run_fig6_write_assist(const runner::RunnerConfig& config) {
+    runner::RunnerConfig cfg = config;
+    cfg.run_name = "fig6_write_assist";
+    banner("Fig. 6(e)",
+           "write-assist effectiveness: WLcrit vs beta (VDD = 0.8 V)");
+
+    const sram::MetricOptions opts;
+    const std::vector<double> betas = {1.0, 1.5, 2.0, 2.5, 3.0};
+
+    runner::Runner r(cfg);
+    const runner::TaskId models = add_models_task(r);
+    // task ids laid out as points[beta_index][assist_index]
+    std::vector<std::vector<runner::TaskId>> points;
+    for (double beta : betas) {
+        auto& row = points.emplace_back();
+        for (sram::Assist a : sram::kWriteAssists) {
+            runner::TaskSpec spec;
+            spec.id = "wlcrit beta=" + format_sci(beta, 1) + " " +
+                      sram::to_string(a);
+            spec.deps = {models};
+            spec.key = runner::CacheKey("fig6_wlcrit")
+                           .add("model", device::kModelSetVersion)
+                           .add("cell", "tfet6t")
+                           .add("access", "inward_p")
+                           .add("beta", beta)
+                           .add("assist", sram::to_string(a));
+            spec.fn = [beta, a, opts] {
+                sram::CellConfig cell_cfg;
+                cell_cfg.kind = sram::CellKind::kTfet6T;
+                cell_cfg.access = sram::AccessDevice::kInwardP;
+                cell_cfg.beta = beta;
+                cell_cfg.models = standard_models();
+                sram::SramCell cell = sram::build_cell(cell_cfg);
+                const double wl =
+                    sram::critical_wordline_pulse(cell, a, opts);
+                runner::TaskResult result;
+                result.set("csv", format_sci(wl, 8));
+                result.set("pulse", core::format_pulse(wl));
+                return result;
+            };
+            row.push_back(r.add(std::move(spec)));
+        }
+    }
+    r.run();
+
+    TablePrinter table([&] {
+        std::vector<std::string> h = {"beta"};
+        for (sram::Assist a : sram::kWriteAssists)
+            h.push_back(sram::to_string(a));
+        return h;
+    }());
+    auto csv = open_csv("fig6_write_assist", cfg);
+    csv.write_row(std::vector<std::string>{"beta", "vdd_lowering",
+                                           "gnd_raising", "wl_lowering",
+                                           "bl_raising"});
+    for (std::size_t b = 0; b < betas.size(); ++b) {
+        std::vector<std::string> row = {format_sci(betas[b], 1)};
+        std::vector<std::string> cells = {format_sci(betas[b], 8)};
+        for (runner::TaskId id : points[b]) {
+            row.push_back(r.result(id).get("pulse"));
+            cells.push_back(r.result(id).get("csv"));
+        }
+        table.add_row(row);
+        csv.write_row(cells);
+    }
+    std::cout << table.render();
+
+    expectation(
+        "at low beta the access-strengthening assists (wordline lowering, "
+        "bitline raising) give the smallest WLcrit; their advantage "
+        "vanishes as beta grows, where weakening the pull-downs (GND "
+        "raising — and in the paper also VDD lowering) wins. Deviation "
+        "documented in EXPERIMENTS.md: in our device physics VDD lowering "
+        "stays finite but degrades at large beta, because the unidirectional "
+        "pull-up limits how fast the internal high node can track the "
+        "lowered rail.");
+    return 0;
+}
+
+// --------------------------------------------------------------- Fig. 10
+
+int run_fig10_mc_read_assist(const runner::RunnerConfig& config) {
+    runner::RunnerConfig cfg = config;
+    cfg.run_name = "fig10_mc_read_assist";
+    const std::size_t samples = mc::mc_samples_from_env(60);
+    constexpr std::uint64_t kSeed = 0xF10u;
+    banner("Fig. 10", "process variation vs read assists (beta = 0.6, " +
+                          std::to_string(samples) + " samples)");
+    const sram::MetricOptions opts;
+
+    sram::CellConfig cell_cfg;
+    cell_cfg.kind = sram::CellKind::kTfet6T;
+    cell_cfg.access = sram::AccessDevice::kInwardP;
+    cell_cfg.beta = 0.6;
+
+    runner::Runner r(cfg);
+    const runner::TaskId models = add_models_task(r);
+    auto base_key = [&](const char* metric_name) {
+        return runner::CacheKey("fig10_mc")
+            .add("model", device::kModelSetVersion)
+            .add("cell", "tfet6t")
+            .add("access", "inward_p")
+            .add("beta", cell_cfg.beta)
+            .add("samples", samples)
+            .add("seed", static_cast<std::size_t>(kSeed))
+            .add("metric", metric_name);
+    };
+
+    // One task per read-assist technique; MC parallelism is across
+    // techniques (each task's inner Monte-Carlo runs serially and is
+    // deterministic in the seed either way).
+    std::vector<runner::TaskId> drnm_tasks;
+    for (sram::Assist a : sram::kReadAssists) {
+        runner::TaskSpec spec;
+        spec.id = std::string("mc_drnm ") + sram::to_string(a);
+        spec.deps = {models};
+        spec.key = base_key("drnm").add("assist", sram::to_string(a));
+        spec.fn = [cell_cfg, a, opts, samples] {
+            sram::CellConfig mc_cfg = cell_cfg;
+            mc_cfg.models = standard_models();
+            mc::VariationSpec vspec;
+            const mc::TfetVariationSampler sampler(vspec);
+            const mc::McResult res = mc::run_monte_carlo(
+                mc_cfg, sampler, samples, kSeed,
+                [&](sram::SramCell& cell) {
+                    const auto d =
+                        sram::dynamic_read_noise_margin(cell, a, opts);
+                    // Flips report as NaN so the summary counts them.
+                    if (!d.valid || d.flipped)
+                        return std::nan("");
+                    return d.drnm;
+                },
+                /*threads=*/1);
+            runner::TaskResult result;
+            for (std::size_t i = 0; i < res.samples.size(); ++i)
+                result.rows.push_back({sram::to_string(a), std::to_string(i),
+                                       format_sci(res.samples[i], 6)});
+            result.set("hist", res.histogram(12).render());
+            result.set("mean", core::format_margin(res.summary.mean));
+            result.set("stddev", core::format_margin(res.summary.stddev));
+            result.set("min", core::format_margin(res.summary.min));
+            result.set("max", core::format_margin(res.summary.max));
+            result.set("flips", std::to_string(res.summary.n_infinite));
+            return result;
+        };
+        drnm_tasks.push_back(r.add(std::move(spec)));
+    }
+
+    // Fig. 10(e): WLcrit under variation at the RA sizing.
+    runner::TaskSpec wl_spec;
+    wl_spec.id = "mc_wlcrit";
+    wl_spec.deps = {models};
+    wl_spec.key = base_key("wlcrit");
+    wl_spec.fn = [cell_cfg, opts, samples] {
+        sram::CellConfig mc_cfg = cell_cfg;
+        mc_cfg.models = standard_models();
+        mc::VariationSpec vspec;
+        const mc::TfetVariationSampler sampler(vspec);
+        const mc::McResult wl = mc::run_monte_carlo(
+            mc_cfg, sampler, samples, kSeed,
+            [&](sram::SramCell& cell) {
+                return sram::critical_wordline_pulse(cell, sram::Assist::kNone,
+                                                     opts);
+            },
+            /*threads=*/1);
+        runner::TaskResult result;
+        result.set("hist", wl.histogram(12).render());
+        result.set("mean", core::format_pulse(wl.summary.mean));
+        result.set("stddev", core::format_pulse(wl.summary.stddev));
+        result.set("cv",
+                   format_sci(wl.summary.stddev / wl.summary.mean, 2));
+        result.set("failures", std::to_string(wl.summary.n_infinite));
+        return result;
+    };
+    const runner::TaskId wl_task = r.add(std::move(wl_spec));
+    r.run();
+
+    auto csv = open_csv("fig10_mc_read_assist", cfg);
+    csv.write_row(std::vector<std::string>{"technique", "sample", "drnm"});
+    TablePrinter summary(
+        {"technique", "mean", "stddev", "min", "max", "flips"});
+    for (std::size_t t = 0; t < drnm_tasks.size(); ++t) {
+        const runner::TaskResult& res = r.result(drnm_tasks[t]);
+        for (const auto& row : res.rows)
+            csv.write_row(row);
+        summary.add_row({sram::to_string(sram::kReadAssists[t]),
+                         res.get("mean"), res.get("stddev"), res.get("min"),
+                         res.get("max"), res.get("flips")});
+        std::cout << "-- DRNM occurrences, "
+                  << sram::to_string(sram::kReadAssists[t]) << " --\n"
+                  << res.get("hist") << '\n';
+    }
+    std::cout << summary.render() << '\n';
+
+    const runner::TaskResult& wl = r.result(wl_task);
+    std::cout << "-- WLcrit occurrences (beta = 0.6, no WA needed) --\n"
+              << wl.get("hist");
+    std::cout << "WLcrit spread: mean " << wl.get("mean") << ", stddev "
+              << wl.get("stddev") << " (cv = " << wl.get("cv")
+              << "), failures " << wl.get("failures") << "\n";
+
+    expectation(
+        "DRNM is minimally impacted by variation for all RA techniques; the "
+        "WLcrit spread at beta = 0.6 is much smaller than in the WA study "
+        "(Fig. 9) thanks to the much stronger access transistors. This "
+        "motivates the final design: small beta + GND-lowering RA.");
+    return 0;
+}
+
+// --------------------------------------------------------- array scaling
+
+int run_array_scaling(const runner::RunnerConfig& config) {
+    runner::RunnerConfig cfg = config;
+    cfg.run_name = "array_scaling";
+    banner("Array scaling", "write+read wall time vs array size");
+    using clk = std::chrono::steady_clock;
+
+    const std::vector<std::pair<std::size_t, std::size_t>> sizes = {
+        {2, 2}, {4, 2}, {4, 4}, {8, 4}};
+
+    runner::Runner r(cfg);
+    const runner::TaskId models = add_models_task(r);
+    std::vector<runner::TaskId> tasks;
+    for (const auto& [rows, cols] : sizes) {
+        runner::TaskSpec spec;
+        spec.id = "array " + std::to_string(rows) + "x" +
+                  std::to_string(cols);
+        spec.deps = {models};
+        // Note the timings below are part of the cached result: a warm run
+        // replays the recorded cold measurement (by design — the CSV is a
+        // record of the characterization, and byte-identical replay is the
+        // cache's contract). Run with TFETSRAM_CACHE=off to re-measure.
+        spec.key = runner::CacheKey("array_scaling")
+                       .add("model", device::kModelSetVersion)
+                       .add("design", "proposed@0.8")
+                       .add("read_assist", "ra_gnd_lowering")
+                       .add("rows", rows)
+                       .add("cols", cols);
+        spec.fn = [rows = rows, cols = cols] {
+            array::ArrayConfig acfg;
+            acfg.rows = rows;
+            acfg.cols = cols;
+            acfg.cell = sram::proposed_design(0.8, standard_models()).config;
+            acfg.read_assist = sram::Assist::kRaGndLowering;
+            array::SramArray arr(acfg);
+            const std::size_t unknowns = arr.circuit().num_unknowns();
+
+            const auto t0 = clk::now();
+            std::vector<std::vector<bool>> zeros(
+                rows, std::vector<bool>(cols, false));
+            const bool init_ok = arr.initialize(zeros);
+            const auto t1 = clk::now();
+            bool ok = init_ok;
+            if (init_ok)
+                ok = arr.write(rows / 2, cols / 2, true).ok;
+            const auto t2 = clk::now();
+            bool read_ok = false;
+            if (ok) {
+                const array::ReadResult rd = arr.read(rows / 2, cols / 2);
+                read_ok = rd.ok && rd.value;
+            }
+            const auto t3 = clk::now();
+
+            auto secs = [](clk::time_point a, clk::time_point b) {
+                return std::chrono::duration<double>(b - a).count();
+            };
+            const bool functional = ok && read_ok;
+            runner::TaskResult result;
+            result.set("transistors",
+                       std::to_string(arr.circuit().transistors().size()));
+            result.set("unknowns", std::to_string(unknowns));
+            result.set("init", format_si(secs(t0, t1), "s"));
+            result.set("write", format_si(secs(t1, t2), "s"));
+            result.set("read", format_si(secs(t2, t3), "s"));
+            result.set("functional", functional ? "yes" : "NO");
+            result.rows.push_back(
+                {format_sci(static_cast<double>(rows), 8),
+                 format_sci(static_cast<double>(cols), 8),
+                 format_sci(
+                     static_cast<double>(arr.circuit().transistors().size()),
+                     8),
+                 format_sci(static_cast<double>(unknowns), 8),
+                 format_sci(secs(t0, t1), 8), format_sci(secs(t1, t2), 8),
+                 format_sci(secs(t2, t3), 8),
+                 format_sci(functional ? 1.0 : 0.0, 8)});
+            return result;
+        };
+        tasks.push_back(r.add(std::move(spec)));
+    }
+    r.run();
+
+    auto csv = open_csv("array_scaling", cfg);
+    csv.write_row(std::vector<std::string>{"rows", "cols", "transistors",
+                                           "unknowns", "init_s", "write_s",
+                                           "read_s", "ok"});
+    TablePrinter table({"array", "transistors", "unknowns", "init", "write",
+                        "read", "functional"});
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        const runner::TaskResult& res = r.result(tasks[i]);
+        table.add_row({std::to_string(sizes[i].first) + "x" +
+                           std::to_string(sizes[i].second),
+                       res.get("transistors"), res.get("unknowns"),
+                       res.get("init"), res.get("write"), res.get("read"),
+                       res.get("functional")});
+        for (const auto& row : res.rows)
+            csv.write_row(row);
+    }
+    std::cout << table.render();
+
+    expectation(
+        "functional behaviour holds at every size; wall time grows roughly "
+        "with unknowns^3 per Newton solve (dense LU), flagging sparse "
+        "factorization as the next engine milestone for macro arrays.");
+    return 0;
+}
+
+// --------------------------------------------------------------- registry
+
+const std::vector<Figure>& ported_figures() {
+    static const std::vector<Figure> figures = {
+        {"fig6_write_assist",
+         "Fig. 6(e): WLcrit vs beta for the write assists",
+         run_fig6_write_assist},
+        {"fig10_mc_read_assist",
+         "Fig. 10: Monte-Carlo read-assist study at beta = 0.6",
+         run_fig10_mc_read_assist},
+        {"array_scaling", "array write/read wall time vs size",
+         run_array_scaling},
+    };
+    return figures;
+}
+
+} // namespace tfetsram::bench

@@ -1,0 +1,34 @@
+#pragma once
+// Runner-ported figure reproductions. Each entry builds a task graph over
+// the experiment runner (src/runner/): sweep points execute concurrently,
+// results are served from the content-addressed cache on warm runs, and
+// every run leaves a JSONL journal + BENCH_<name>.json in the out dir.
+// The remaining single-shot benches still run standalone; they migrate
+// here as they grow sweeps worth caching.
+
+#include <string>
+#include <vector>
+
+#include "runner/runner.hpp"
+
+namespace tfetsram::bench {
+
+/// Fig. 6(e): WLcrit vs beta for the four write-assist techniques.
+int run_fig6_write_assist(const runner::RunnerConfig& config);
+
+/// Fig. 10: Monte-Carlo read-assist study + WLcrit spread at beta = 0.6.
+int run_fig10_mc_read_assist(const runner::RunnerConfig& config);
+
+/// Array scaling study: write/read wall time vs array size.
+int run_array_scaling(const runner::RunnerConfig& config);
+
+/// Registry for the unified bench/run_all driver.
+struct Figure {
+    const char* name; ///< CLI name == run_name == CSV stem
+    const char* what; ///< one-line description
+    int (*fn)(const runner::RunnerConfig&);
+};
+
+const std::vector<Figure>& ported_figures();
+
+} // namespace tfetsram::bench

@@ -1,0 +1,77 @@
+// Unified driver over the runner-ported figures: executes any subset by
+// name (default: all), sharing one result cache across figures.
+//
+//   run_all                      # every ported figure
+//   run_all fig6_write_assist array_scaling
+//   run_all --list               # what's available
+//
+// Cache/output behavior follows the TFETSRAM_* env vars (docs/RUNNER.md).
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "figures.hpp"
+
+using namespace tfetsram;
+
+namespace {
+
+void list_figures() {
+    std::cout << "ported figures:\n";
+    for (const bench::Figure& fig : bench::ported_figures())
+        std::cout << "  " << fig.name << " — " << fig.what << "\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::vector<std::string> wanted;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list" || arg == "-l") {
+            list_figures();
+            return 0;
+        }
+        if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: run_all [--list] [figure...]\n";
+            list_figures();
+            return 0;
+        }
+        if (arg != "all")
+            wanted.push_back(arg);
+    }
+
+    // Resolve the selection up front so a typo fails before hours of sweeps.
+    std::vector<const bench::Figure*> selection;
+    if (wanted.empty()) {
+        for (const bench::Figure& fig : bench::ported_figures())
+            selection.push_back(&fig);
+    } else {
+        for (const std::string& name : wanted) {
+            const bench::Figure* found = nullptr;
+            for (const bench::Figure& fig : bench::ported_figures())
+                if (name == fig.name)
+                    found = &fig;
+            if (found == nullptr) {
+                std::cerr << "run_all: unknown figure '" << name << "'\n";
+                list_figures();
+                return 2;
+            }
+            selection.push_back(found);
+        }
+    }
+
+    int rc = 0;
+    for (const bench::Figure* fig : selection) {
+        const int figure_rc =
+            fig->fn(runner::RunnerConfig::from_env(fig->name));
+        if (figure_rc != 0) {
+            std::cerr << "run_all: " << fig->name << " exited with "
+                      << figure_rc << "\n";
+            rc = 1;
+        }
+    }
+    return rc;
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# CI entry point: standard RelWithDebInfo build + full ctest, then a
+# ThreadSanitizer build running the concurrent subsystem's tests (the
+# task-graph scheduler, thread pool, result cache, and the Monte-Carlo
+# engine that fans out through the shared pool).
+#
+# Usage: ./ci.sh [--skip-tsan]
+set -euo pipefail
+cd "$(dirname "$0")"
+
+SKIP_TSAN=0
+[[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "=== build (RelWithDebInfo) ==="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DTFETSRAM_WERROR=ON
+cmake --build build -j "$JOBS"
+
+echo "=== ctest ==="
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "$SKIP_TSAN" == "1" ]]; then
+  echo "=== tsan job skipped ==="
+  exit 0
+fi
+
+echo "=== build (ThreadSanitizer) ==="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DTFETSRAM_SANITIZE=thread
+cmake --build build-tsan -j "$JOBS" --target test_runner test_mc
+
+echo "=== tsan: scheduler/cache/pool tests ==="
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_runner
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_mc
+
+echo "=== ci.sh: all green ==="

@@ -4,12 +4,19 @@
 // recommendation. With the default models this rediscovers the paper's
 // design: inward pTFET access, write-favoring beta, GND-lowering RA.
 //
+// Runs through the experiment runner: the flow is one cached task keyed on
+// (model version, vdd, MC settings), so re-running at an already-explored
+// operating point replays the stored report instantly. TFETSRAM_CACHE=off
+// forces a fresh exploration.
+//
 // Usage: design_explorer [vdd] [mc_samples]
 
 #include <cstdlib>
 #include <iostream>
 
 #include "core/explorer.hpp"
+#include "runner/runner.hpp"
+#include "util/units.hpp"
 
 using namespace tfetsram;
 
@@ -26,10 +33,30 @@ int main(int argc, char** argv) {
         std::cout << " with " << opt.mc_samples << " Monte-Carlo samples";
     std::cout << "...\n\n";
 
-    const core::RobustDesignReport report = core::explore(opt);
-    std::cout << report.to_text();
+    runner::Runner r(runner::RunnerConfig::from_env("design_explorer"));
+    runner::TaskSpec spec;
+    spec.id = "explore vdd=" + format_sci(opt.vdd, 3);
+    spec.key = runner::CacheKey("design_explorer")
+                   .add("model", device::kModelSetVersion)
+                   .add("tabulated", opt.tabulated_models)
+                   .add("vdd", opt.vdd)
+                   .add("assist_fraction", opt.assist_fraction)
+                   .add("mc_samples", opt.mc_samples)
+                   .add("mc_seed", static_cast<std::size_t>(opt.mc_seed));
+    spec.fn = [opt] {
+        const core::RobustDesignReport report = core::explore(opt);
+        runner::TaskResult result;
+        result.set("report", report.to_text());
+        result.set("ok", report.chosen_assist ? "yes" : "no");
+        return result;
+    };
+    const runner::TaskId explore_task = r.add(std::move(spec));
+    r.run();
 
-    if (!report.chosen_assist) {
+    const runner::TaskResult& result = r.result(explore_task);
+    std::cout << result.get("report");
+
+    if (result.get("ok") != "yes") {
         std::cerr << "exploration did not find a workable design\n";
         return 1;
     }

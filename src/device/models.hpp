@@ -40,6 +40,12 @@ MosfetParams pmos_defaults();
 /// Analytic p-channel MOSFET.
 spice::TransistorModelPtr make_pmos(const MosfetParams& params = pmos_defaults());
 
+/// Version tag for the standard model set built by make_model_set with
+/// default parameters. Cache keys include it so that a deliberate change
+/// to the device physics invalidates every cached sweep point; bump it
+/// whenever the default models' I-V/C-V behavior changes.
+inline constexpr const char* kModelSetVersion = "std-2011.1";
+
 /// The four models every SRAM experiment consumes.
 struct ModelSet {
     spice::TransistorModelPtr ntfet;

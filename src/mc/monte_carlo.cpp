@@ -1,8 +1,9 @@
 #include "mc/monte_carlo.hpp"
 
-#include <atomic>
+#include <algorithm>
 #include <cstdlib>
-#include <thread>
+
+#include "runner/thread_pool.hpp"
 
 namespace tfetsram::mc {
 
@@ -25,35 +26,18 @@ McResult run_monte_carlo(const sram::CellConfig& base_config,
     result.samples.assign(n, 0.0);
     result.tox_values.assign(n, 0.0);
 
-    if (threads == 0) {
-        const unsigned hw = std::thread::hardware_concurrency();
-        threads = hw > 0 ? hw : 1;
-    }
-    threads = std::min(threads, n);
-
-    std::atomic<std::size_t> next{0};
-    auto worker = [&] {
-        for (;;) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= n)
-                return;
-            sram::CellConfig cfg = base_config;
-            cfg.models = draws[i].models;
-            sram::SramCell cell = sram::build_cell(cfg);
-            result.samples[i] = metric(cell);
-            result.tox_values[i] = draws[i].tox;
-        }
-    };
-    if (threads <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(threads);
-        for (std::size_t t = 0; t < threads; ++t)
-            pool.emplace_back(worker);
-        for (std::thread& t : pool)
-            t.join();
-    }
+    // Fan the evaluations out through the shared concurrency substrate.
+    // Each index writes only its own slots and depends only on its own
+    // draw, so the result is identical for every thread count.
+    threads = std::min(runner::ThreadPool::resolve(threads), n);
+    runner::ThreadPool pool(threads);
+    pool.parallel_for(n, [&](std::size_t i) {
+        sram::CellConfig cfg = base_config;
+        cfg.models = draws[i].models;
+        sram::SramCell cell = sram::build_cell(cfg);
+        result.samples[i] = metric(cell);
+        result.tox_values[i] = draws[i].tox;
+    });
     result.summary = summarize(result.samples);
     return result;
 }

@@ -1,0 +1,27 @@
+#pragma once
+// Content hashing for the result cache. FNV-1a 64-bit over the canonical
+// key text: stable across platforms and processes (unlike std::hash), and
+// collisions are additionally guarded by storing the full key text in the
+// cache entry and comparing it on load.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tfetsram::runner {
+
+/// FNV-1a 64-bit hash of `text`.
+constexpr std::uint64_t fnv1a64(std::string_view text) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : text) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/// 16-hex-digit rendering of `h` (lowercase, zero padded) — used as the
+/// cache file stem so entries are stable, filesystem-safe names.
+std::string to_hex(std::uint64_t h);
+
+} // namespace tfetsram::runner

@@ -1,0 +1,91 @@
+#pragma once
+// Minimal JSON value for the runner subsystem: cache entries on disk, the
+// JSONL run journal, and the BENCH_*.json summary artifact. Supports the
+// full JSON data model but only the features those files need — ordered
+// objects, exact double round-trips, and strict parsing with no recovery.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tfetsram::runner {
+
+/// Immutable-ish JSON tree. Objects preserve insertion order so dumped
+/// files are deterministic (a requirement for byte-identical warm runs).
+class Json {
+public:
+    enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Json() = default; // null
+    Json(bool b) : type_(Type::kBool), bool_(b) {}
+    Json(double v) : type_(Type::kNumber), num_(v) {}
+    Json(std::uint64_t v)
+        : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+    Json(int v) : type_(Type::kNumber), num_(v) {}
+    Json(const char* s) : type_(Type::kString), str_(s) {}
+    Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+
+    static Json array() {
+        Json j;
+        j.type_ = Type::kArray;
+        return j;
+    }
+    static Json object() {
+        Json j;
+        j.type_ = Type::kObject;
+        return j;
+    }
+
+    [[nodiscard]] Type type() const { return type_; }
+    [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+    [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+    [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+    [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+    [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+
+    [[nodiscard]] bool as_bool() const { return bool_; }
+    [[nodiscard]] double as_number() const { return num_; }
+    [[nodiscard]] const std::string& as_string() const { return str_; }
+
+    /// Array/object element count.
+    [[nodiscard]] std::size_t size() const {
+        return type_ == Type::kObject ? members_.size() : elements_.size();
+    }
+
+    /// Array element access.
+    [[nodiscard]] const Json& at(std::size_t i) const { return elements_[i]; }
+    void push_back(Json v) { elements_.push_back(std::move(v)); }
+
+    /// Object member access; `set` appends or overwrites, `find` returns
+    /// nullptr when absent.
+    void set(std::string key, Json value);
+    [[nodiscard]] const Json* find(std::string_view key) const;
+    [[nodiscard]] const std::vector<std::pair<std::string, Json>>&
+    members() const {
+        return members_;
+    }
+
+    /// Compact single-line rendering. Doubles use %.17g so parse(dump(x))
+    /// reproduces x bit-exactly; integral values print without exponent.
+    [[nodiscard]] std::string dump() const;
+
+    /// Strict parse of a complete JSON document; nullopt on any error or
+    /// trailing garbage.
+    static std::optional<Json> parse(std::string_view text);
+
+private:
+    Type type_ = Type::kNull;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Json> elements_;
+    std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// Escape `s` as a JSON string literal body (no surrounding quotes).
+std::string json_escape(std::string_view s);
+
+} // namespace tfetsram::runner

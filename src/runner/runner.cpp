@@ -1,0 +1,216 @@
+#include "runner/runner.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <iostream>
+#include <mutex>
+
+#include "util/contracts.hpp"
+
+namespace tfetsram::runner {
+
+RunnerConfig RunnerConfig::from_env(std::string run_name) {
+    RunnerConfig cfg;
+    cfg.run_name = std::move(run_name);
+    cfg.cache_mode = cache_mode_from_env();
+    cfg.out_dir = out_dir_from_env();
+    if (const char* env = std::getenv("TFETSRAM_CACHE_DIR");
+        env != nullptr && *env != '\0')
+        cfg.cache_dir = env;
+    if (const char* env = std::getenv("TFETSRAM_THREADS");
+        env != nullptr && *env != '\0') {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v > 0)
+            cfg.threads = static_cast<std::size_t>(v);
+    }
+    return cfg;
+}
+
+Runner::Runner(RunnerConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cache_dir, config_.cache_mode),
+      telemetry_(config_.out_dir, config_.run_name, config_.telemetry) {}
+
+TaskId Runner::add(TaskSpec spec) {
+    TFET_EXPECTS(!ran_);
+    TFET_EXPECTS(spec.fn != nullptr);
+    const TaskId id = nodes_.size();
+    for (TaskId dep : spec.deps) {
+        // Deps must precede their dependents, so the graph is a DAG by
+        // construction — no cycle detection pass needed at run time.
+        TFET_EXPECTS(dep < id);
+        nodes_[dep].dependents.push_back(id);
+    }
+    Node node;
+    node.spec = std::move(spec);
+    nodes_.push_back(std::move(node));
+    return id;
+}
+
+const TaskResult& Runner::result(TaskId id) const {
+    TFET_EXPECTS(ran_);
+    TFET_EXPECTS(id < nodes_.size());
+    return nodes_[id].result;
+}
+
+std::string Runner::csv_path(const std::string& name) const {
+    std::error_code ec;
+    std::filesystem::create_directories(config_.out_dir, ec);
+    return (config_.out_dir / (name + ".csv")).string();
+}
+
+RunSummary Runner::run() {
+    TFET_EXPECTS(!ran_);
+    ran_ = true;
+    using clock = std::chrono::steady_clock;
+    const auto run_start = clock::now();
+    auto seconds_since = [](clock::time_point t0) {
+        return std::chrono::duration<double>(clock::now() - t0).count();
+    };
+
+    // Phase 1 — cache resolution (serial; entries are tiny JSON files).
+    // Hits are done before any thread spins up, so a fully warm graph costs
+    // a directory scan and nothing else.
+    for (Node& node : nodes_) {
+        if (node.spec.key.empty())
+            continue;
+        if (std::optional<TaskResult> hit = cache_.load(node.spec.key)) {
+            node.result = std::move(*hit);
+            node.status = TaskStatus::kHit;
+            node.done = true;
+        }
+    }
+
+    // Phase 2 — prune setup-only tasks whose dependents are all satisfied
+    // (reverse pass so chained setup tasks collapse together).
+    for (std::size_t i = nodes_.size(); i-- > 0;) {
+        Node& node = nodes_[i];
+        if (node.done || !node.spec.setup_only)
+            continue;
+        // A setup task nothing depends on was presumably added for its
+        // side effect; only prune when dependents exist and are all served.
+        bool needed = node.dependents.empty();
+        for (TaskId dep_id : node.dependents)
+            if (!nodes_[dep_id].done)
+                needed = true;
+        if (!needed) {
+            node.status = TaskStatus::kPruned;
+            node.done = true;
+        }
+    }
+
+    // Record resolved tasks up front (deterministic journal prefix).
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        Node& node = nodes_[i];
+        if (!node.done)
+            continue;
+        TaskRecord record;
+        record.id = node.spec.id;
+        record.key_hash = node.spec.key.empty() ? "" : node.spec.key.hash();
+        record.status = node.status;
+        telemetry_.record(record);
+    }
+
+    // Phase 3 — Kahn-style execution of the remainder over the pool.
+    std::mutex mutex; // guards nodes_ scheduling state + ready queue
+    std::deque<TaskId> ready;
+    std::size_t pending = 0;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        Node& node = nodes_[i];
+        if (node.done)
+            continue;
+        ++pending;
+        node.waiting = 0;
+        for (TaskId dep : node.spec.deps)
+            if (!nodes_[dep].done)
+                ++node.waiting;
+        if (node.waiting == 0)
+            ready.push_back(i);
+    }
+
+    if (pending > 0) {
+        ThreadPool pool(config_.threads);
+        std::condition_variable all_done;
+        std::exception_ptr first_error;
+
+        // Executes one task on a pool thread, then releases its dependents.
+        std::function<void(TaskId)> execute = [&](TaskId id) {
+            Node& node = nodes_[id];
+            TaskRecord record;
+            record.id = node.spec.id;
+            record.key_hash =
+                node.spec.key.empty() ? "" : node.spec.key.hash();
+
+            const spice::SolverStats before = spice::solver_stats();
+            const auto t0 = clock::now();
+            TaskResult result;
+            std::exception_ptr error;
+            try {
+                result = node.spec.fn();
+            } catch (...) {
+                error = std::current_exception();
+            }
+            record.wall_s = seconds_since(t0);
+            record.solver = spice::solver_stats() - before;
+            record.status =
+                error ? TaskStatus::kFailed : TaskStatus::kExecuted;
+            if (!error && !node.spec.key.empty())
+                cache_.store(node.spec.key, result);
+            telemetry_.record(record);
+
+            std::vector<TaskId> unblocked;
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                node.result = std::move(result);
+                node.status = record.status;
+                node.done = true;
+                --pending;
+                if (error && !first_error)
+                    first_error = error;
+                if (!first_error) {
+                    for (TaskId dep_id : node.dependents) {
+                        Node& dependent = nodes_[dep_id];
+                        if (!dependent.done && --dependent.waiting == 0)
+                            unblocked.push_back(dep_id);
+                    }
+                }
+                if (pending == 0 || first_error)
+                    all_done.notify_all();
+            }
+            for (TaskId next : unblocked)
+                pool.submit([&execute, next] { execute(next); });
+        };
+
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            for (TaskId id : ready)
+                pool.submit([&execute, id] { execute(id); });
+            ready.clear();
+        }
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            all_done.wait(lock, [&] {
+                return pending == 0 || first_error != nullptr;
+            });
+        }
+        pool.wait_idle(); // quiesce in-flight tasks before leaving scope
+
+        if (first_error) {
+            telemetry_.finish(seconds_since(run_start));
+            std::rethrow_exception(first_error);
+        }
+
+        // A dependency graph built through add() cannot deadlock, but keep
+        // the invariant checkable.
+        TFET_ENSURES(pending == 0);
+    }
+
+    const RunSummary summary = telemetry_.finish(seconds_since(run_start));
+    if (config_.print_summary)
+        std::cout << Telemetry::render(summary, config_.run_name);
+    return summary;
+}
+
+} // namespace tfetsram::runner

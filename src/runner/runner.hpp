@@ -1,0 +1,95 @@
+#pragma once
+// Experiment runner: a task-graph scheduler over the shared ThreadPool,
+// fused with the result cache and telemetry. A bench describes its figure
+// as Task nodes (sweep points, setup steps) with dependencies; run()
+// executes the ready frontier concurrently, serves cache hits without
+// executing, prunes setup work nothing needs, and journals every task.
+//
+//   Runner r(RunnerConfig::from_env("fig6_write_assist"));
+//   TaskId models = r.add({.id = "models", .setup_only = true, .fn = ...});
+//   for (...) r.add({.id = ..., .deps = {models}, .key = ..., .fn = ...});
+//   r.run();                      // topological, pool-parallel, cached
+//   r.result(id).get("wlcrit");   // identical on cold and warm runs
+
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runner/cache.hpp"
+#include "runner/telemetry.hpp"
+#include "runner/thread_pool.hpp"
+
+namespace tfetsram::runner {
+
+using TaskId = std::size_t;
+using TaskFn = std::function<TaskResult()>;
+
+/// One node of the task graph.
+struct TaskSpec {
+    std::string id;           ///< human-readable name for the journal
+    std::vector<TaskId> deps; ///< must all be ids returned by earlier add()s
+    /// Declared inputs; an empty key marks the task uncacheable (it always
+    /// executes — unless pruned — and its result is never persisted).
+    CacheKey key;
+    /// Pure setup (builds shared state, result unused): skipped when every
+    /// dependent was a cache hit or itself pruned.
+    bool setup_only = false;
+    TaskFn fn;
+};
+
+struct RunnerConfig {
+    std::string run_name = "run";
+    std::size_t threads = 0; ///< 0 = hardware concurrency
+    CacheMode cache_mode = CacheMode::kReadWrite;
+    std::filesystem::path cache_dir = ".tfetsram_cache";
+    std::filesystem::path out_dir = "bench_csv";
+    bool telemetry = true;    ///< write journal + BENCH json
+    bool print_summary = true; ///< render the summary table to stdout
+
+    /// Standard environment wiring: TFETSRAM_CACHE, TFETSRAM_OUT_DIR,
+    /// TFETSRAM_THREADS (see docs/RUNNER.md).
+    static RunnerConfig from_env(std::string run_name);
+};
+
+class Runner {
+public:
+    explicit Runner(RunnerConfig config);
+
+    /// Register a task. Dependencies must already be registered (dep id <
+    /// this id), which makes cycles unrepresentable; violations throw
+    /// contract_violation.
+    TaskId add(TaskSpec spec);
+
+    /// Execute the graph. Throws the first task exception encountered
+    /// (after quiescing in-flight tasks). Idempotent per Runner: call once.
+    RunSummary run();
+
+    /// Result of a finished task (valid after run(); pruned tasks hold an
+    /// empty result).
+    [[nodiscard]] const TaskResult& result(TaskId id) const;
+
+    [[nodiscard]] const RunnerConfig& config() const { return config_; }
+    [[nodiscard]] const ResultCache& cache() const { return cache_; }
+
+    /// Convenience: open a CSV sink in the configured out dir.
+    [[nodiscard]] std::string csv_path(const std::string& name) const;
+
+private:
+    struct Node {
+        TaskSpec spec;
+        TaskResult result;
+        std::vector<TaskId> dependents;
+        std::size_t waiting = 0; ///< unfinished deps (scheduler-owned)
+        TaskStatus status = TaskStatus::kExecuted;
+        bool done = false;
+    };
+
+    RunnerConfig config_;
+    ResultCache cache_;
+    Telemetry telemetry_;
+    std::vector<Node> nodes_;
+    bool ran_ = false;
+};
+
+} // namespace tfetsram::runner

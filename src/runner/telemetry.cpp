@@ -1,0 +1,104 @@
+#include "runner/telemetry.hpp"
+
+#include <cstdlib>
+
+#include "runner/json.hpp"
+#include "util/table_printer.hpp"
+#include "util/units.hpp"
+
+namespace tfetsram::runner {
+
+std::filesystem::path out_dir_from_env() {
+    const char* env = std::getenv("TFETSRAM_OUT_DIR");
+    if (env != nullptr && *env != '\0')
+        return std::filesystem::path(env);
+    return std::filesystem::path("bench_csv");
+}
+
+std::string to_string(TaskStatus status) {
+    switch (status) {
+    case TaskStatus::kExecuted: return "miss";
+    case TaskStatus::kHit: return "hit";
+    case TaskStatus::kPruned: return "pruned";
+    case TaskStatus::kFailed: return "failed";
+    }
+    return "?";
+}
+
+Telemetry::Telemetry(std::filesystem::path out_dir, std::string run_name,
+                     bool enabled)
+    : out_dir_(std::move(out_dir)), run_name_(std::move(run_name)) {
+    if (!enabled)
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir_, ec);
+    journal_path_ = out_dir_ / (run_name_ + "_journal.jsonl");
+    journal_.open(journal_path_, std::ios::trunc);
+}
+
+void Telemetry::record(const TaskRecord& record) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++summary_.tasks;
+    switch (record.status) {
+    case TaskStatus::kExecuted: ++summary_.executed; break;
+    case TaskStatus::kHit: ++summary_.cache_hits; break;
+    case TaskStatus::kPruned: ++summary_.pruned; break;
+    case TaskStatus::kFailed: ++summary_.failed; break;
+    }
+    summary_.nr_iterations += record.solver.nr_iterations;
+    summary_.dc_solves += record.solver.dc_solves;
+    summary_.transient_steps += record.solver.transient_steps;
+
+    if (!journal_.is_open())
+        return;
+    Json line = Json::object();
+    line.set("task", record.id);
+    line.set("key", record.key_hash);
+    line.set("cache", to_string(record.status));
+    line.set("wall_s", record.wall_s);
+    line.set("nr_iterations", record.solver.nr_iterations);
+    line.set("dc_solves", record.solver.dc_solves);
+    line.set("transient_steps", record.solver.transient_steps);
+    journal_ << line.dump() << '\n';
+    journal_.flush(); // journal survives a crashed/killed run
+}
+
+RunSummary Telemetry::finish(double total_wall_s) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    summary_.wall_s = total_wall_s;
+    if (journal_.is_open()) {
+        Json bench = Json::object();
+        bench.set("name", run_name_);
+        bench.set("tasks", summary_.tasks);
+        bench.set("executed", summary_.executed);
+        bench.set("cache_hits", summary_.cache_hits);
+        bench.set("pruned", summary_.pruned);
+        bench.set("failed", summary_.failed);
+        bench.set("wall_s", summary_.wall_s);
+        bench.set("nr_iterations", summary_.nr_iterations);
+        bench.set("dc_solves", summary_.dc_solves);
+        bench.set("transient_steps", summary_.transient_steps);
+        std::ofstream out(out_dir_ / ("BENCH_" + run_name_ + ".json"),
+                          std::ios::trunc);
+        if (out)
+            out << bench.dump() << '\n';
+    }
+    return summary_;
+}
+
+std::string Telemetry::render(const RunSummary& summary,
+                              const std::string& run_name) {
+    TablePrinter table({"run", "tasks", "executed", "hits", "pruned",
+                        "failed", "nr_iters", "dc_solves", "wall"});
+    table.add_row({run_name, std::to_string(summary.tasks),
+                   std::to_string(summary.executed),
+                   std::to_string(summary.cache_hits),
+                   std::to_string(summary.pruned),
+                   std::to_string(summary.failed),
+                   std::to_string(summary.nr_iterations),
+                   std::to_string(summary.dc_solves),
+                   format_si(summary.wall_s, "s")});
+    return table.render();
+}
+
+} // namespace tfetsram::runner

@@ -1,0 +1,81 @@
+#pragma once
+// Run telemetry: a JSONL journal with one record per task (id, key hash,
+// cache status, wall time, solver work) plus an end-of-run summary — both
+// the console table and a machine-readable BENCH_<run>.json artifact so
+// successive commits can be compared on cache efficiency and Newton cost.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <string>
+
+#include "spice/stats.hpp"
+
+namespace tfetsram::runner {
+
+/// Where run artifacts (CSV, journal, BENCH json) land: TFETSRAM_OUT_DIR,
+/// falling back to the historical ./bench_csv.
+std::filesystem::path out_dir_from_env();
+
+/// Outcome of one scheduled task.
+enum class TaskStatus {
+    kExecuted, ///< cache miss (or uncacheable): fn ran
+    kHit,      ///< served from the result cache
+    kPruned,   ///< setup-only task skipped because no dependent executed
+    kFailed,   ///< fn threw
+};
+std::string to_string(TaskStatus status);
+
+struct TaskRecord {
+    std::string id;
+    std::string key_hash; ///< empty for uncacheable tasks
+    TaskStatus status = TaskStatus::kExecuted;
+    double wall_s = 0.0;
+    spice::SolverStats solver; ///< deltas on the executing thread
+};
+
+/// Aggregate counts returned by Runner::run and asserted on in tests.
+struct RunSummary {
+    std::size_t tasks = 0;
+    std::size_t executed = 0;
+    std::size_t cache_hits = 0;
+    std::size_t pruned = 0;
+    std::size_t failed = 0;
+    double wall_s = 0.0;
+    std::uint64_t nr_iterations = 0;
+    std::uint64_t dc_solves = 0;
+    std::uint64_t transient_steps = 0;
+};
+
+class Telemetry {
+public:
+    /// Opens `<out_dir>/<run_name>_journal.jsonl` (truncating) when
+    /// enabled; a disabled or unopenable journal degrades to counting only.
+    Telemetry(std::filesystem::path out_dir, std::string run_name,
+              bool enabled = true);
+
+    /// Append one task record to the journal. Thread-safe.
+    void record(const TaskRecord& record);
+
+    /// Write BENCH_<run_name>.json and return the final tallies.
+    RunSummary finish(double total_wall_s);
+
+    /// Console rendering of a summary (TablePrinter-style one-liner box).
+    static std::string render(const RunSummary& summary,
+                              const std::string& run_name);
+
+    [[nodiscard]] const std::filesystem::path& journal_path() const {
+        return journal_path_;
+    }
+
+private:
+    std::filesystem::path out_dir_;
+    std::string run_name_;
+    std::filesystem::path journal_path_;
+    std::ofstream journal_;
+    std::mutex mutex_;
+    RunSummary summary_;
+};
+
+} // namespace tfetsram::runner

@@ -1,0 +1,113 @@
+#include "runner/thread_pool.hpp"
+
+#include <atomic>
+
+#include "util/contracts.hpp"
+
+namespace tfetsram::runner {
+
+std::size_t ThreadPool::resolve(std::size_t threads) {
+    if (threads != 0)
+        return threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    const std::size_t n = resolve(threads);
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    work_available_.notify_all();
+    for (std::thread& t : workers_)
+        t.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+    TFET_EXPECTS(job != nullptr);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        TFET_EXPECTS(!stopping_);
+        queue_.push_back(std::move(job));
+        ++in_flight_;
+    }
+    work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_available_.wait(
+                lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping and drained
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --in_flight_;
+            if (in_flight_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+    TFET_EXPECTS(fn != nullptr);
+    if (n == 0)
+        return;
+    if (size() == 1 || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    // One shared index counter; each of k runner jobs grabs indices until
+    // exhausted. A private latch (not wait_idle) keeps this correct when
+    // other jobs are queued on the same pool.
+    struct State {
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> remaining;
+        std::mutex m;
+        std::condition_variable done;
+    };
+    auto state = std::make_shared<State>();
+    const std::size_t jobs = std::min(size(), n);
+    state->remaining.store(jobs);
+
+    for (std::size_t j = 0; j < jobs; ++j) {
+        submit([state, n, &fn] {
+            for (;;) {
+                const std::size_t i = state->next.fetch_add(1);
+                if (i >= n)
+                    break;
+                fn(i);
+            }
+            if (state->remaining.fetch_sub(1) == 1) {
+                std::lock_guard<std::mutex> lock(state->m);
+                state->done.notify_all();
+            }
+        });
+    }
+    std::unique_lock<std::mutex> lock(state->m);
+    state->done.wait(lock, [&] { return state->remaining.load() == 0; });
+}
+
+} // namespace tfetsram::runner

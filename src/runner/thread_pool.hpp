@@ -1,0 +1,63 @@
+#pragma once
+// The repo's one concurrency substrate: a fixed-size worker pool with a
+// shared FIFO queue. The task-graph scheduler submits ready tasks here, and
+// mc::run_monte_carlo fans its samples out through parallel_for — both
+// layers share this implementation instead of growing ad-hoc std::thread
+// vectors.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tfetsram::runner {
+
+class ThreadPool {
+public:
+    /// Spawns `threads` workers; 0 uses the hardware concurrency. A pool of
+    /// size 1 still spawns one worker (submit never runs jobs inline), so
+    /// execution order semantics are identical at every size.
+    explicit ThreadPool(std::size_t threads = 0);
+
+    /// Drains outstanding jobs, then joins the workers.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+    /// Enqueue one job. Jobs must not throw — wrap anything fallible and
+    /// capture the error yourself (the scheduler stores an exception_ptr).
+    void submit(std::function<void()> job);
+
+    /// Block until every job submitted so far (by any thread) completed.
+    void wait_idle();
+
+    /// Run fn(i) for i in [0, n) across the pool and block until all
+    /// complete. Work is distributed by atomic index grab, so any partition
+    /// of iterations onto workers yields the same per-index results —
+    /// callers own determinism by making fn(i) depend only on i. Safe to
+    /// call from multiple threads, but not from inside a pool job (the
+    /// caller would occupy a worker while waiting on the others).
+    void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+    /// Resolve a `threads` request: 0 -> hardware concurrency (>= 1).
+    static std::size_t resolve(std::size_t threads);
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    mutable std::mutex mutex_;
+    std::condition_variable work_available_;
+    std::condition_variable idle_;
+    std::size_t in_flight_ = 0; ///< queued + currently executing jobs
+    bool stopping_ = false;
+};
+
+} // namespace tfetsram::runner

@@ -4,6 +4,7 @@
 
 #include "la/lu.hpp"
 #include "spice/mna.hpp"
+#include "spice/stats.hpp"
 
 namespace tfetsram::spice {
 
@@ -26,10 +27,10 @@ double residual_norm(Circuit& circuit, const AnalysisState& as, double gmin,
     return std::sqrt(acc);
 }
 
-} // namespace
-
-int newton_raphson(Circuit& circuit, const AnalysisState& as,
-                   const SolverOptions& opts, double gmin, la::Vector& x) {
+/// Body of detail::newton_raphson; the public wrapper meters it.
+int newton_raphson_core(Circuit& circuit, const AnalysisState& as,
+                        const SolverOptions& opts, double gmin,
+                        la::Vector& x) {
     const std::size_t n = circuit.num_unknowns();
     const std::size_t n_node_unknowns = circuit.num_nodes() - 1;
     TFET_EXPECTS(x.size() == n);
@@ -99,10 +100,21 @@ int newton_raphson(Circuit& circuit, const AnalysisState& as,
     return -opts.max_nr_iterations;
 }
 
+} // namespace
+
+int newton_raphson(Circuit& circuit, const AnalysisState& as,
+                   const SolverOptions& opts, double gmin, la::Vector& x) {
+    const int iters = newton_raphson_core(circuit, as, opts, gmin, x);
+    solver_stats().nr_iterations +=
+        static_cast<std::uint64_t>(std::abs(iters));
+    return iters;
+}
+
 } // namespace detail
 
 DcResult solve_dc(Circuit& circuit, const SolverOptions& opts, double time,
                   const la::Vector* initial_guess) {
+    ++solver_stats().dc_solves;
     circuit.prepare();
     const std::size_t n = circuit.num_unknowns();
 

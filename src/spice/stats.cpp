@@ -1,0 +1,10 @@
+#include "spice/stats.hpp"
+
+namespace tfetsram::spice {
+
+SolverStats& solver_stats() {
+    thread_local SolverStats stats;
+    return stats;
+}
+
+} // namespace tfetsram::spice

@@ -1,0 +1,32 @@
+#pragma once
+// Per-thread solver instrumentation. The DC and transient engines bump
+// these counters on the thread doing the solving; the runner's telemetry
+// layer snapshots them around each task to report how much Newton work a
+// task actually cost (NR iterations per cache miss is the engine's primary
+// perf-trajectory metric).
+//
+// thread_local on purpose: counts attribute cleanly to the task running on
+// this thread with no atomic traffic in the Newton hot loop. A task that
+// fans work out to other threads (e.g. an inner Monte-Carlo pool) only
+// observes the solves made on its own thread — see docs/RUNNER.md.
+
+#include <cstdint>
+
+namespace tfetsram::spice {
+
+struct SolverStats {
+    std::uint64_t nr_iterations = 0;   ///< Newton-Raphson iterations
+    std::uint64_t dc_solves = 0;       ///< solve_dc calls
+    std::uint64_t transient_steps = 0; ///< accepted transient time steps
+
+    SolverStats operator-(const SolverStats& rhs) const {
+        return {nr_iterations - rhs.nr_iterations, dc_solves - rhs.dc_solves,
+                transient_steps - rhs.transient_steps};
+    }
+};
+
+/// This thread's running counters (monotonically increasing; snapshot and
+/// subtract to meter a region).
+SolverStats& solver_stats();
+
+} // namespace tfetsram::spice

@@ -7,6 +7,7 @@
 
 #include "spice/dc.hpp"
 #include "spice/solution.hpp"
+#include "spice/stats.hpp"
 
 namespace tfetsram::spice {
 
@@ -214,6 +215,7 @@ TransientResult solve_transient(Circuit& circuit, const SolverOptions& opts,
         }
 
         // Accept the step.
+        ++solver_stats().transient_steps;
         for (const auto& dev : circuit.devices())
             dev->accept_step(as, x_new);
         x_prev = std::move(x);

@@ -1,0 +1,379 @@
+// Experiment-runner tests: thread pool, task-graph scheduling order,
+// content-addressed cache round-trips and invalidation, setup pruning,
+// telemetry artifacts, and determinism across thread counts.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/json.hpp"
+#include "runner/runner.hpp"
+#include "util/contracts.hpp"
+
+namespace tfetsram::runner {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch dir per test case.
+fs::path scratch(const std::string& name) {
+    const fs::path dir = fs::path(::testing::TempDir()) / ("runner_" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+RunnerConfig test_config(const std::string& name, std::size_t threads,
+                         CacheMode mode = CacheMode::kOff) {
+    const fs::path dir = scratch(name);
+    RunnerConfig cfg;
+    cfg.run_name = name;
+    cfg.threads = threads;
+    cfg.cache_mode = mode;
+    cfg.cache_dir = dir / "cache";
+    cfg.out_dir = dir / "out";
+    cfg.print_summary = false;
+    return cfg;
+}
+
+// ------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(100);
+    pool.parallel_for(100, [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, WaitIdleDrainsSubmittedJobs) {
+    ThreadPool pool(3);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 50; ++i)
+        pool.submit([&] { ++done; });
+    pool.wait_idle();
+    EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+    ThreadPool pool(1);
+    std::vector<std::size_t> order;
+    pool.parallel_for(5, [&](std::size_t i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+// ------------------------------------------------------------------ JSON
+
+TEST(Json, DumpParseRoundTrip) {
+    Json obj = Json::object();
+    obj.set("name", "fig6");
+    obj.set("wall", 1.25e-3);
+    obj.set("count", 21);
+    obj.set("ok", true);
+    Json arr = Json::array();
+    arr.push_back("a,b\nc\"d\\e");
+    arr.push_back(Json());
+    obj.set("rows", std::move(arr));
+
+    const std::string text = obj.dump();
+    const std::optional<Json> back = Json::parse(text);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->find("name")->as_string(), "fig6");
+    EXPECT_DOUBLE_EQ(back->find("wall")->as_number(), 1.25e-3);
+    EXPECT_DOUBLE_EQ(back->find("count")->as_number(), 21);
+    EXPECT_TRUE(back->find("ok")->as_bool());
+    EXPECT_EQ(back->find("rows")->at(0).as_string(), "a,b\nc\"d\\e");
+    EXPECT_TRUE(back->find("rows")->at(1).is_null());
+    // Determinism: dumping the reparsed tree reproduces the text.
+    EXPECT_EQ(back->dump(), text);
+}
+
+TEST(Json, RejectsMalformedInput) {
+    EXPECT_FALSE(Json::parse("{").has_value());
+    EXPECT_FALSE(Json::parse("[1,]").has_value());
+    EXPECT_FALSE(Json::parse("{\"a\":1} trailing").has_value());
+    EXPECT_FALSE(Json::parse("\"unterminated").has_value());
+    EXPECT_TRUE(Json::parse(" [1, 2, 3] ").has_value());
+}
+
+// ----------------------------------------------------------------- cache
+
+TEST(CacheKey, CanonicalTextAndStableHash) {
+    CacheKey key("fig6");
+    key.add("beta", 1.5).add("assist", "gnd_raising");
+    EXPECT_EQ(key.text(), "task=fig6;beta=1.5;assist=gnd_raising");
+    EXPECT_EQ(key.hash().size(), 16u);
+    CacheKey same("fig6");
+    same.add("beta", 1.5).add("assist", "gnd_raising");
+    EXPECT_EQ(key.hash(), same.hash());
+    CacheKey other("fig6");
+    other.add("beta", 2.0).add("assist", "gnd_raising");
+    EXPECT_NE(key.hash(), other.hash());
+}
+
+TEST(ResultCache, RoundTripsAndInvalidatesOnKeyChange) {
+    const fs::path dir = scratch("cache_roundtrip");
+    ResultCache cache(dir, CacheMode::kReadWrite);
+
+    CacheKey key("unit");
+    key.add("x", 1.0);
+    TaskResult result;
+    result.set("value", "1.23e-4");
+    result.set("note", "comma,quote\",newline\n");
+    result.rows = {{"a", "b"}, {"c"}};
+
+    EXPECT_FALSE(cache.load(key).has_value()); // cold miss
+    EXPECT_TRUE(cache.store(key, result));
+    const std::optional<TaskResult> hit = cache.load(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, result);
+
+    CacheKey changed("unit");
+    changed.add("x", 2.0); // different declared input -> different entry
+    EXPECT_FALSE(cache.load(changed).has_value());
+}
+
+TEST(ResultCache, ModesControlReadAndWrite) {
+    const fs::path dir = scratch("cache_modes");
+    CacheKey key("unit");
+    key.add("x", 1.0);
+    TaskResult result;
+    result.set("v", "1");
+
+    ResultCache off(dir, CacheMode::kOff);
+    EXPECT_FALSE(off.store(key, result));
+    EXPECT_TRUE(fs::is_empty(dir) || !fs::exists(dir));
+
+    ResultCache rw(dir, CacheMode::kReadWrite);
+    EXPECT_TRUE(rw.store(key, result));
+    EXPECT_TRUE(rw.load(key).has_value());
+    EXPECT_FALSE(off.load(key).has_value()); // off never reads
+
+    ResultCache ro(dir, CacheMode::kReadOnly);
+    EXPECT_TRUE(ro.load(key).has_value()); // reads existing entries
+    CacheKey fresh("unit");
+    fresh.add("x", 3.0);
+    EXPECT_FALSE(ro.store(fresh, result)); // but never writes
+    EXPECT_FALSE(rw.load(fresh).has_value());
+}
+
+TEST(ResultCache, CorruptEntryIsAMiss) {
+    const fs::path dir = scratch("cache_corrupt");
+    ResultCache cache(dir, CacheMode::kReadWrite);
+    CacheKey key("unit");
+    key.add("x", 1.0);
+    TaskResult result;
+    result.set("v", "1");
+    ASSERT_TRUE(cache.store(key, result));
+    {
+        std::ofstream trash(dir / (key.hash() + ".json"), std::ios::trunc);
+        trash << "{not json";
+    }
+    EXPECT_FALSE(cache.load(key).has_value());
+}
+
+// ------------------------------------------------------------- scheduler
+
+/// Diamond: a -> {b, c} -> d. Records completion order under a mutex.
+TEST(Runner, DiamondRunsInTopologicalOrderAtEveryThreadCount) {
+    for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+        Runner r(test_config(
+            "diamond_t" + std::to_string(threads), threads));
+        std::mutex m;
+        std::vector<std::string> order;
+        auto note = [&](const char* id) {
+            std::lock_guard<std::mutex> lock(m);
+            order.emplace_back(id);
+            return TaskResult{};
+        };
+        const TaskId a = r.add({.id = "a", .fn = [&] { return note("a"); }});
+        const TaskId b = r.add(
+            {.id = "b", .deps = {a}, .fn = [&] { return note("b"); }});
+        const TaskId c = r.add(
+            {.id = "c", .deps = {a}, .fn = [&] { return note("c"); }});
+        r.add({.id = "d", .deps = {b, c}, .fn = [&] { return note("d"); }});
+
+        const RunSummary summary = r.run();
+        EXPECT_EQ(summary.tasks, 4u);
+        EXPECT_EQ(summary.executed, 4u);
+        ASSERT_EQ(order.size(), 4u);
+        const auto pos = [&](const std::string& id) {
+            return std::find(order.begin(), order.end(), id) - order.begin();
+        };
+        EXPECT_EQ(pos("a"), 0) << "threads=" << threads;
+        EXPECT_LT(pos("b"), pos("d")) << "threads=" << threads;
+        EXPECT_LT(pos("c"), pos("d")) << "threads=" << threads;
+    }
+}
+
+TEST(Runner, ForwardAndSelfDepsAreRejected) {
+    Runner r(test_config("bad_deps", 1));
+    EXPECT_THROW(
+        r.add({.id = "self", .deps = {0}, .fn = [] { return TaskResult{}; }}),
+        contract_violation);
+}
+
+TEST(Runner, TaskExceptionPropagatesFromRun) {
+    Runner r(test_config("boom", 2));
+    r.add({.id = "ok", .fn = [] { return TaskResult{}; }});
+    r.add({.id = "boom", .fn = []() -> TaskResult {
+               throw std::runtime_error("task blew up");
+           }});
+    EXPECT_THROW(r.run(), std::runtime_error);
+}
+
+TEST(Runner, DeterministicResultsRegardlessOfThreadCount) {
+    // Mirror of run_monte_carlo's determinism contract at the graph level:
+    // each task's result depends only on its declared inputs, so any
+    // schedule produces identical results.
+    auto run_with = [](std::size_t threads) {
+        Runner r(test_config("det_t" + std::to_string(threads), threads));
+        std::vector<TaskId> ids;
+        for (int i = 0; i < 16; ++i) {
+            ids.push_back(r.add({.id = "t" + std::to_string(i),
+                                 .fn = [i] {
+                                     TaskResult res;
+                                     res.set("v", std::to_string(i * i + 7));
+                                     return res;
+                                 }}));
+        }
+        r.run();
+        std::vector<std::string> values;
+        for (TaskId id : ids)
+            values.push_back(r.result(id).get("v"));
+        return values;
+    };
+    const auto serial = run_with(1);
+    EXPECT_EQ(serial, run_with(4));
+    EXPECT_EQ(serial, run_with(8));
+}
+
+// --------------------------------------------- cache x scheduler x journal
+
+TEST(Runner, WarmRunServesHitsPrunesSetupAndMatchesColdResults) {
+    const fs::path dir = scratch("warm");
+    RunnerConfig cfg;
+    cfg.run_name = "warm";
+    cfg.threads = 2;
+    cfg.cache_mode = CacheMode::kReadWrite;
+    cfg.cache_dir = dir / "cache";
+    cfg.out_dir = dir / "out";
+    cfg.print_summary = false;
+
+    std::atomic<int> setup_runs{0};
+    std::atomic<int> work_runs{0};
+    auto build = [&](Runner& r) {
+        std::vector<TaskId> ids;
+        TaskSpec setup;
+        setup.id = "setup";
+        setup.setup_only = true;
+        setup.fn = [&] {
+            ++setup_runs;
+            return TaskResult{};
+        };
+        const TaskId s = r.add(std::move(setup));
+        for (int i = 0; i < 10; ++i) {
+            TaskSpec spec;
+            spec.id = "point" + std::to_string(i);
+            spec.deps = {s};
+            spec.key = CacheKey("warm_point").add("i", std::size_t(i));
+            spec.fn = [&work_runs, i] {
+                ++work_runs;
+                TaskResult res;
+                res.set("v", std::to_string(2 * i));
+                res.rows.push_back({"row", std::to_string(i)});
+                return res;
+            };
+            ids.push_back(r.add(std::move(spec)));
+        }
+        return ids;
+    };
+
+    Runner cold(cfg);
+    const std::vector<TaskId> cold_ids = build(cold);
+    const RunSummary cold_summary = cold.run();
+    EXPECT_EQ(cold_summary.executed, 11u);
+    EXPECT_EQ(cold_summary.cache_hits, 0u);
+    EXPECT_EQ(setup_runs.load(), 1);
+    EXPECT_EQ(work_runs.load(), 10);
+
+    Runner warm(cfg);
+    const std::vector<TaskId> warm_ids = build(warm);
+    const RunSummary warm_summary = warm.run();
+    EXPECT_EQ(warm_summary.tasks, 11u);
+    EXPECT_EQ(warm_summary.cache_hits, 10u);
+    EXPECT_EQ(warm_summary.pruned, 1u);
+    EXPECT_EQ(warm_summary.executed, 0u);
+    EXPECT_EQ(setup_runs.load(), 1) << "setup must be pruned on warm run";
+    EXPECT_EQ(work_runs.load(), 10) << "no task body may re-execute";
+    // >= 90 % of task executions skipped — the acceptance bar.
+    EXPECT_GE(warm_summary.cache_hits + warm_summary.pruned,
+              (9 * warm_summary.tasks) / 10);
+
+    for (std::size_t i = 0; i < cold_ids.size(); ++i)
+        EXPECT_EQ(cold.result(cold_ids[i]), warm.result(warm_ids[i]));
+
+    // Journal is valid JSONL with one record per task, and the warm run's
+    // records are all hit/pruned.
+    std::ifstream journal(cfg.out_dir / "warm_journal.jsonl");
+    ASSERT_TRUE(journal.is_open());
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(journal, line)) {
+        ++lines;
+        const std::optional<Json> record = Json::parse(line);
+        ASSERT_TRUE(record.has_value()) << line;
+        const std::string cache = record->find("cache")->as_string();
+        EXPECT_TRUE(cache == "hit" || cache == "pruned") << line;
+    }
+    EXPECT_EQ(lines, 11u);
+
+    // BENCH json artifact reflects the warm tallies.
+    std::ifstream bench_file(cfg.out_dir / "BENCH_warm.json");
+    ASSERT_TRUE(bench_file.is_open());
+    std::stringstream buf;
+    buf << bench_file.rdbuf();
+    const std::optional<Json> bench = Json::parse(buf.str());
+    ASSERT_TRUE(bench.has_value());
+    EXPECT_DOUBLE_EQ(bench->find("cache_hits")->as_number(), 10);
+    EXPECT_DOUBLE_EQ(bench->find("executed")->as_number(), 0);
+}
+
+TEST(Runner, CacheOffExecutesEverything) {
+    const fs::path dir = scratch("cache_off_run");
+    RunnerConfig cfg;
+    cfg.run_name = "off";
+    cfg.threads = 2;
+    cfg.cache_mode = CacheMode::kOff;
+    cfg.cache_dir = dir / "cache";
+    cfg.out_dir = dir / "out";
+    cfg.print_summary = false;
+
+    for (int pass = 0; pass < 2; ++pass) {
+        Runner r(cfg);
+        TaskSpec spec;
+        spec.id = "p";
+        spec.key = CacheKey("off_point").add("i", 1.0);
+        spec.fn = [] {
+            TaskResult res;
+            res.set("v", "x");
+            return res;
+        };
+        r.add(std::move(spec));
+        const RunSummary summary = r.run();
+        EXPECT_EQ(summary.executed, 1u);
+        EXPECT_EQ(summary.cache_hits, 0u);
+    }
+    EXPECT_FALSE(fs::exists(dir / "cache"));
+}
+
+} // namespace
+} // namespace tfetsram::runner
