@@ -52,6 +52,18 @@ inline CsvWriter open_csv(const std::string& name,
     return open_csv(name, cfg.out_dir);
 }
 
+/// Read a named value from a task's result, degrading to `placeholder`
+/// when the task was quarantined (keep-going mode) and holds no result —
+/// so a degraded run still renders its tables and CSVs with explicit
+/// placeholder points instead of crashing on the missing value.
+inline std::string value_or(const runner::Runner& r, runner::TaskId id,
+                            std::string_view name,
+                            const std::string& placeholder) {
+    if (r.status(id) == runner::TaskStatus::kQuarantined)
+        return placeholder;
+    return r.result(id).get(name);
+}
+
 /// Standard banner.
 inline void banner(const std::string& id, const std::string& what) {
     std::cout << "==================================================\n"

@@ -11,6 +11,8 @@
 
 #include "array/array.hpp"
 #include "bench_common.hpp"
+#include "mc/statistics.hpp"
+#include "spice/solve_error.hpp"
 
 namespace tfetsram::bench {
 
@@ -28,6 +30,20 @@ runner::TaskId add_models_task(runner::Runner& r) {
         return runner::TaskResult{};
     };
     return r.add(std::move(spec));
+}
+
+/// Censoring-adjusted 95% yield interval, formatted "p [lo, hi]". `passes`
+/// of the `samples - censored` evaluated samples passed; the bounds treat
+/// the censored samples as worst-case in each direction.
+std::string censored_yield_text(std::size_t passes, std::size_t samples,
+                                std::size_t censored) {
+    const std::size_t evaluated = samples - censored;
+    if (evaluated == 0)
+        return "n/a (all censored)";
+    const mc::YieldInterval yi =
+        mc::censored_yield_interval(passes, evaluated, censored);
+    return format_sci(yi.point, 3) + " [" + format_sci(yi.lower, 3) + ", " +
+           format_sci(yi.upper, 3) + "]";
 }
 
 } // namespace
@@ -69,6 +85,16 @@ int run_fig6_write_assist(const runner::RunnerConfig& config) {
                 sram::SramCell cell = sram::build_cell(cell_cfg);
                 const double wl =
                     sram::critical_wordline_pulse(cell, a, opts);
+                // NaN is the metric's "simulation failed" sentinel (unlike
+                // +inf, which is a legit write-failure outcome): surface it
+                // as a structured solver error so the runner can retry or
+                // quarantine this sweep point.
+                if (std::isnan(wl)) {
+                    spice::SolveError err;
+                    err.code = spice::SolveErrorCode::kNonConvergence;
+                    err.message = "wlcrit: transient simulation failed";
+                    throw spice::SolveException(std::move(err));
+                }
                 runner::TaskResult result;
                 result.set("csv", format_sci(wl, 8));
                 result.set("pulse", core::format_pulse(wl));
@@ -93,8 +119,8 @@ int run_fig6_write_assist(const runner::RunnerConfig& config) {
         std::vector<std::string> row = {format_sci(betas[b], 1)};
         std::vector<std::string> cells = {format_sci(betas[b], 8)};
         for (runner::TaskId id : points[b]) {
-            row.push_back(r.result(id).get("pulse"));
-            cells.push_back(r.result(id).get("csv"));
+            row.push_back(value_or(r, id, "pulse", "QUARANTINED"));
+            cells.push_back(value_or(r, id, "csv", "nan"));
         }
         table.add_row(row);
         csv.write_row(cells);
@@ -161,8 +187,18 @@ int run_fig10_mc_read_assist(const runner::RunnerConfig& config) {
                 [&](sram::SramCell& cell) {
                     const auto d =
                         sram::dynamic_read_noise_margin(cell, a, opts);
-                    // Flips report as NaN so the summary counts them.
-                    if (!d.valid || d.flipped)
+                    // !valid means the solver never produced a verdict:
+                    // throw so the MC driver retries and censors, instead
+                    // of counting it as if it were a read flip.
+                    if (!d.valid) {
+                        spice::SolveError err;
+                        err.code = spice::SolveErrorCode::kNonConvergence;
+                        err.message = "drnm: read transient failed";
+                        throw spice::SolveException(std::move(err));
+                    }
+                    // A flip is a legit failure outcome: report NaN so the
+                    // summary counts it out of the moments.
+                    if (d.flipped)
                         return std::nan("");
                     return d.drnm;
                 },
@@ -170,13 +206,19 @@ int run_fig10_mc_read_assist(const runner::RunnerConfig& config) {
             runner::TaskResult result;
             for (std::size_t i = 0; i < res.samples.size(); ++i)
                 result.rows.push_back({sram::to_string(a), std::to_string(i),
-                                       format_sci(res.samples[i], 6)});
+                                       res.censored[i]
+                                           ? std::string("censored")
+                                           : format_sci(res.samples[i], 6)});
             result.set("hist", res.histogram(12).render());
             result.set("mean", core::format_margin(res.summary.mean));
             result.set("stddev", core::format_margin(res.summary.stddev));
             result.set("min", core::format_margin(res.summary.min));
             result.set("max", core::format_margin(res.summary.max));
             result.set("flips", std::to_string(res.summary.n_infinite));
+            result.set("censored", std::to_string(res.n_censored));
+            result.set("yield", censored_yield_text(
+                                    res.summary.count, samples,
+                                    res.n_censored));
             return result;
         };
         drnm_tasks.push_back(r.add(std::move(spec)));
@@ -195,8 +237,17 @@ int run_fig10_mc_read_assist(const runner::RunnerConfig& config) {
         const mc::McResult wl = mc::run_monte_carlo(
             mc_cfg, sampler, samples, kSeed,
             [&](sram::SramCell& cell) {
-                return sram::critical_wordline_pulse(cell, sram::Assist::kNone,
-                                                     opts);
+                const double p = sram::critical_wordline_pulse(
+                    cell, sram::Assist::kNone, opts);
+                // NaN = solver failure (censor via retry); +inf = genuine
+                // write failure (legit data, kept).
+                if (std::isnan(p)) {
+                    spice::SolveError err;
+                    err.code = spice::SolveErrorCode::kNonConvergence;
+                    err.message = "wlcrit: transient simulation failed";
+                    throw spice::SolveException(std::move(err));
+                }
+                return p;
             },
             /*threads=*/1);
         runner::TaskResult result;
@@ -206,6 +257,9 @@ int run_fig10_mc_read_assist(const runner::RunnerConfig& config) {
         result.set("cv",
                    format_sci(wl.summary.stddev / wl.summary.mean, 2));
         result.set("failures", std::to_string(wl.summary.n_infinite));
+        result.set("censored", std::to_string(wl.n_censored));
+        result.set("yield", censored_yield_text(wl.summary.count, samples,
+                                                wl.n_censored));
         return result;
     };
     const runner::TaskId wl_task = r.add(std::move(wl_spec));
@@ -213,27 +267,36 @@ int run_fig10_mc_read_assist(const runner::RunnerConfig& config) {
 
     auto csv = open_csv("fig10_mc_read_assist", cfg);
     csv.write_row(std::vector<std::string>{"technique", "sample", "drnm"});
-    TablePrinter summary(
-        {"technique", "mean", "stddev", "min", "max", "flips"});
+    TablePrinter summary({"technique", "mean", "stddev", "min", "max",
+                          "flips", "cens", "yield (95% CI)"});
     for (std::size_t t = 0; t < drnm_tasks.size(); ++t) {
-        const runner::TaskResult& res = r.result(drnm_tasks[t]);
+        const runner::TaskId id = drnm_tasks[t];
+        const runner::TaskResult& res = r.result(id);
         for (const auto& row : res.rows)
             csv.write_row(row);
         summary.add_row({sram::to_string(sram::kReadAssists[t]),
-                         res.get("mean"), res.get("stddev"), res.get("min"),
-                         res.get("max"), res.get("flips")});
+                         value_or(r, id, "mean", "QUARANTINED"),
+                         value_or(r, id, "stddev", "-"),
+                         value_or(r, id, "min", "-"),
+                         value_or(r, id, "max", "-"),
+                         value_or(r, id, "flips", "-"),
+                         value_or(r, id, "censored", "-"),
+                         value_or(r, id, "yield", "-")});
         std::cout << "-- DRNM occurrences, "
                   << sram::to_string(sram::kReadAssists[t]) << " --\n"
-                  << res.get("hist") << '\n';
+                  << value_or(r, id, "hist", "(quarantined)\n") << '\n';
     }
     std::cout << summary.render() << '\n';
 
-    const runner::TaskResult& wl = r.result(wl_task);
     std::cout << "-- WLcrit occurrences (beta = 0.6, no WA needed) --\n"
-              << wl.get("hist");
-    std::cout << "WLcrit spread: mean " << wl.get("mean") << ", stddev "
-              << wl.get("stddev") << " (cv = " << wl.get("cv")
-              << "), failures " << wl.get("failures") << "\n";
+              << value_or(r, wl_task, "hist", "(quarantined)\n");
+    std::cout << "WLcrit spread: mean "
+              << value_or(r, wl_task, "mean", "QUARANTINED") << ", stddev "
+              << value_or(r, wl_task, "stddev", "-")
+              << " (cv = " << value_or(r, wl_task, "cv", "-")
+              << "), failures " << value_or(r, wl_task, "failures", "-")
+              << ", censored " << value_or(r, wl_task, "censored", "-")
+              << ", yield " << value_or(r, wl_task, "yield", "-") << "\n";
 
     expectation(
         "DRNM is minimally impacted by variation for all RA techniques; the "
@@ -332,13 +395,16 @@ int run_array_scaling(const runner::RunnerConfig& config) {
     TablePrinter table({"array", "transistors", "unknowns", "init", "write",
                         "read", "functional"});
     for (std::size_t i = 0; i < sizes.size(); ++i) {
-        const runner::TaskResult& res = r.result(tasks[i]);
+        const runner::TaskId id = tasks[i];
         table.add_row({std::to_string(sizes[i].first) + "x" +
                            std::to_string(sizes[i].second),
-                       res.get("transistors"), res.get("unknowns"),
-                       res.get("init"), res.get("write"), res.get("read"),
-                       res.get("functional")});
-        for (const auto& row : res.rows)
+                       value_or(r, id, "transistors", "QUARANTINED"),
+                       value_or(r, id, "unknowns", "-"),
+                       value_or(r, id, "init", "-"),
+                       value_or(r, id, "write", "-"),
+                       value_or(r, id, "read", "-"),
+                       value_or(r, id, "functional", "-")});
+        for (const auto& row : r.result(id).rows)
             csv.write_row(row);
     }
     std::cout << table.render();

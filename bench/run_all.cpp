@@ -4,8 +4,11 @@
 //   run_all                      # every ported figure
 //   run_all fig6_write_assist array_scaling
 //   run_all --list               # what's available
+//   run_all --keep-going         # quarantine failed tasks, finish the rest
 //
-// Cache/output behavior follows the TFETSRAM_* env vars (docs/RUNNER.md).
+// Cache/output behavior follows the TFETSRAM_* env vars (docs/RUNNER.md);
+// failure handling (TFETSRAM_KEEP_GOING, TFETSRAM_RETRIES, TFETSRAM_FAULTS)
+// is documented in docs/ROBUSTNESS.md.
 
 #include <cstring>
 #include <iostream>
@@ -28,6 +31,7 @@ void list_figures() {
 
 int main(int argc, char** argv) {
     std::vector<std::string> wanted;
+    bool keep_going = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--list" || arg == "-l") {
@@ -35,9 +39,14 @@ int main(int argc, char** argv) {
             return 0;
         }
         if (arg == "--help" || arg == "-h") {
-            std::cout << "usage: run_all [--list] [figure...]\n";
+            std::cout
+                << "usage: run_all [--list] [--keep-going] [figure...]\n";
             list_figures();
             return 0;
+        }
+        if (arg == "--keep-going" || arg == "-k") {
+            keep_going = true;
+            continue;
         }
         if (arg != "all")
             wanted.push_back(arg);
@@ -65,8 +74,9 @@ int main(int argc, char** argv) {
 
     int rc = 0;
     for (const bench::Figure* fig : selection) {
-        const int figure_rc =
-            fig->fn(runner::RunnerConfig::from_env(fig->name));
+        runner::RunnerConfig cfg = runner::RunnerConfig::from_env(fig->name);
+        cfg.keep_going = cfg.keep_going || keep_going;
+        const int figure_rc = fig->fn(cfg);
         if (figure_rc != 0) {
             std::cerr << "run_all: " << fig->name << " exited with "
                       << figure_rc << "\n";

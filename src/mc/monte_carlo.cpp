@@ -1,18 +1,22 @@
 #include "mc/monte_carlo.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
+#include <limits>
 
 #include "runner/thread_pool.hpp"
+#include "spice/solve_error.hpp"
 
 namespace tfetsram::mc {
 
 McResult run_monte_carlo(const sram::CellConfig& base_config,
                          const TfetVariationSampler& sampler, std::size_t n,
                          std::uint64_t seed, const CellMetric& metric,
-                         std::size_t threads) {
+                         std::size_t threads, const McPolicy& policy) {
     TFET_EXPECTS(n >= 1);
     TFET_EXPECTS(metric != nullptr);
+    TFET_EXPECTS(policy.max_attempts >= 1);
 
     // Draw all samples up front from one stream: the results are then
     // independent of how the evaluations are scheduled.
@@ -25,6 +29,9 @@ McResult run_monte_carlo(const sram::CellConfig& base_config,
     McResult result;
     result.samples.assign(n, 0.0);
     result.tox_values.assign(n, 0.0);
+    result.censored.assign(n, 0);
+    std::atomic<std::size_t> n_censored{0};
+    std::atomic<std::size_t> n_retried{0};
 
     // Fan the evaluations out through the shared concurrency substrate.
     // Each index writes only its own slots and depends only on its own
@@ -32,12 +39,39 @@ McResult run_monte_carlo(const sram::CellConfig& base_config,
     threads = std::min(runner::ThreadPool::resolve(threads), n);
     runner::ThreadPool pool(threads);
     pool.parallel_for(n, [&](std::size_t i) {
-        sram::CellConfig cfg = base_config;
-        cfg.models = draws[i].models;
-        sram::SramCell cell = sram::build_cell(cfg);
-        result.samples[i] = metric(cell);
+        double value = std::numeric_limits<double>::quiet_NaN();
+        bool converged = false;
+        int attempt = 1;
+        for (; attempt <= policy.max_attempts; ++attempt) {
+            // Rebuild from scratch every attempt: fresh device companion
+            // state is itself a re-seeded restart, and the reseed hook can
+            // additionally perturb the config before the retry.
+            sram::CellConfig cfg = base_config;
+            cfg.models = draws[i].models;
+            if (attempt > 1 && policy.reseed)
+                policy.reseed(cfg, attempt, i);
+            sram::SramCell cell = sram::build_cell(cfg);
+            try {
+                value = metric(cell);
+                converged = true;
+                break;
+            } catch (const spice::SolveException&) {
+                // Non-converged solve: this attempt produced no
+                // observation. Retry (or censor when attempts run out).
+            }
+        }
+        if (attempt > 1)
+            n_retried.fetch_add(1, std::memory_order_relaxed);
+        if (!converged)
+            n_censored.fetch_add(1, std::memory_order_relaxed);
+        result.samples[i] = value;
+        result.censored[i] = converged ? 0 : 1;
         result.tox_values[i] = draws[i].tox;
     });
+    result.n_censored = n_censored.load();
+    result.n_retried = n_retried.load();
+    // NaN censored slots fall out of the summary on their own (they are
+    // neither finite nor infinite).
     result.summary = summarize(result.samples);
     return result;
 }

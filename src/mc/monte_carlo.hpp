@@ -3,6 +3,7 @@
 // evaluates an arbitrary metric, reproducing the occurrence histograms of
 // Figs. 9 and 10.
 
+#include <cstdint>
 #include <functional>
 
 #include "mc/variation.hpp"
@@ -14,13 +15,37 @@ namespace tfetsram::mc {
 
 /// Metric evaluated on each sampled cell. Return +/-inf or NaN for failure
 /// outcomes (e.g. a write failure's infinite WLcrit); the summary keeps
-/// them out of the moments but counts them.
+/// them out of the moments but counts them. Throw spice::SolveException
+/// for a solver failure ("could not evaluate this sample") — the driver
+/// retries the sample and censors it if every attempt fails. The
+/// distinction matters: a legit failure outcome is data; a non-converged
+/// solve is a missing observation and must not contaminate the statistics.
 using CellMetric = std::function<double(sram::SramCell&)>;
 
+/// Retry/censoring policy for samples whose metric throws
+/// spice::SolveException.
+struct McPolicy {
+    /// Total evaluation attempts per sample (>= 1). Each attempt rebuilds
+    /// the cell from scratch, so device companion state restarts clean.
+    int max_attempts = 3;
+    /// Optional perturbed-restart hook: called before each retry
+    /// (attempt >= 2) to nudge the rebuilt cell's config — e.g. tweak a
+    /// solver option — deterministically in (attempt, sample index).
+    std::function<void(sram::CellConfig& cfg, int attempt,
+                       std::size_t sample_index)>
+        reseed;
+};
+
 struct McResult {
-    std::vector<double> samples;
+    std::vector<double> samples; ///< metric values; NaN in censored slots
     std::vector<double> tox_values;
-    SampleSummary summary;
+    /// Per-sample censor flag (1 = every attempt failed to converge; the
+    /// samples[] slot holds NaN). uint8 rather than bool so concurrent
+    /// per-index writes do not race on packed bits.
+    std::vector<std::uint8_t> censored;
+    std::size_t n_censored = 0; ///< samples with no converged evaluation
+    std::size_t n_retried = 0;  ///< samples that needed more than 1 attempt
+    SampleSummary summary;      ///< over non-censored samples only
 
     /// Histogram over the finite samples (paper-style occurrence plot).
     [[nodiscard]] Histogram histogram(std::size_t bins = 20) const {
@@ -40,7 +65,8 @@ struct McResult {
 McResult run_monte_carlo(const sram::CellConfig& base_config,
                          const TfetVariationSampler& sampler, std::size_t n,
                          std::uint64_t seed, const CellMetric& metric,
-                         std::size_t threads = 0);
+                         std::size_t threads = 0,
+                         const McPolicy& policy = {});
 
 /// Reads TFETSRAM_MC_SAMPLES from the environment, defaulting to
 /// `fallback`; lets the long benches scale their sample counts.

@@ -83,4 +83,19 @@ YieldInterval yield_interval(std::size_t passes, std::size_t trials,
     return yi;
 }
 
+YieldInterval censored_yield_interval(std::size_t passes,
+                                      std::size_t evaluated,
+                                      std::size_t censored,
+                                      double confidence) {
+    TFET_EXPECTS(evaluated > 0);
+    TFET_EXPECTS(passes <= evaluated);
+    const std::size_t trials = evaluated + censored;
+    YieldInterval yi;
+    yi.point = static_cast<double>(passes) / static_cast<double>(evaluated);
+    // Worst-case imputation in each direction over the full trial count.
+    yi.lower = yield_interval(passes, trials, confidence).lower;
+    yi.upper = yield_interval(passes + censored, trials, confidence).upper;
+    return yi;
+}
+
 } // namespace tfetsram::mc

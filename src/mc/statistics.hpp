@@ -40,4 +40,17 @@ struct YieldInterval {
 YieldInterval yield_interval(std::size_t passes, std::size_t trials,
                              double confidence = 0.95);
 
+/// Yield interval under censoring. `evaluated` samples produced a verdict
+/// (`passes` of them passed); `censored` samples never converged, so their
+/// verdicts are unknown. Rather than dropping them (which silently biases
+/// the yield toward whatever corners happen to converge), the interval is
+/// widened to cover both worst cases: the lower bound assumes every
+/// censored sample would have failed, the upper bound that every one would
+/// have passed. The point estimate is passes/evaluated (the uncensored
+/// rate). With censored == 0 this reduces exactly to yield_interval.
+YieldInterval censored_yield_interval(std::size_t passes,
+                                      std::size_t evaluated,
+                                      std::size_t censored,
+                                      double confidence = 0.95);
+
 } // namespace tfetsram::mc

@@ -5,9 +5,12 @@
 #include <fstream>
 #include <sstream>
 
+#include <atomic>
+
 #include "runner/hash.hpp"
 #include "runner/json.hpp"
 #include "util/contracts.hpp"
+#include "util/fault.hpp"
 
 namespace tfetsram::runner {
 
@@ -149,6 +152,10 @@ std::optional<TaskResult> from_json(const Json& entry, const CacheKey& key) {
 std::optional<TaskResult> ResultCache::load(const CacheKey& key) const {
     if (mode_ == CacheMode::kOff || key.empty())
         return std::nullopt;
+    // Injected corruption reads as an unparseable entry — i.e. a miss, per
+    // the contract that cache damage is never an error.
+    if (fault::should_fail(fault::Site::kCacheLoad))
+        return std::nullopt;
     const std::filesystem::path path = dir_ / (key.hash() + ".json");
     std::ifstream in(path);
     if (!in)
@@ -164,22 +171,35 @@ std::optional<TaskResult> ResultCache::load(const CacheKey& key) const {
 bool ResultCache::store(const CacheKey& key, const TaskResult& result) const {
     if (mode_ != CacheMode::kReadWrite || key.empty())
         return false;
+    if (fault::should_fail(fault::Site::kCacheStore))
+        return false;
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
     const std::filesystem::path path = dir_ / (key.hash() + ".json");
     // Write-then-rename so concurrent readers (another bench process on the
-    // same cache) never observe a truncated entry.
-    const std::filesystem::path tmp = path.string() + ".tmp";
+    // same cache) never observe a truncated entry. The temp name is unique
+    // per store so concurrent writers of the same key cannot clobber each
+    // other's half-written temp file before its rename.
+    static std::atomic<unsigned long> temp_serial{0};
+    const std::filesystem::path tmp =
+        path.string() + ".tmp" +
+        std::to_string(temp_serial.fetch_add(1, std::memory_order_relaxed));
     {
         std::ofstream out(tmp, std::ios::trunc);
         if (!out)
             return false;
         out << to_json(key, result).dump() << '\n';
-        if (!out)
+        if (!out) {
+            out.close();
+            std::filesystem::remove(tmp, ec);
             return false;
+        }
     }
     std::filesystem::rename(tmp, path, ec);
-    return !ec;
+    const bool renamed = !ec;
+    if (!renamed)
+        std::filesystem::remove(tmp, ec);
+    return renamed;
 }
 
 } // namespace tfetsram::runner

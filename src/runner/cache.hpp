@@ -17,8 +17,9 @@
 namespace tfetsram::runner {
 
 /// Bumped whenever the entry format or result semantics change; stale
-/// entries simply miss.
-inline constexpr int kCacheSchemaVersion = 1;
+/// entries simply miss. v2: Monte-Carlo task payloads gained censored
+/// sample accounting.
+inline constexpr int kCacheSchemaVersion = 2;
 
 enum class CacheMode {
     kOff,       ///< never read or write

@@ -1,11 +1,14 @@
 #include "runner/runner.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <deque>
 #include <exception>
 #include <iostream>
+#include <memory>
 #include <mutex>
+#include <string_view>
 
 #include "util/contracts.hpp"
 
@@ -25,6 +28,15 @@ RunnerConfig RunnerConfig::from_env(std::string run_name) {
         if (v > 0)
             cfg.threads = static_cast<std::size_t>(v);
     }
+    if (const char* env = std::getenv("TFETSRAM_RETRIES");
+        env != nullptr && *env != '\0') {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v > 0)
+            cfg.default_max_attempts = static_cast<int>(v);
+    }
+    if (const char* env = std::getenv("TFETSRAM_KEEP_GOING");
+        env != nullptr && *env != '\0' && std::string_view(env) != "0")
+        cfg.keep_going = true;
     return cfg;
 }
 
@@ -53,6 +65,18 @@ const TaskResult& Runner::result(TaskId id) const {
     TFET_EXPECTS(ran_);
     TFET_EXPECTS(id < nodes_.size());
     return nodes_[id].result;
+}
+
+TaskStatus Runner::status(TaskId id) const {
+    TFET_EXPECTS(ran_);
+    TFET_EXPECTS(id < nodes_.size());
+    return nodes_[id].status;
+}
+
+const TaskError* Runner::error(TaskId id) const {
+    TFET_EXPECTS(ran_);
+    TFET_EXPECTS(id < nodes_.size());
+    return nodes_[id].error.get();
 }
 
 std::string Runner::csv_path(const std::string& name) const {
@@ -143,35 +167,97 @@ RunSummary Runner::run() {
             record.key_hash =
                 node.spec.key.empty() ? "" : node.spec.key.hash();
 
-            const spice::SolverStats before = spice::solver_stats();
-            const auto t0 = clock::now();
-            TaskResult result;
-            std::exception_ptr error;
-            try {
-                result = node.spec.fn();
-            } catch (...) {
-                error = std::current_exception();
+            bool poisoned = false;
+            std::string poison_source;
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                poisoned = node.poisoned;
+                poison_source = node.poison_source;
             }
-            record.wall_s = seconds_since(t0);
-            record.solver = spice::solver_stats() - before;
-            record.status =
-                error ? TaskStatus::kFailed : TaskStatus::kExecuted;
-            if (!error && !node.spec.key.empty())
-                cache_.store(node.spec.key, result);
+
+            TaskResult result;
+            std::shared_ptr<TaskError> error;
+            std::exception_ptr raw_error; // original, rethrown in abort mode
+            if (poisoned) {
+                // An upstream task was quarantined: this task's inputs do
+                // not exist, so it is quarantined without running.
+                record.status = TaskStatus::kQuarantined;
+                record.attempts = 0;
+                error = std::make_shared<TaskError>(
+                    node.spec.id, 0,
+                    "upstream dependency '" + poison_source +
+                        "' quarantined");
+                record.error = error->what();
+            } else {
+                const int max_attempts =
+                    node.spec.max_attempts > 0
+                        ? node.spec.max_attempts
+                        : std::max(1, config_.default_max_attempts);
+                const spice::SolverStats before = spice::solver_stats();
+                const auto t0 = clock::now();
+                int attempt = 1;
+                for (;; ++attempt) {
+                    if (attempt > 1 && node.spec.on_retry)
+                        node.spec.on_retry(attempt);
+                    try {
+                        result = node.spec.fn();
+                        error.reset();
+                        raw_error = nullptr;
+                        break;
+                    } catch (const spice::SolveException& e) {
+                        error = std::make_shared<TaskError>(
+                            node.spec.id, attempt, e.what(), e.error());
+                        raw_error = std::current_exception();
+                    } catch (const std::exception& e) {
+                        error = std::make_shared<TaskError>(node.spec.id,
+                                                            attempt, e.what());
+                        raw_error = std::current_exception();
+                    } catch (...) {
+                        error = std::make_shared<TaskError>(
+                            node.spec.id, attempt, "unknown exception");
+                        raw_error = std::current_exception();
+                    }
+                    if (attempt >= max_attempts)
+                        break;
+                }
+                record.attempts = std::min(attempt, max_attempts);
+                record.wall_s = seconds_since(t0);
+                record.solver = spice::solver_stats() - before;
+                if (!error) {
+                    record.status = TaskStatus::kExecuted;
+                    if (!node.spec.key.empty())
+                        cache_.store(node.spec.key, result);
+                } else {
+                    record.status = config_.keep_going
+                                        ? TaskStatus::kQuarantined
+                                        : TaskStatus::kFailed;
+                    record.error = error->what();
+                }
+            }
             telemetry_.record(record);
 
+            const bool quarantined =
+                record.status == TaskStatus::kQuarantined;
             std::vector<TaskId> unblocked;
             {
                 std::lock_guard<std::mutex> lock(mutex);
                 node.result = std::move(result);
                 node.status = record.status;
+                node.error = error;
                 node.done = true;
                 --pending;
-                if (error && !first_error)
-                    first_error = error;
+                if (error && !quarantined && !first_error)
+                    first_error = raw_error;
                 if (!first_error) {
                     for (TaskId dep_id : node.dependents) {
                         Node& dependent = nodes_[dep_id];
+                        if (quarantined && !dependent.poisoned) {
+                            dependent.poisoned = true;
+                            // Name the quarantine root, not the nearest
+                            // poisoned ancestor.
+                            dependent.poison_source =
+                                poisoned ? poison_source : node.spec.id;
+                        }
                         if (!dependent.done && --dependent.waiting == 0)
                             unblocked.push_back(dep_id);
                     }
@@ -180,13 +266,15 @@ RunSummary Runner::run() {
                     all_done.notify_all();
             }
             for (TaskId next : unblocked)
-                pool.submit([&execute, next] { execute(next); });
+                pool.submit([&execute, next] { execute(next); },
+                            nodes_[next].spec.id);
         };
 
         {
             std::lock_guard<std::mutex> lock(mutex);
             for (TaskId id : ready)
-                pool.submit([&execute, id] { execute(id); });
+                pool.submit([&execute, id] { execute(id); },
+                            nodes_[id].spec.id);
             ready.clear();
         }
         {

@@ -13,10 +13,12 @@
 
 #include <filesystem>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "runner/cache.hpp"
+#include "runner/task_error.hpp"
 #include "runner/telemetry.hpp"
 #include "runner/thread_pool.hpp"
 
@@ -36,6 +38,12 @@ struct TaskSpec {
     /// dependent was a cache hit or itself pruned.
     bool setup_only = false;
     TaskFn fn;
+    /// Execution attempts before the task counts as failed; 0 uses
+    /// RunnerConfig::default_max_attempts.
+    int max_attempts = 0;
+    /// Perturbed-restart hook, called before each retry (attempt >= 2) so
+    /// the task can nudge its initial guess / reseed before running again.
+    std::function<void(int attempt)> on_retry;
 };
 
 struct RunnerConfig {
@@ -46,9 +54,15 @@ struct RunnerConfig {
     std::filesystem::path out_dir = "bench_csv";
     bool telemetry = true;    ///< write journal + BENCH json
     bool print_summary = true; ///< render the summary table to stdout
+    /// Attempts per task when TaskSpec::max_attempts is 0.
+    int default_max_attempts = 1;
+    /// Quarantine failed tasks (and their dependents) and complete the
+    /// rest of the graph instead of aborting on the first failure.
+    bool keep_going = false;
 
     /// Standard environment wiring: TFETSRAM_CACHE, TFETSRAM_OUT_DIR,
-    /// TFETSRAM_THREADS (see docs/RUNNER.md).
+    /// TFETSRAM_THREADS, TFETSRAM_RETRIES, TFETSRAM_KEEP_GOING
+    /// (see docs/RUNNER.md and docs/ROBUSTNESS.md).
     static RunnerConfig from_env(std::string run_name);
 };
 
@@ -62,12 +76,20 @@ public:
     TaskId add(TaskSpec spec);
 
     /// Execute the graph. Throws the first task exception encountered
-    /// (after quiescing in-flight tasks). Idempotent per Runner: call once.
+    /// (after quiescing in-flight tasks) — unless keep_going, in which
+    /// case failed tasks are quarantined (with their dependents) and the
+    /// rest of the graph completes. Idempotent per Runner: call once.
     RunSummary run();
 
-    /// Result of a finished task (valid after run(); pruned tasks hold an
-    /// empty result).
+    /// Result of a finished task (valid after run(); pruned and
+    /// quarantined tasks hold an empty result).
     [[nodiscard]] const TaskResult& result(TaskId id) const;
+
+    /// Final status of a task (valid after run()).
+    [[nodiscard]] TaskStatus status(TaskId id) const;
+
+    /// Error context of a failed or quarantined task; nullptr otherwise.
+    [[nodiscard]] const TaskError* error(TaskId id) const;
 
     [[nodiscard]] const RunnerConfig& config() const { return config_; }
     [[nodiscard]] const ResultCache& cache() const { return cache_; }
@@ -83,6 +105,9 @@ private:
         std::size_t waiting = 0; ///< unfinished deps (scheduler-owned)
         TaskStatus status = TaskStatus::kExecuted;
         bool done = false;
+        bool poisoned = false; ///< an upstream dependency was quarantined
+        std::string poison_source; ///< id of the quarantined ancestor
+        std::shared_ptr<TaskError> error; ///< failed/quarantined context
     };
 
     RunnerConfig config_;

@@ -1,0 +1,24 @@
+#include "runner/task_error.hpp"
+
+namespace tfetsram::runner {
+
+namespace {
+
+std::string format_what(const std::string& task_id, int attempts,
+                        const std::string& cause) {
+    std::string what = "task '" + task_id + "' failed";
+    if (attempts > 1)
+        what += " after " + std::to_string(attempts) + " attempts";
+    what += ": " + cause;
+    return what;
+}
+
+} // namespace
+
+TaskError::TaskError(std::string task_id, int attempts, std::string cause,
+                     std::optional<spice::SolveError> solve_error)
+    : std::runtime_error(format_what(task_id, attempts, cause)),
+      task_id_(std::move(task_id)), attempts_(attempts),
+      cause_(std::move(cause)), solve_error_(std::move(solve_error)) {}
+
+} // namespace tfetsram::runner

@@ -1,0 +1,39 @@
+#pragma once
+// Task-level error context. When a task fn throws, the runner wraps the
+// cause in a TaskError carrying the task id and how many attempts were
+// spent, preserving any structured spice::SolveError the failure started
+// from. Quarantined tasks (keep-going mode) hold their TaskError for
+// post-run inspection via Runner::error().
+
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "spice/solve_error.hpp"
+
+namespace tfetsram::runner {
+
+class TaskError : public std::runtime_error {
+public:
+    /// `cause` is the underlying exception's message; `solve_error` is
+    /// populated when the cause was a spice::SolveException.
+    TaskError(std::string task_id, int attempts, std::string cause,
+              std::optional<spice::SolveError> solve_error = std::nullopt);
+
+    [[nodiscard]] const std::string& task_id() const { return task_id_; }
+    [[nodiscard]] int attempts() const { return attempts_; }
+    [[nodiscard]] const std::string& cause() const { return cause_; }
+    [[nodiscard]] const std::optional<spice::SolveError>&
+    solve_error() const {
+        return solve_error_;
+    }
+
+private:
+    std::string task_id_;
+    int attempts_;
+    std::string cause_;
+    std::optional<spice::SolveError> solve_error_;
+};
+
+} // namespace tfetsram::runner

@@ -1,8 +1,11 @@
 #include "runner/telemetry.hpp"
 
+#include <atomic>
+#include <cstdio>
 #include <cstdlib>
 
 #include "runner/json.hpp"
+#include "util/fault.hpp"
 #include "util/table_printer.hpp"
 #include "util/units.hpp"
 
@@ -21,6 +24,7 @@ std::string to_string(TaskStatus status) {
     case TaskStatus::kHit: return "hit";
     case TaskStatus::kPruned: return "pruned";
     case TaskStatus::kFailed: return "failed";
+    case TaskStatus::kQuarantined: return "quarantined";
     }
     return "?";
 }
@@ -44,6 +48,7 @@ void Telemetry::record(const TaskRecord& record) {
     case TaskStatus::kHit: ++summary_.cache_hits; break;
     case TaskStatus::kPruned: ++summary_.pruned; break;
     case TaskStatus::kFailed: ++summary_.failed; break;
+    case TaskStatus::kQuarantined: ++summary_.quarantined; break;
     }
     summary_.nr_iterations += record.solver.nr_iterations;
     summary_.dc_solves += record.solver.dc_solves;
@@ -55,6 +60,10 @@ void Telemetry::record(const TaskRecord& record) {
     line.set("task", record.id);
     line.set("key", record.key_hash);
     line.set("cache", to_string(record.status));
+    if (record.attempts > 1)
+        line.set("attempts", static_cast<std::size_t>(record.attempts));
+    if (!record.error.empty())
+        line.set("error", record.error);
     line.set("wall_s", record.wall_s);
     line.set("nr_iterations", record.solver.nr_iterations);
     line.set("dc_solves", record.solver.dc_solves);
@@ -74,31 +83,71 @@ RunSummary Telemetry::finish(double total_wall_s) {
         bench.set("cache_hits", summary_.cache_hits);
         bench.set("pruned", summary_.pruned);
         bench.set("failed", summary_.failed);
+        bench.set("quarantined", summary_.quarantined);
+        bench.set("degraded", summary_.degraded());
         bench.set("wall_s", summary_.wall_s);
         bench.set("nr_iterations", summary_.nr_iterations);
         bench.set("dc_solves", summary_.dc_solves);
         bench.set("transient_steps", summary_.transient_steps);
-        std::ofstream out(out_dir_ / ("BENCH_" + run_name_ + ".json"),
-                          std::ios::trunc);
-        if (out)
-            out << bench.dump() << '\n';
+        const std::filesystem::path path =
+            out_dir_ / ("BENCH_" + run_name_ + ".json");
+        if (!atomic_write(path, bench.dump() + '\n'))
+            std::fprintf(stderr, "telemetry: failed to write %s\n",
+                         path.string().c_str());
     }
     return summary_;
+}
+
+bool atomic_write(const std::filesystem::path& path,
+                  const std::string& content) {
+    if (fault::should_fail(fault::Site::kFileWrite))
+        return false;
+    // Write-then-rename: a crash mid-write leaves the previous artifact
+    // intact instead of a truncated file.
+    static std::atomic<unsigned long> temp_serial{0};
+    const std::filesystem::path tmp =
+        path.string() + ".tmp" +
+        std::to_string(temp_serial.fetch_add(1, std::memory_order_relaxed));
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            return false;
+        out << content;
+        out.flush();
+        if (!out) {
+            out.close();
+            std::error_code ec;
+            std::filesystem::remove(tmp, ec);
+            return false;
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    const bool renamed = !ec;
+    if (!renamed)
+        std::filesystem::remove(tmp, ec);
+    return renamed;
 }
 
 std::string Telemetry::render(const RunSummary& summary,
                               const std::string& run_name) {
     TablePrinter table({"run", "tasks", "executed", "hits", "pruned",
-                        "failed", "nr_iters", "dc_solves", "wall"});
+                        "failed", "quar", "nr_iters", "dc_solves", "wall"});
     table.add_row({run_name, std::to_string(summary.tasks),
                    std::to_string(summary.executed),
                    std::to_string(summary.cache_hits),
                    std::to_string(summary.pruned),
                    std::to_string(summary.failed),
+                   std::to_string(summary.quarantined),
                    std::to_string(summary.nr_iterations),
                    std::to_string(summary.dc_solves),
                    format_si(summary.wall_s, "s")});
-    return table.render();
+    std::string rendered = table.render();
+    if (summary.degraded())
+        rendered += "DEGRADED RUN: " + std::to_string(summary.quarantined) +
+                    " quarantined / " + std::to_string(summary.failed) +
+                    " failed task(s) — figures contain placeholder points\n";
+    return rendered;
 }
 
 } // namespace tfetsram::runner

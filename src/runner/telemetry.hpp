@@ -18,12 +18,20 @@ namespace tfetsram::runner {
 /// falling back to the historical ./bench_csv.
 std::filesystem::path out_dir_from_env();
 
+/// Crash-safe file write: content goes to a unique temp file which is
+/// renamed over `path`, so readers never observe a partial artifact.
+/// Returns false on I/O failure (or an injected kFileWrite fault).
+bool atomic_write(const std::filesystem::path& path,
+                  const std::string& content);
+
 /// Outcome of one scheduled task.
 enum class TaskStatus {
-    kExecuted, ///< cache miss (or uncacheable): fn ran
-    kHit,      ///< served from the result cache
-    kPruned,   ///< setup-only task skipped because no dependent executed
-    kFailed,   ///< fn threw
+    kExecuted,    ///< cache miss (or uncacheable): fn ran
+    kHit,         ///< served from the result cache
+    kPruned,      ///< setup-only task skipped because no dependent executed
+    kFailed,      ///< fn threw (run aborts unless keep-going)
+    kQuarantined, ///< fn failed in keep-going mode, or an upstream
+                  ///< dependency was quarantined; rest of the graph ran
 };
 std::string to_string(TaskStatus status);
 
@@ -31,6 +39,8 @@ struct TaskRecord {
     std::string id;
     std::string key_hash; ///< empty for uncacheable tasks
     TaskStatus status = TaskStatus::kExecuted;
+    int attempts = 1;  ///< execution attempts spent (retries included)
+    std::string error; ///< structured-error rendering when failed/quarantined
     double wall_s = 0.0;
     spice::SolverStats solver; ///< deltas on the executing thread
 };
@@ -42,10 +52,17 @@ struct RunSummary {
     std::size_t cache_hits = 0;
     std::size_t pruned = 0;
     std::size_t failed = 0;
+    std::size_t quarantined = 0;
     double wall_s = 0.0;
     std::uint64_t nr_iterations = 0;
     std::uint64_t dc_solves = 0;
     std::uint64_t transient_steps = 0;
+
+    /// A degraded run completed the graph but quarantined (or failed)
+    /// some tasks — its figures carry placeholder points.
+    [[nodiscard]] bool degraded() const {
+        return failed > 0 || quarantined > 0;
+    }
 };
 
 class Telemetry {

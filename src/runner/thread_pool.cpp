@@ -1,6 +1,8 @@
 #include "runner/thread_pool.hpp"
 
 #include <atomic>
+#include <cstdio>
+#include <exception>
 
 #include "util/contracts.hpp"
 
@@ -30,12 +32,12 @@ ThreadPool::~ThreadPool() {
         t.join();
 }
 
-void ThreadPool::submit(std::function<void()> job) {
+void ThreadPool::submit(std::function<void()> job, std::string label) {
     TFET_EXPECTS(job != nullptr);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         TFET_EXPECTS(!stopping_);
-        queue_.push_back(std::move(job));
+        queue_.push_back(Job{std::move(job), std::move(label)});
         ++in_flight_;
     }
     work_available_.notify_one();
@@ -48,7 +50,7 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::worker_loop() {
     for (;;) {
-        std::function<void()> job;
+        Job job;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             work_available_.wait(
@@ -58,7 +60,27 @@ void ThreadPool::worker_loop() {
             job = std::move(queue_.front());
             queue_.pop_front();
         }
-        job();
+        // The submit() contract says jobs must not throw; enforce it here
+        // so a violating job dies loudly with its context instead of
+        // unwinding through the worker loop (which would silently kill the
+        // worker and hang wait_idle).
+        try {
+            job.fn();
+        } catch (const std::exception& e) {
+            std::fprintf(stderr,
+                         "thread_pool: job '%s' threw '%s' — pool jobs "
+                         "must not throw; terminating\n",
+                         job.label.empty() ? "<unlabeled>" : job.label.c_str(),
+                         e.what());
+            std::terminate();
+        } catch (...) {
+            std::fprintf(stderr,
+                         "thread_pool: job '%s' threw a non-std exception "
+                         "— pool jobs must not throw; terminating\n",
+                         job.label.empty() ? "<unlabeled>"
+                                           : job.label.c_str());
+            std::terminate();
+        }
         {
             std::lock_guard<std::mutex> lock(mutex_);
             --in_flight_;

@@ -32,7 +32,10 @@ public:
 
     /// Enqueue one job. Jobs must not throw — wrap anything fallible and
     /// capture the error yourself (the scheduler stores an exception_ptr).
-    void submit(std::function<void()> job);
+    /// Enforced: a job that does throw terminates the process with the
+    /// job's `label` and the exception message on stderr, instead of
+    /// unwinding through the worker loop and losing both.
+    void submit(std::function<void()> job, std::string label = {});
 
     /// Block until every job submitted so far (by any thread) completed.
     void wait_idle();
@@ -51,8 +54,13 @@ public:
 private:
     void worker_loop();
 
+    struct Job {
+        std::function<void()> fn;
+        std::string label; ///< context printed if the job throws
+    };
+
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<Job> queue_;
     mutable std::mutex mutex_;
     std::condition_variable work_available_;
     std::condition_variable idle_;

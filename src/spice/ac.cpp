@@ -97,9 +97,18 @@ AcResult solve_ac(Circuit& circuit, const SolverOptions& opts,
     TFET_EXPECTS(points_per_decade >= 1);
 
     circuit.prepare();
-    const DcResult dc = solve_dc(circuit, opts, 0.0, dc_guess);
+    DcResult dc = solve_dc(circuit, opts, 0.0, dc_guess);
     if (!dc.converged) {
-        result.message = "ac: operating point did not converge";
+        if (dc.error.has_value()) {
+            result.error = std::move(dc.error);
+        } else {
+            SolveError err;
+            err.code = SolveErrorCode::kNonConvergence;
+            err.message = "ac: operating point did not converge";
+            result.error = std::move(err);
+        }
+        result.message = "ac: operating point did not converge: " +
+                         result.error->describe();
         return result;
     }
     for (const auto& dev : circuit.devices())
@@ -159,6 +168,11 @@ AcResult solve_ac(Circuit& circuit, const SolverOptions& opts,
         b[stim_row] = stimulus.magnitude;
         if (!complex_solve(a, b, n)) {
             result.message = "ac: singular system at f=" + std::to_string(f);
+            SolveError err;
+            err.code = SolveErrorCode::kSingularAcSystem;
+            err.message = result.message;
+            err.last_iterate = dc.x; // the OP the linearization came from
+            result.error = std::move(err);
             return result;
         }
         result.append(f, std::move(b));

@@ -6,9 +6,11 @@
 // and a standard feature of any production circuit engine.
 
 #include <complex>
+#include <optional>
 #include <vector>
 
 #include "spice/circuit.hpp"
+#include "spice/solve_error.hpp"
 #include "spice/solver_options.hpp"
 
 namespace tfetsram::spice {
@@ -25,6 +27,9 @@ class AcResult {
 public:
     bool ok = false;
     std::string message;
+    std::optional<SolveError> error; ///< structured cause when !ok — for a
+                                     ///< failed operating point this carries
+                                     ///< the full DC strategy chain
 
     [[nodiscard]] const std::vector<double>& frequencies() const {
         return freq_;

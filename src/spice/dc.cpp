@@ -1,10 +1,12 @@
 #include "spice/dc.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "la/lu.hpp"
 #include "spice/mna.hpp"
 #include "spice/stats.hpp"
+#include "util/fault.hpp"
 
 namespace tfetsram::spice {
 
@@ -103,10 +105,21 @@ int newton_raphson_core(Circuit& circuit, const AnalysisState& as,
 } // namespace
 
 int newton_raphson(Circuit& circuit, const AnalysisState& as,
-                   const SolverOptions& opts, double gmin, la::Vector& x) {
+                   const SolverOptions& opts, double gmin, la::Vector& x,
+                   double* final_residual) {
+    if (fault::should_fail(fault::Site::kNewton)) {
+        if (final_residual != nullptr)
+            *final_residual = std::numeric_limits<double>::quiet_NaN();
+        return -1;
+    }
     const int iters = newton_raphson_core(circuit, as, opts, gmin, x);
     solver_stats().nr_iterations +=
         static_cast<std::uint64_t>(std::abs(iters));
+    if (final_residual != nullptr) {
+        la::Matrix jac;
+        la::Vector rhs;
+        *final_residual = residual_norm(circuit, as, gmin, x, jac, rhs);
+    }
     return iters;
 }
 
@@ -127,66 +140,109 @@ DcResult solve_dc(Circuit& circuit, const SolverOptions& opts, double time,
     if (initial_guess != nullptr && initial_guess->size() == n)
         result.x = *initial_guess;
 
+    if (fault::should_fail(fault::Site::kDcSolve)) {
+        result.converged = false;
+        result.strategy = "failed";
+        SolveError err;
+        err.code = SolveErrorCode::kInjectedFault;
+        err.message = "dc solve forced non-convergent by fault injector";
+        err.time = time;
+        err.last_iterate = result.x;
+        result.error = std::move(err);
+        return result;
+    }
+
+    // Each strategy's record: name, iterations it consumed, whether it
+    // produced the solution, and the residual at its final iterate.
+    la::Vector last_x = result.x;
+
     // Strategy 1: plain damped Newton from the guess.
     {
+        StrategyAttempt attempt;
+        attempt.name = "newton";
         la::Vector x = result.x;
-        const int iters = detail::newton_raphson(circuit, as, opts, opts.gmin, x);
-        result.iterations += std::abs(iters);
+        const int iters = detail::newton_raphson(circuit, as, opts, opts.gmin,
+                                                 x, &attempt.residual);
+        attempt.iterations = std::abs(iters);
+        attempt.converged = iters > 0;
+        result.iterations += attempt.iterations;
+        result.attempts.push_back(std::move(attempt));
         if (iters > 0) {
             result.converged = true;
             result.strategy = "newton";
             result.x = std::move(x);
             return result;
         }
+        last_x = std::move(x);
     }
 
     // Strategy 2: gmin stepping — solve with a large shunt conductance and
     // relax it geometrically down to the target, warm-starting each stage.
     {
+        StrategyAttempt attempt;
+        attempt.name = "gmin-stepping";
         la::Vector x(n, 0.0);
         bool ok = true;
         for (double g = 1e-2; ok; g *= 0.1) {
             const double g_eff = std::max(g, opts.gmin);
-            const int iters =
-                detail::newton_raphson(circuit, as, opts, g_eff, x);
-            result.iterations += std::abs(iters);
+            const int iters = detail::newton_raphson(circuit, as, opts, g_eff,
+                                                     x, &attempt.residual);
+            attempt.iterations += std::abs(iters);
             ok = iters > 0;
             if (g_eff == opts.gmin)
                 break;
         }
+        attempt.converged = ok;
+        result.iterations += attempt.iterations;
+        result.attempts.push_back(std::move(attempt));
         if (ok) {
             result.converged = true;
             result.strategy = "gmin-stepping";
             result.x = std::move(x);
             return result;
         }
+        last_x = std::move(x);
     }
 
     // Strategy 3: source stepping — ramp all sources from zero.
     {
+        StrategyAttempt attempt;
+        attempt.name = "source-stepping";
         la::Vector x(n, 0.0);
         bool ok = true;
         for (double lambda = 0.05; lambda <= 1.0 + 1e-12; lambda += 0.05) {
             AnalysisState ramped = as;
             ramped.source_scale = std::min(lambda, 1.0);
-            const int iters =
-                detail::newton_raphson(circuit, ramped, opts, opts.gmin, x);
-            result.iterations += std::abs(iters);
+            const int iters = detail::newton_raphson(
+                circuit, ramped, opts, opts.gmin, x, &attempt.residual);
+            attempt.iterations += std::abs(iters);
             if (iters < 0) {
                 ok = false;
                 break;
             }
         }
+        attempt.converged = ok;
+        result.iterations += attempt.iterations;
+        result.attempts.push_back(std::move(attempt));
         if (ok) {
             result.converged = true;
             result.strategy = "source-stepping";
             result.x = std::move(x);
             return result;
         }
+        last_x = std::move(x);
     }
 
     result.converged = false;
     result.strategy = "failed";
+    SolveError err;
+    err.code = SolveErrorCode::kNonConvergence;
+    err.message = "dc operating point: all fallback strategies exhausted";
+    err.strategies = result.attempts;
+    err.time = time;
+    err.last_residual = result.attempts.back().residual;
+    err.last_iterate = std::move(last_x);
+    result.error = std::move(err);
     return result;
 }
 

@@ -4,8 +4,10 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "spice/circuit.hpp"
+#include "spice/solve_error.hpp"
 #include "spice/solver_options.hpp"
 
 namespace tfetsram::spice {
@@ -13,8 +15,11 @@ namespace tfetsram::spice {
 struct DcResult {
     bool converged = false;
     int iterations = 0;      ///< total NR iterations across all strategies
-    std::string strategy;    ///< which strategy succeeded ("newton", ...)
+    std::string strategy;    ///< which strategy succeeded ("newton", ...;
+                             ///< "failed" when every fallback was exhausted)
     la::Vector x;            ///< solution (meaningful iff converged)
+    std::vector<StrategyAttempt> attempts; ///< fallback chain, attempt order
+    std::optional<SolveError> error;       ///< populated iff !converged
 };
 
 /// Solve the operating point with sources evaluated at `time`. If
@@ -26,9 +31,12 @@ DcResult solve_dc(Circuit& circuit, const SolverOptions& opts,
 namespace detail {
 /// Single damped-Newton solve at fixed gmin/source scale. On success, x
 /// holds the solution; on failure x is left at the last iterate. Returns
-/// iterations used (negative if not converged).
+/// iterations used (negative if not converged). If `final_residual` is
+/// non-null it receives the true KCL residual norm at the final iterate
+/// (NaN when the solve was aborted by an injected fault).
 int newton_raphson(Circuit& circuit, const AnalysisState& as,
-                   const SolverOptions& opts, double gmin, la::Vector& x);
+                   const SolverOptions& opts, double gmin, la::Vector& x,
+                   double* final_residual = nullptr);
 } // namespace detail
 
 } // namespace tfetsram::spice

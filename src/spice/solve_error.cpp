@@ -1,0 +1,42 @@
+#include "spice/solve_error.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace tfetsram::spice {
+
+std::string to_string(SolveErrorCode code) {
+    switch (code) {
+    case SolveErrorCode::kNone: return "none";
+    case SolveErrorCode::kNonConvergence: return "non-convergence";
+    case SolveErrorCode::kDtUnderflow: return "dt-underflow";
+    case SolveErrorCode::kMaxStepsExceeded: return "max-steps-exceeded";
+    case SolveErrorCode::kSingularAcSystem: return "singular-ac-system";
+    case SolveErrorCode::kInjectedFault: return "injected-fault";
+    }
+    return "?";
+}
+
+std::string SolveError::describe() const {
+    std::ostringstream out;
+    out << to_string(code) << ": " << message;
+    if (!strategies.empty()) {
+        out << " [";
+        for (std::size_t i = 0; i < strategies.size(); ++i) {
+            const StrategyAttempt& s = strategies[i];
+            if (i > 0)
+                out << ", ";
+            out << s.name << '(' << s.iterations << " it";
+            if (!std::isnan(s.residual))
+                out << ", resid=" << s.residual;
+            out << (s.converged ? ", ok)" : ")");
+        }
+        out << ']';
+    }
+    return out.str();
+}
+
+SolveException::SolveException(SolveError error)
+    : std::runtime_error(error.describe()), error_(std::move(error)) {}
+
+} // namespace tfetsram::spice

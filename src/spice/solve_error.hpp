@@ -1,0 +1,69 @@
+#pragma once
+// Structured solver-failure taxonomy. A failed solve is data, not a string:
+// it carries a machine-readable code, the chain of strategies that were
+// attempted (with their iteration counts and final residuals), and the
+// context needed to act on the failure — how far the solve got, and where
+// the last iterate was stuck. The runner's quarantine journal, the
+// Monte-Carlo censoring logic, and the tests all consume this structure
+// instead of parsing ad-hoc messages. See docs/ROBUSTNESS.md.
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace tfetsram::spice {
+
+enum class SolveErrorCode {
+    kNone = 0,         ///< no error (default-constructed SolveError)
+    kNonConvergence,   ///< every Newton strategy exhausted
+    kDtUnderflow,      ///< transient step shrank below dt_min
+    kMaxStepsExceeded, ///< transient hit the runaway step guard
+    kSingularAcSystem, ///< AC phasor system numerically singular
+    kInjectedFault,    ///< forced by the fault injector (util/fault.hpp)
+};
+std::string to_string(SolveErrorCode code);
+
+/// One entry of the DC fallback chain ("newton", "gmin-stepping",
+/// "source-stepping") as it was actually attempted.
+struct StrategyAttempt {
+    std::string name;
+    int iterations = 0;     ///< NR iterations spent in this strategy
+    bool converged = false; ///< did this strategy produce the solution?
+    double residual = std::numeric_limits<double>::quiet_NaN();
+    ///< true KCL residual norm at the strategy's final iterate
+};
+
+/// Full context of a failed solve.
+struct SolveError {
+    SolveErrorCode code = SolveErrorCode::kNone;
+    std::string message; ///< human-readable one-liner (details below)
+    std::vector<StrategyAttempt> strategies; ///< chain in attempt order
+    double time = 0.0; ///< analysis time of the failure [s]
+    double last_residual = std::numeric_limits<double>::quiet_NaN();
+    la::Vector last_iterate; ///< where the final strategy got stuck
+
+    [[nodiscard]] explicit operator bool() const {
+        return code != SolveErrorCode::kNone;
+    }
+
+    /// Flattened rendering: "<code>: <message> [strategy(iters)...]".
+    [[nodiscard]] std::string describe() const;
+};
+
+/// Exception form of SolveError, for layers where failure must unwind
+/// (e.g. a Monte-Carlo metric signalling "this sample cannot be
+/// evaluated" so the engine can retry and censor it). what() returns
+/// describe().
+class SolveException : public std::runtime_error {
+public:
+    explicit SolveException(SolveError error);
+    [[nodiscard]] const SolveError& error() const { return error_; }
+
+private:
+    SolveError error_;
+};
+
+} // namespace tfetsram::spice

@@ -23,6 +23,11 @@ double TransientResult::end_time() const {
     return time_.back();
 }
 
+const la::Vector& TransientResult::last_state() const {
+    TFET_EXPECTS(!states_.empty());
+    return states_.back();
+}
+
 void TransientResult::append(double t, la::Vector x) {
     TFET_EXPECTS(time_.empty() || t >= time_.back());
     time_.push_back(t);
@@ -122,6 +127,15 @@ TransientResult solve_transient(Circuit& circuit, const SolverOptions& opts,
     DcResult dc = solve_dc(circuit, opts, 0.0, dc_guess);
     if (!dc.converged) {
         result.message = "transient: t=0 operating point did not converge";
+        result.time_reached = 0.0;
+        if (dc.error.has_value()) {
+            result.error = std::move(dc.error);
+        } else {
+            SolveError err;
+            err.code = SolveErrorCode::kNonConvergence;
+            err.message = result.message;
+            result.error = std::move(err);
+        }
         return result;
     }
     for (const auto& dev : circuit.devices())
@@ -147,6 +161,7 @@ TransientResult solve_transient(Circuit& circuit, const SolverOptions& opts,
     as.integrator = opts.integrator;
 
     for (std::size_t step = 0; step < opts.max_steps; ++step) {
+        result.time_reached = t;
         if (t >= t_end - 1e-21) {
             result.completed = true;
             return result;
@@ -179,17 +194,30 @@ TransientResult solve_transient(Circuit& circuit, const SolverOptions& opts,
             }
             dt *= 0.25;
             if (dt < opts.dt_min) {
-                char buf[128];
+                char buf[160];
                 std::snprintf(buf, sizeof(buf),
-                              "transient: Newton failed at t=%.6e s with dt "
-                              "below dt_min (step %zu)",
-                              t, step);
+                              "transient: Newton failed at t=%.6e s "
+                              "(%.1f%% of t_end) with dt below dt_min "
+                              "(step %zu)",
+                              t, 100.0 * t / t_end, step);
                 result.message = buf;
+                SolveError err;
+                err.code = SolveErrorCode::kDtUnderflow;
+                err.message = buf;
+                err.time = t;
+                err.last_iterate = x; // last accepted state
+                result.error = std::move(err);
                 return result;
             }
         }
         if (!solved) {
             result.message = "transient: Newton retries exhausted";
+            SolveError err;
+            err.code = SolveErrorCode::kNonConvergence;
+            err.message = result.message;
+            err.time = t;
+            err.last_iterate = x;
+            result.error = std::move(err);
             return result;
         }
 
@@ -222,6 +250,7 @@ TransientResult solve_transient(Circuit& circuit, const SolverOptions& opts,
         x = x_new;
         t = as.time;
         result.append(t, x);
+        result.time_reached = t;
         history_valid = true;
         force_be = false;
 
@@ -241,6 +270,12 @@ TransientResult solve_transient(Circuit& circuit, const SolverOptions& opts,
         }
     }
     result.message = "transient: max step count exceeded";
+    SolveError err;
+    err.code = SolveErrorCode::kMaxStepsExceeded;
+    err.message = result.message;
+    err.time = t;
+    err.last_iterate = x;
+    result.error = std::move(err);
     return result;
 }
 

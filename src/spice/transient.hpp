@@ -5,10 +5,12 @@
 // truncation error estimate, and lands exactly on source breakpoints.
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "spice/circuit.hpp"
+#include "spice/solve_error.hpp"
 #include "spice/solver_options.hpp"
 
 namespace tfetsram::spice {
@@ -22,6 +24,18 @@ public:
     bool completed = false;     ///< reached t_end or the stop condition
     bool stopped_early = false; ///< the stop condition fired before t_end
     std::string message;        ///< failure diagnostics when !completed
+    double time_reached = 0.0;  ///< last accepted time, even on failure —
+                                ///< distinguishes "failed at t=0" from
+                                ///< "failed at 99% of t_end"
+    std::optional<SolveError> error; ///< structured cause when !completed
+
+    /// True when at least one operating point was accepted, i.e.
+    /// last_state() is callable. False only when the t=0 solve failed.
+    [[nodiscard]] bool has_state() const { return !states_.empty(); }
+
+    /// Last accepted state — on failure, the last good solution before
+    /// the solver gave up.
+    [[nodiscard]] const la::Vector& last_state() const;
 
     [[nodiscard]] std::size_t size() const { return time_.size(); }
     [[nodiscard]] const std::vector<double>& times() const { return time_; }

@@ -1,0 +1,211 @@
+#include "util/fault.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string_view>
+
+#include "util/contracts.hpp"
+
+namespace tfetsram::fault {
+
+namespace {
+
+/// SplitMix64: one deterministic 64-bit mix, enough to turn (seed, site,
+/// index) into an unbiased Bernoulli draw without shared RNG state.
+std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+struct Injector {
+    std::atomic<bool> armed{false};
+    std::mutex mutex; ///< guards plan swaps; reads hold it only when armed
+    FaultPlan plan;
+    std::atomic<std::uint64_t> counters[kSiteCount] = {};
+
+    void install(FaultPlan new_plan) {
+        armed.store(false, std::memory_order_seq_cst);
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            plan = std::move(new_plan);
+            for (auto& c : counters)
+                c.store(0, std::memory_order_relaxed);
+        }
+        if (!plan.empty())
+            armed.store(true, std::memory_order_seq_cst);
+    }
+};
+
+/// Direct accessor without the env bootstrap (used by reload_from_env to
+/// avoid recursing through the call_once). Leaked on purpose: hook points
+/// may run during static destruction of other translation units.
+Injector& raw_injector() {
+    static Injector* instance = new Injector();
+    return *instance;
+}
+
+Injector& injector() {
+    static std::once_flag env_once;
+    std::call_once(env_once, [] { reload_from_env(); });
+    return raw_injector();
+}
+
+std::uint64_t parse_u64(std::string_view text) {
+    TFET_EXPECTS(!text.empty());
+    std::uint64_t value = 0;
+    for (char ch : text) {
+        TFET_EXPECTS(ch >= '0' && ch <= '9');
+        value = value * 10 + static_cast<std::uint64_t>(ch - '0');
+    }
+    return value;
+}
+
+Site parse_site(std::string_view name) {
+    if (name == "newton")
+        return Site::kNewton;
+    if (name == "dc")
+        return Site::kDcSolve;
+    if (name == "cache_load")
+        return Site::kCacheLoad;
+    if (name == "cache_store")
+        return Site::kCacheStore;
+    if (name == "file_write")
+        return Site::kFileWrite;
+    throw contract_violation("fault: unknown site '" + std::string(name) +
+                             "' in TFETSRAM_FAULTS spec");
+}
+
+} // namespace
+
+const char* to_string(Site site) {
+    switch (site) {
+    case Site::kNewton: return "newton";
+    case Site::kDcSolve: return "dc";
+    case Site::kCacheLoad: return "cache_load";
+    case Site::kCacheStore: return "cache_store";
+    case Site::kFileWrite: return "file_write";
+    }
+    return "?";
+}
+
+bool FaultPlan::empty() const {
+    for (const auto& site_selectors : selectors_)
+        if (!site_selectors.empty())
+            return false;
+    return true;
+}
+
+bool FaultPlan::fires(Site site, std::uint64_t index) const {
+    for (const Selector& sel : selectors_[static_cast<std::size_t>(site)]) {
+        if (std::binary_search(sel.indices.begin(), sel.indices.end(), index))
+            return true;
+        if (sel.every != 0 && index % sel.every == 0)
+            return true;
+        if (index >= sel.from)
+            return true;
+        if (sel.probability > 0.0) {
+            const std::uint64_t h = mix64(
+                sel.seed ^ mix64(index ^ (static_cast<std::uint64_t>(site)
+                                          << 56)));
+            const double u =
+                static_cast<double>(h >> 11) * 0x1.0p-53; // [0, 1)
+            if (u < sel.probability)
+                return true;
+        }
+    }
+    return false;
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+    FaultPlan plan;
+    std::string_view rest = spec;
+    while (!rest.empty()) {
+        const std::size_t semi = rest.find(';');
+        std::string_view clause = rest.substr(0, semi);
+        rest = semi == std::string_view::npos ? std::string_view{}
+                                              : rest.substr(semi + 1);
+        if (clause.empty())
+            continue;
+        const std::size_t at = clause.find('@');
+        TFET_EXPECTS(at != std::string_view::npos);
+        const Site site = parse_site(clause.substr(0, at));
+        std::string_view sel_text = clause.substr(at + 1);
+        TFET_EXPECTS(!sel_text.empty());
+
+        Selector sel;
+        if (sel_text.substr(0, 6) == "every:") {
+            sel.every = parse_u64(sel_text.substr(6));
+            TFET_EXPECTS(sel.every > 0);
+        } else if (sel_text.substr(0, 5) == "from:") {
+            sel.from = parse_u64(sel_text.substr(5));
+        } else if (sel_text.substr(0, 2) == "p:") {
+            std::string_view body = sel_text.substr(2);
+            const std::size_t colon = body.find(':');
+            TFET_EXPECTS(colon != std::string_view::npos);
+            char* end = nullptr;
+            const std::string prob_text(body.substr(0, colon));
+            sel.probability = std::strtod(prob_text.c_str(), &end);
+            TFET_EXPECTS(end != nullptr && *end == '\0');
+            TFET_EXPECTS(sel.probability > 0.0 && sel.probability <= 1.0);
+            sel.seed = parse_u64(body.substr(colon + 1));
+        } else {
+            std::string_view list = sel_text;
+            while (!list.empty()) {
+                const std::size_t comma = list.find(',');
+                sel.indices.push_back(parse_u64(list.substr(0, comma)));
+                list = comma == std::string_view::npos
+                           ? std::string_view{}
+                           : list.substr(comma + 1);
+            }
+            std::sort(sel.indices.begin(), sel.indices.end());
+        }
+        plan.selectors_[static_cast<std::size_t>(site)].push_back(
+            std::move(sel));
+    }
+    return plan;
+}
+
+bool should_fail(Site site) {
+    Injector& in = injector();
+    if (!in.armed.load(std::memory_order_relaxed))
+        return false;
+    const std::size_t s = static_cast<std::size_t>(site);
+    const std::uint64_t index =
+        in.counters[s].fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(in.mutex);
+    return in.plan.fires(site, index);
+}
+
+std::uint64_t op_count(Site site) {
+    Injector& in = injector();
+    return in.counters[static_cast<std::size_t>(site)].load(
+        std::memory_order_relaxed);
+}
+
+void reload_from_env() {
+    const char* env = std::getenv("TFETSRAM_FAULTS");
+    FaultPlan plan;
+    if (env != nullptr && *env != '\0')
+        plan = FaultPlan::parse(env);
+    raw_injector().install(std::move(plan));
+}
+
+ScopedFaultInjection::ScopedFaultInjection(const std::string& spec) {
+    Injector& in = injector();
+    {
+        std::lock_guard<std::mutex> lock(in.mutex);
+        previous_ = in.plan;
+    }
+    previous_armed_ = in.armed.load(std::memory_order_seq_cst);
+    in.install(spec.empty() ? FaultPlan{} : FaultPlan::parse(spec));
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+    injector().install(std::move(previous_));
+}
+
+} // namespace tfetsram::fault

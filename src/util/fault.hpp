@@ -1,0 +1,92 @@
+#pragma once
+// Deterministic fault injection. Recovery code that is never executed is
+// recovery code that does not work, so every failure-handling path in this
+// repo (DC homotopy fallbacks, transient step retries, runner quarantine,
+// cache corruption tolerance, telemetry write failures) can be forced on
+// demand — from tests via ScopedFaultInjection, or from the environment via
+// TFETSRAM_FAULTS. Injection is deterministic: a site either fires at fixed
+// 0-based operation indices or by a seeded hash of the index, never by wall
+// clock or unseeded randomness.
+//
+// Spec grammar (clauses joined by ';'):
+//   clause   := site '@' selector
+//   selector := index (',' index)*   fire at exactly these operation indices
+//             | 'every:' N           fire when index % N == 0
+//             | 'from:' N            fire at every index >= N
+//             | 'p:' PROB ':' SEED   fire with probability PROB (seeded hash)
+//   site     := newton | dc | cache_load | cache_store | file_write
+//
+// Example: TFETSRAM_FAULTS="newton@from:1;cache_load@0,3"
+//
+// Overhead when no plan is armed: one relaxed atomic load per hook.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tfetsram::fault {
+
+/// Hook points that consult the injector.
+enum class Site : std::size_t {
+    kNewton = 0, ///< one detail::newton_raphson call reports non-convergence
+    kDcSolve,    ///< an entire solve_dc is forced non-convergent
+    kCacheLoad,  ///< a cache entry reads as corrupt (treated as a miss)
+    kCacheStore, ///< a cache store fails (entry not persisted)
+    kFileWrite,  ///< a telemetry artifact write fails
+};
+inline constexpr std::size_t kSiteCount = 5;
+const char* to_string(Site site);
+
+/// A parsed injection plan: per-site selectors over operation indices.
+class FaultPlan {
+public:
+    FaultPlan() = default; ///< empty plan: never fires
+
+    /// Parse the TFETSRAM_FAULTS grammar above; throws contract_violation
+    /// on a malformed spec (unknown site, empty selector, bad number).
+    static FaultPlan parse(const std::string& spec);
+
+    [[nodiscard]] bool empty() const;
+
+    /// Does this plan fire at the `index`-th operation of `site`?
+    [[nodiscard]] bool fires(Site site, std::uint64_t index) const;
+
+private:
+    struct Selector {
+        std::vector<std::uint64_t> indices; ///< explicit indices, sorted
+        std::uint64_t every = 0;            ///< index % every == 0 (0 = off)
+        std::uint64_t from = ~0ull;         ///< index >= from
+        double probability = 0.0;           ///< seeded Bernoulli
+        std::uint64_t seed = 0;
+    };
+    std::vector<Selector> selectors_[kSiteCount];
+};
+
+/// Consult the process-wide injector at a hook point. Increments the
+/// site's operation counter iff a plan is armed, so counters are
+/// deterministic relative to the arming point.
+bool should_fail(Site site);
+
+/// Operations observed at `site` since the current plan was armed.
+std::uint64_t op_count(Site site);
+
+/// Re-read TFETSRAM_FAULTS and arm the resulting plan (an unset/empty
+/// variable disarms). Called lazily on first use; exposed so tests can
+/// exercise the environment path after setenv().
+void reload_from_env();
+
+/// RAII plan installation for tests: arms `spec` (resetting counters) and
+/// restores the previously armed plan on destruction.
+class ScopedFaultInjection {
+public:
+    explicit ScopedFaultInjection(const std::string& spec);
+    ~ScopedFaultInjection();
+    ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+    ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+private:
+    FaultPlan previous_;
+    bool previous_armed_;
+};
+
+} // namespace tfetsram::fault
