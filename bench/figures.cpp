@@ -428,6 +428,8 @@ const std::vector<Figure>& ported_figures() {
          run_fig10_mc_read_assist},
         {"array_scaling", "array write/read wall time vs size",
          run_array_scaling},
+        {"microbench", "solver hot-path counters and wall time",
+         run_microbench},
     };
     return figures;
 }

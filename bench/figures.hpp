@@ -22,6 +22,11 @@ int run_fig10_mc_read_assist(const runner::RunnerConfig& config);
 /// Array scaling study: write/read wall time vs array size.
 int run_array_scaling(const runner::RunnerConfig& config);
 
+/// Solver hot-path microbenchmarks: assembly/LU/iteration counters and
+/// wall time for fixed DC, transient, SNM, and MC workloads (uncacheable
+/// by construction; see docs/SOLVER.md).
+int run_microbench(const runner::RunnerConfig& config);
+
 /// Registry for the unified bench/run_all driver.
 struct Figure {
     const char* name; ///< CLI name == run_name == CSV stem

@@ -1,0 +1,9 @@
+// Solver hot-path microbenchmarks, standalone driver. Runner-ported: see
+// microbench.cpp for the workloads and docs/SOLVER.md for the counters.
+
+#include "figures.hpp"
+
+int main() {
+    using namespace tfetsram;
+    return bench::run_microbench(runner::RunnerConfig::from_env("microbench"));
+}

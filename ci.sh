@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI entry point: standard RelWithDebInfo build + full ctest, a
 # fault-injection job exercising the keep-going/quarantine path end to end,
-# then a ThreadSanitizer build running the concurrent subsystem's tests
+# the solver microbenchmark (cache off, so every counter in the log is a
+# fresh measurement — docs/SOLVER.md), then a ThreadSanitizer build
+# running the concurrent subsystem's tests
 # (the task-graph scheduler, thread pool, result cache, the Monte-Carlo
 # engine that fans out through the shared pool, and the fault-injection
 # suite, whose retry/censor/quarantine paths race by construction).
@@ -38,6 +40,14 @@ TFETSRAM_THREADS=1 TFETSRAM_FAULTS="dc@50,51,52,53,54,55" \
 grep -q '"degraded":true' "$FAULT_OUT"/BENCH_fig6_write_assist.json
 grep -q '"cache":"quarantined"' "$FAULT_OUT"/fig6_write_assist_journal.jsonl
 echo "degraded run journaled and marked as expected"
+
+echo "=== microbench: solver hot-path counters ==="
+# Cache off: counters must be measured, not replayed (docs/SOLVER.md).
+BENCH_OUT="build/ci_bench_out"
+rm -rf "$BENCH_OUT"
+TFETSRAM_CACHE=off TFETSRAM_OUT_DIR="$BENCH_OUT" ./build/bench/microbench
+grep -q '"failed":0' "$BENCH_OUT"/BENCH_microbench.json
+echo "microbench counters recorded in $BENCH_OUT/BENCH_microbench.json"
 
 if [[ "$SKIP_TSAN" == "1" ]]; then
   echo "=== tsan job skipped ==="

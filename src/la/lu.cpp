@@ -6,64 +6,84 @@
 
 namespace tfetsram::la {
 
-std::optional<LuFactorization> LuFactorization::factor(Matrix a,
-                                                       double pivot_tol) {
-    TFET_EXPECTS(a.rows() == a.cols());
-    const std::size_t n = a.rows();
-    std::vector<std::size_t> perm(n);
-    std::iota(perm.begin(), perm.end(), 0);
+bool LuFactorization::eliminate(double pivot_tol) {
+    const std::size_t n = lu_.rows();
+    perm_.resize(n);
+    std::iota(perm_.begin(), perm_.end(), 0);
 
     for (std::size_t k = 0; k < n; ++k) {
         // Partial pivoting: pick the largest magnitude entry in column k.
         std::size_t pivot_row = k;
-        double pivot_mag = std::fabs(a(k, k));
+        double pivot_mag = std::fabs(lu_(k, k));
         for (std::size_t r = k + 1; r < n; ++r) {
-            const double mag = std::fabs(a(r, k));
+            const double mag = std::fabs(lu_(r, k));
             if (mag > pivot_mag) {
                 pivot_mag = mag;
                 pivot_row = r;
             }
         }
         if (pivot_mag < pivot_tol)
-            return std::nullopt;
+            return false;
         if (pivot_row != k) {
             for (std::size_t c = 0; c < n; ++c)
-                std::swap(a(k, c), a(pivot_row, c));
-            std::swap(perm[k], perm[pivot_row]);
+                std::swap(lu_(k, c), lu_(pivot_row, c));
+            std::swap(perm_[k], perm_[pivot_row]);
         }
-        const double inv_pivot = 1.0 / a(k, k);
+        const double inv_pivot = 1.0 / lu_(k, k);
         for (std::size_t r = k + 1; r < n; ++r) {
-            const double factor = a(r, k) * inv_pivot;
-            a(r, k) = factor;
+            const double factor = lu_(r, k) * inv_pivot;
+            lu_(r, k) = factor;
             if (factor == 0.0)
                 continue;
             for (std::size_t c = k + 1; c < n; ++c)
-                a(r, c) -= factor * a(k, c);
+                lu_(r, c) -= factor * lu_(k, c);
         }
     }
-    return LuFactorization(std::move(a), std::move(perm));
+    return true;
 }
 
-Vector LuFactorization::solve(const Vector& b) const {
+std::optional<LuFactorization> LuFactorization::factor(Matrix a,
+                                                       double pivot_tol) {
+    TFET_EXPECTS(a.rows() == a.cols());
+    LuFactorization f;
+    f.lu_ = std::move(a);
+    if (!f.eliminate(pivot_tol))
+        return std::nullopt;
+    return f;
+}
+
+bool LuFactorization::factor_in_place(const Matrix& a, double pivot_tol) {
+    TFET_EXPECTS(a.rows() == a.cols());
+    lu_ = a; // copy-assign reuses the existing storage when sizes match
+    return eliminate(pivot_tol);
+}
+
+void LuFactorization::solve_into(const Vector& b, Vector& x) const {
     const std::size_t n = lu_.rows();
     TFET_EXPECTS(b.size() == n);
+    TFET_EXPECTS(&b != &x);
+    x.resize(n);
 
-    // Forward substitution on the permuted RHS (L has unit diagonal).
-    Vector y(n);
+    // Forward substitution on the permuted RHS (L has unit diagonal),
+    // accumulating y directly in x.
     for (std::size_t r = 0; r < n; ++r) {
         double acc = b[perm_[r]];
         for (std::size_t c = 0; c < r; ++c)
-            acc -= lu_(r, c) * y[c];
-        y[r] = acc;
+            acc -= lu_(r, c) * x[c];
+        x[r] = acc;
     }
-    // Back substitution.
-    Vector x(n);
+    // Back substitution in place.
     for (std::size_t i = n; i-- > 0;) {
-        double acc = y[i];
+        double acc = x[i];
         for (std::size_t c = i + 1; c < n; ++c)
             acc -= lu_(i, c) * x[c];
         x[i] = acc / lu_(i, i);
     }
+}
+
+Vector LuFactorization::solve(const Vector& b) const {
+    Vector x;
+    solve_into(b, x);
     return x;
 }
 

@@ -6,7 +6,9 @@
 #include <limits>
 
 #include "runner/thread_pool.hpp"
+#include "spice/dc.hpp"
 #include "spice/solve_error.hpp"
+#include "sram/operations.hpp"
 
 namespace tfetsram::mc {
 
@@ -25,6 +27,21 @@ McResult run_monte_carlo(const sram::CellConfig& base_config,
     Rng rng(seed);
     for (std::size_t i = 0; i < n; ++i)
         draws.push_back(sampler.sample(rng));
+
+    // Solve the nominal cell's hold operating point once; each sample's
+    // first DC solve then starts from it instead of from zero (the draws
+    // only perturb tox, so every sample's operating point is a small
+    // Newton correction away). A failed nominal solve just leaves the
+    // seed empty — samples fall back to cold starts.
+    la::Vector nominal_seed;
+    {
+        sram::SramCell nominal = sram::build_cell(base_config);
+        sram::program_hold(nominal);
+        spice::DcResult d =
+            spice::solve_dc(nominal.circuit, spice::SolverOptions{}, 0.0);
+        if (d.converged)
+            nominal_seed = std::move(d.x);
+    }
 
     McResult result;
     result.samples.assign(n, 0.0);
@@ -51,6 +68,7 @@ McResult run_monte_carlo(const sram::CellConfig& base_config,
             if (attempt > 1 && policy.reseed)
                 policy.reseed(cfg, attempt, i);
             sram::SramCell cell = sram::build_cell(cfg);
+            cell.dc_seed = nominal_seed; // ignored when sizes mismatch
             try {
                 value = metric(cell);
                 converged = true;

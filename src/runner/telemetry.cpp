@@ -53,6 +53,10 @@ void Telemetry::record(const TaskRecord& record) {
     summary_.nr_iterations += record.solver.nr_iterations;
     summary_.dc_solves += record.solver.dc_solves;
     summary_.transient_steps += record.solver.transient_steps;
+    summary_.transient_solves += record.solver.transient_solves;
+    summary_.assemblies += record.solver.assemblies;
+    summary_.lu_factorizations += record.solver.lu_factorizations;
+    summary_.line_search_backtracks += record.solver.line_search_backtracks;
 
     if (!journal_.is_open())
         return;
@@ -68,6 +72,11 @@ void Telemetry::record(const TaskRecord& record) {
     line.set("nr_iterations", record.solver.nr_iterations);
     line.set("dc_solves", record.solver.dc_solves);
     line.set("transient_steps", record.solver.transient_steps);
+    line.set("transient_solves", record.solver.transient_solves);
+    line.set("assemblies", record.solver.assemblies);
+    line.set("lu_factorizations", record.solver.lu_factorizations);
+    line.set("line_search_backtracks",
+             record.solver.line_search_backtracks);
     journal_ << line.dump() << '\n';
     journal_.flush(); // journal survives a crashed/killed run
 }
@@ -89,6 +98,11 @@ RunSummary Telemetry::finish(double total_wall_s) {
         bench.set("nr_iterations", summary_.nr_iterations);
         bench.set("dc_solves", summary_.dc_solves);
         bench.set("transient_steps", summary_.transient_steps);
+        bench.set("transient_solves", summary_.transient_solves);
+        bench.set("assemblies", summary_.assemblies);
+        bench.set("lu_factorizations", summary_.lu_factorizations);
+        bench.set("line_search_backtracks",
+                  summary_.line_search_backtracks);
         const std::filesystem::path path =
             out_dir_ / ("BENCH_" + run_name_ + ".json");
         if (!atomic_write(path, bench.dump() + '\n'))

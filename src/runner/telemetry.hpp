@@ -57,6 +57,10 @@ struct RunSummary {
     std::uint64_t nr_iterations = 0;
     std::uint64_t dc_solves = 0;
     std::uint64_t transient_steps = 0;
+    std::uint64_t transient_solves = 0;
+    std::uint64_t assemblies = 0;
+    std::uint64_t lu_factorizations = 0;
+    std::uint64_t line_search_backtracks = 0;
 
     /// A degraded run completed the graph but quarantined (or failed)
     /// some tasks — its figures carry placeholder points.

@@ -11,6 +11,7 @@
 
 #include "spice/elements.hpp"
 #include "spice/transistor.hpp"
+#include "spice/workspace.hpp"
 
 namespace tfetsram::spice {
 
@@ -74,6 +75,11 @@ public:
     /// Sorted, deduplicated union of all source waveform breakpoints.
     [[nodiscard]] std::vector<double> source_breakpoints() const;
 
+    /// Solver scratch reused across Newton iterations and solves. The
+    /// solver sizes it on first use; circuits on different threads own
+    /// independent workspaces, so no locking is involved.
+    [[nodiscard]] SolveWorkspace& workspace() { return workspace_; }
+
 private:
     std::vector<std::string> node_names_;
     std::unordered_map<std::string, NodeId> node_ids_;
@@ -81,6 +87,7 @@ private:
     std::vector<VoltageSource*> vsources_;
     std::vector<CurrentSource*> isources_;
     std::vector<Transistor*> transistors_;
+    SolveWorkspace workspace_;
 };
 
 } // namespace tfetsram::spice

@@ -32,8 +32,12 @@ namespace detail {
 /// Single damped-Newton solve at fixed gmin/source scale. On success, x
 /// holds the solution; on failure x is left at the last iterate. Returns
 /// iterations used (negative if not converged). If `final_residual` is
-/// non-null it receives the true KCL residual norm at the final iterate
-/// (NaN when the solve was aborted by an injected fault).
+/// non-null it receives the true KCL residual norm at the last assembled
+/// iterate — for a converged solve that is the iterate the accepting
+/// Newton update stepped from, a diagnostic bound on (not a re-evaluation
+/// at) the returned solution; NaN when the solve was aborted by an
+/// injected fault. Reusing the loop's own residual keeps the converged
+/// path free of a final re-assembly.
 int newton_raphson(Circuit& circuit, const AnalysisState& as,
                    const SolverOptions& opts, double gmin, la::Vector& x,
                    double* final_residual = nullptr);

@@ -1,9 +1,12 @@
 #include "spice/mna.hpp"
 
+#include "spice/stats.hpp"
+
 namespace tfetsram::spice {
 
 void assemble(Circuit& circuit, const AnalysisState& as, const la::Vector& x,
               double gmin, la::Matrix& jac, la::Vector& rhs) {
+    ++solver_stats().assemblies;
     circuit.prepare();
     const std::size_t n = circuit.num_unknowns();
     TFET_EXPECTS(x.size() == n);

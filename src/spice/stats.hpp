@@ -5,6 +5,13 @@
 // task actually cost (NR iterations per cache miss is the engine's primary
 // perf-trajectory metric).
 //
+// The fine-grained counters (assemblies, LU factorizations, line-search
+// backtracks) exist to pin the solver's perf contract: a healthy Newton
+// loop performs exactly one MNA assembly per accepted iterate plus one per
+// backtrack, and one LU factorization per iterate. tests/test_solver_perf
+// asserts these invariants and bench/microbench.cpp publishes them as the
+// BENCH_microbench.json trajectory (see docs/SOLVER.md).
+//
 // thread_local on purpose: counts attribute cleanly to the task running on
 // this thread with no atomic traffic in the Newton hot loop. A task that
 // fans work out to other threads (e.g. an inner Monte-Carlo pool) only
@@ -18,10 +25,19 @@ struct SolverStats {
     std::uint64_t nr_iterations = 0;   ///< Newton-Raphson iterations
     std::uint64_t dc_solves = 0;       ///< solve_dc calls
     std::uint64_t transient_steps = 0; ///< accepted transient time steps
+    std::uint64_t transient_solves = 0; ///< solve_transient calls
+    std::uint64_t assemblies = 0;       ///< full MNA system assemblies
+    std::uint64_t lu_factorizations = 0; ///< Jacobian LU factorizations
+    std::uint64_t line_search_backtracks = 0; ///< rejected damped steps
 
     SolverStats operator-(const SolverStats& rhs) const {
-        return {nr_iterations - rhs.nr_iterations, dc_solves - rhs.dc_solves,
-                transient_steps - rhs.transient_steps};
+        return {nr_iterations - rhs.nr_iterations,
+                dc_solves - rhs.dc_solves,
+                transient_steps - rhs.transient_steps,
+                transient_solves - rhs.transient_solves,
+                assemblies - rhs.assemblies,
+                lu_factorizations - rhs.lu_factorizations,
+                line_search_backtracks - rhs.line_search_backtracks};
     }
 };
 

@@ -61,6 +61,13 @@ double TransientResult::final_voltage(NodeId node) const {
 
 double TransientResult::min_difference(NodeId a, NodeId b, double t_from,
                                        double t_to) const {
+    // A window that misses the trace entirely has no samples to take a
+    // minimum over: report NaN ("no data") rather than the +infinity the
+    // empty min would produce, which downstream margin metrics would read
+    // as an infinitely comfortable margin.
+    if (time_.empty() || t_to < t_from || t_to < time_.front() ||
+        t_from > time_.back())
+        return std::numeric_limits<double>::quiet_NaN();
     double m = std::numeric_limits<double>::infinity();
     for (std::size_t i = 0; i < time_.size(); ++i) {
         if (time_[i] < t_from || time_[i] > t_to)
@@ -70,10 +77,8 @@ double TransientResult::min_difference(NodeId a, NodeId b, double t_from,
     }
     // Include the exact window edges via interpolation so narrow windows
     // between samples still produce a value.
-    if (!time_.empty() && t_to >= time_.front() && t_from <= time_.back()) {
-        m = std::min(m, voltage_at(a, t_from) - voltage_at(b, t_from));
-        m = std::min(m, voltage_at(a, t_to) - voltage_at(b, t_to));
-    }
+    m = std::min(m, voltage_at(a, t_from) - voltage_at(b, t_from));
+    m = std::min(m, voltage_at(a, t_to) - voltage_at(b, t_to));
     return m;
 }
 
@@ -103,6 +108,14 @@ double TransientResult::first_crossing_below(NodeId a, NodeId b,
 
 namespace {
 
+/// Comparison tolerance for landing on / consuming breakpoints and for
+/// end-of-window detection at time t. The absolute floor (1e-21 s) covers
+/// t near zero; beyond ~1 ms that floor is smaller than one ulp of t, so
+/// exact-landing tests would never fire — a few ulps of t take over there.
+double time_tol(double t) {
+    return std::max(1e-21, 8.0 * std::numeric_limits<double>::epsilon() * t);
+}
+
 /// Max over node unknowns of |err| / (abstol + reltol*|x|).
 double lte_ratio(const la::Vector& x, const la::Vector& x_pred,
                  std::size_t n_node_unknowns, const SolverOptions& opts) {
@@ -121,6 +134,7 @@ TransientResult solve_transient(Circuit& circuit, const SolverOptions& opts,
                                 double t_end, const StopCondition& stop,
                                 const la::Vector* dc_guess) {
     TFET_EXPECTS(t_end > 0.0);
+    ++solver_stats().transient_solves;
     TransientResult result;
 
     // Operating point at t = 0.
@@ -162,13 +176,13 @@ TransientResult solve_transient(Circuit& circuit, const SolverOptions& opts,
 
     for (std::size_t step = 0; step < opts.max_steps; ++step) {
         result.time_reached = t;
-        if (t >= t_end - 1e-21) {
+        if (t >= t_end - time_tol(t_end)) {
             result.completed = true;
             return result;
         }
         // Advance past consumed breakpoints; land on the next one.
         while (next_bp < breakpoints.size() &&
-               breakpoints[next_bp] <= t + 1e-21)
+               breakpoints[next_bp] <= t + time_tol(t))
             ++next_bp;
         if (next_bp < breakpoints.size())
             dt = std::min(dt, breakpoints[next_bp] - t);
@@ -257,7 +271,7 @@ TransientResult solve_transient(Circuit& circuit, const SolverOptions& opts,
         // A breakpoint lands exactly on t: slope discontinuity ahead, so the
         // predictor and trapezoidal history are invalid.
         if (next_bp < breakpoints.size() &&
-            std::fabs(breakpoints[next_bp] - t) <= 1e-21) {
+            std::fabs(breakpoints[next_bp] - t) <= time_tol(t)) {
             history_valid = false;
             force_be = true;
             dt = opts.dt_initial;

@@ -52,7 +52,10 @@ public:
     /// Voltage at the final recorded point.
     [[nodiscard]] double final_voltage(NodeId node) const;
 
-    /// Minimum of v(a) - v(b) over times in [t_from, t_to].
+    /// Minimum of v(a) - v(b) over times in [t_from, t_to]. NaN when the
+    /// window contains no trace data (empty trace, inverted window, or a
+    /// window disjoint from [front, back]) — callers must treat NaN as
+    /// "no measurement", not as a margin.
     [[nodiscard]] double min_difference(NodeId a, NodeId b, double t_from,
                                         double t_to) const;
 

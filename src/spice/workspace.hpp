@@ -1,0 +1,23 @@
+#pragma once
+// Per-circuit scratch storage for the Newton inner loop. Owning it on the
+// Circuit (rather than allocating per solve) makes the hot path of
+// newton_raphson_core allocation-free after the first solve: the MNA
+// system, candidate iterates, and LU storage are all reused across
+// iterations, solves, and transient steps. One workspace per circuit also
+// means one per Monte-Carlo worker thread (each sample rebuilds its own
+// cell), so no synchronization is needed.
+
+#include "la/lu.hpp"
+#include "la/matrix.hpp"
+
+namespace tfetsram::spice {
+
+struct SolveWorkspace {
+    la::Matrix jac;          ///< MNA system matrix at the current iterate
+    la::Vector rhs;          ///< MNA right-hand side at the current iterate
+    la::Vector x_new;        ///< full Newton update target
+    la::Vector x_try;        ///< damped/line-search candidate
+    la::LuFactorization lu;  ///< factored in place each iteration
+};
+
+} // namespace tfetsram::spice

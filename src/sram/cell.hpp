@@ -95,6 +95,13 @@ struct SramCell {
     // their models); empty for the CMOS cell.
     std::vector<spice::Transistor*> variable_devices;
 
+    /// Optional warm-start seed for the first (cold) DC solve — the MC
+    /// driver plants the nominal-sample hold solution here so each
+    /// perturbed sample's Newton starts near its operating point. Ignored
+    /// unless it matches circuit.num_unknowns() (a metric that adds nodes,
+    /// e.g. SNM's probe source, simply falls back to a cold start).
+    la::Vector dc_seed;
+
     /// Wordline levels implied by the access-device polarity.
     [[nodiscard]] double wl_active_level() const;
     [[nodiscard]] double wl_inactive_level() const;

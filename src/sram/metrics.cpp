@@ -22,8 +22,18 @@ double hold_static_power(SramCell& cell, bool q_high,
 }
 
 double worst_hold_static_power(SramCell& cell, const MetricOptions& opts) {
-    const double p0 = hold_static_power(cell, false, opts);
-    const double p1 = hold_static_power(cell, true, opts);
+    // Both stored values share the same bias, so the state-agnostic cold
+    // settling solve is done once and reused via `cold`.
+    program_hold(cell);
+    la::Vector cold;
+    auto power = [&](bool q_high) {
+        const HoldState hs = solve_hold_state(cell, q_high, opts.solver, &cold);
+        if (!hs.converged || !hs.state_ok)
+            return kNaN;
+        return spice::static_power(cell.circuit, hs.x);
+    };
+    const double p0 = power(false);
+    const double p1 = power(true);
     if (std::isnan(p0))
         return p1;
     if (std::isnan(p1))
@@ -47,9 +57,14 @@ DrnmResult dynamic_read_noise_margin(SramCell& cell, Assist assist,
     if (!tr.completed)
         return res;
 
-    res.valid = true;
     res.drnm = tr.min_difference(setup.safe_node, setup.disturb_node,
                                  setup.window.wl_start, setup.window.wl_end);
+    // NaN means the trace held no samples in the read window (e.g. the
+    // simulation stopped before the wordline opened): no measurement, not
+    // a margin.
+    if (std::isnan(res.drnm))
+        return res;
+    res.valid = true;
     const double final_sep =
         tr.final_voltage(setup.safe_node) - tr.final_voltage(setup.disturb_node);
     res.flipped = res.drnm <= 0.0 ||
@@ -58,13 +73,30 @@ DrnmResult dynamic_read_noise_margin(SramCell& cell, Assist assist,
 }
 
 WriteOutcome attempt_write(SramCell& cell, double pulse_width, Assist assist,
-                           const MetricOptions& opts) {
+                           const MetricOptions& opts,
+                           std::optional<HoldState>* hold_cache) {
     WriteOutcome out;
     const bool value = preferred_write_value(cell.config.kind);
     const OperationWindow w = program_write(cell, value, pulse_width, assist,
                                             opts.assist_fraction, opts.timing);
-    const HoldState hs = solve_hold_state(cell, !value, opts.solver);
-    if (!hs.converged || !hs.state_ok)
+    // At t = 0 every source sits at its hold level regardless of the
+    // programmed pulse width (excursions start at t_settle), so the hold
+    // state is identical across attempts and cacheable by the caller.
+    HoldState local;
+    const HoldState* hs;
+    if (hold_cache != nullptr && hold_cache->has_value() &&
+        (*hold_cache)->x.size() == cell.circuit.num_unknowns()) {
+        hs = &**hold_cache;
+    } else {
+        local = solve_hold_state(cell, !value, opts.solver);
+        if (hold_cache != nullptr) {
+            *hold_cache = std::move(local);
+            hs = &**hold_cache;
+        } else {
+            hs = &local;
+        }
+    }
+    if (!hs->converged || !hs->state_ok)
         return out;
 
     // Early exit once the cell has clearly settled after the pulse closed.
@@ -79,7 +111,7 @@ WriteOutcome attempt_write(SramCell& cell, double pulse_width, Assist assist,
     };
 
     const spice::TransientResult tr = spice::solve_transient(
-        cell.circuit, opts.solver, w.t_end, stop, &hs.x);
+        cell.circuit, opts.solver, w.t_end, stop, &hs->x);
     if (!tr.completed)
         return out;
 
@@ -93,15 +125,21 @@ WriteOutcome attempt_write(SramCell& cell, double pulse_width, Assist assist,
 
 double critical_wordline_pulse(SramCell& cell, Assist assist,
                                const MetricOptions& opts) {
+    // Every attempt starts from the same hold state, so it is solved once
+    // (by the first attempt) and replayed across the whole bisection.
+    std::optional<HoldState> hold;
+
     // Write failure at the maximum pulse means WLcrit is infinite (the
     // paper's "infinite WLcrit" cases for inward nTFET access).
-    WriteOutcome at_max = attempt_write(cell, opts.wlcrit_max, assist, opts);
+    WriteOutcome at_max =
+        attempt_write(cell, opts.wlcrit_max, assist, opts, &hold);
     if (!at_max.simulated)
         return kNaN;
     if (!at_max.flipped)
         return kInfinitePulse;
 
-    WriteOutcome at_min = attempt_write(cell, opts.wlcrit_min, assist, opts);
+    WriteOutcome at_min =
+        attempt_write(cell, opts.wlcrit_min, assist, opts, &hold);
     if (at_min.simulated && at_min.flipped)
         return opts.wlcrit_min;
 
@@ -109,7 +147,7 @@ double critical_wordline_pulse(SramCell& cell, Assist assist,
     double hi = opts.wlcrit_max;  // known-passing
     while ((hi - lo) / hi > opts.wlcrit_rel_tol) {
         const double mid = 0.5 * (lo + hi);
-        const WriteOutcome out = attempt_write(cell, mid, assist, opts);
+        const WriteOutcome out = attempt_write(cell, mid, assist, opts, &hold);
         if (!out.simulated)
             return kNaN;
         if (out.flipped)
@@ -209,8 +247,11 @@ double data_retention_voltage(const CellConfig& config, double vdd_max,
         cfg.vdd = vdd;
         SramCell cell = build_cell(cfg);
         program_hold(cell);
+        // Both stored values share the cold settling solve at this vdd.
+        la::Vector cold;
         for (bool q_high : {false, true}) {
-            const HoldState hs = solve_hold_state(cell, q_high, opts.solver);
+            const HoldState hs =
+                solve_hold_state(cell, q_high, opts.solver, &cold);
             if (!hs.converged || !hs.state_ok)
                 return false;
         }

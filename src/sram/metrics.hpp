@@ -9,6 +9,7 @@
 //    (WL assertion to a sensable bitline droop), Sec. 5.
 
 #include <limits>
+#include <optional>
 
 #include "sram/operations.hpp"
 #include "spice/solver_options.hpp"
@@ -76,8 +77,14 @@ struct WriteOutcome {
 };
 
 /// Run one write of the preferred polarity with the given pulse width.
+/// `hold_cache`, when non-null, caches the pre-write hold state across
+/// calls: the hold bias at t = 0 does not depend on the pulse width, so a
+/// bisection caller (critical_wordline_pulse) solves it exactly once. A
+/// cached state whose size no longer matches the circuit is ignored and
+/// re-solved.
 WriteOutcome attempt_write(SramCell& cell, double pulse_width, Assist assist,
-                           const MetricOptions& opts);
+                           const MetricOptions& opts,
+                           std::optional<HoldState>* hold_cache = nullptr);
 
 inline constexpr double kInfinitePulse =
     std::numeric_limits<double>::infinity();

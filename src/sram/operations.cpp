@@ -205,17 +205,31 @@ ReadSetup program_read(SramCell& cell, double read_duration, Assist assist,
 }
 
 HoldState solve_hold_state(SramCell& cell, bool q_high,
-                           const spice::SolverOptions& opts) {
+                           const spice::SolverOptions& opts,
+                           la::Vector* cold_guess) {
     HoldState hs;
     const double vdd = cell.config.vdd;
+    const std::size_t n = cell.circuit.num_unknowns();
 
     // First let every rail settle from a cold start (the cell lands in an
     // arbitrary state), then override the storage nodes with the intended
-    // state and re-solve inside that basin of attraction.
-    spice::DcResult d0 = spice::solve_dc(cell.circuit, opts, 0.0);
-    la::Vector guess = d0.converged
-                           ? d0.x
-                           : la::Vector(cell.circuit.num_unknowns(), 0.0);
+    // state and re-solve inside that basin of attraction. The cold solve
+    // depends only on the programmed source levels at t = 0, so callers
+    // iterating at fixed bias (WLcrit bisection, both-state retention
+    // checks) pass `cold_guess` to solve it once and reuse it; when it is
+    // actually solved, cell.dc_seed — the nominal-sample solution the MC
+    // driver plants — warm-starts it.
+    la::Vector guess;
+    if (cold_guess != nullptr && cold_guess->size() == n) {
+        guess = *cold_guess;
+    } else {
+        const la::Vector* seed =
+            cell.dc_seed.size() == n ? &cell.dc_seed : nullptr;
+        spice::DcResult d0 = spice::solve_dc(cell.circuit, opts, 0.0, seed);
+        guess = d0.converged ? std::move(d0.x) : la::Vector(n, 0.0);
+        if (cold_guess != nullptr)
+            *cold_guess = guess;
+    }
     TFET_ASSERT(cell.q >= 1 && cell.qb >= 1);
     guess[cell.q - 1] = q_high ? vdd : 0.0;
     guess[cell.qb - 1] = q_high ? 0.0 : vdd;

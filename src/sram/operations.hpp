@@ -72,12 +72,21 @@ bool preferred_write_value(CellKind kind);
 /// Initial-state helper: solve the hold operating point with the cell in
 /// the requested state. Returns the solution and whether the intended
 /// state actually holds (a cell that cannot hold data reports false).
+///
+/// `cold_guess`, when non-null, is an in/out cache for the state-agnostic
+/// cold settling solve: a correctly-sized vector is used instead of
+/// re-solving, and an empty/mis-sized one is filled after the solve.
+/// Callers that evaluate several hold states at the same bias (both
+/// stored values, or one state per bisection step) pay for the cold solve
+/// once. When the cold solve does run, a correctly-sized cell.dc_seed is
+/// used as its initial guess (see SramCell::dc_seed).
 struct HoldState {
     la::Vector x;
     bool converged = false;
     bool state_ok = false;
 };
 HoldState solve_hold_state(SramCell& cell, bool q_high,
-                           const spice::SolverOptions& opts);
+                           const spice::SolverOptions& opts,
+                           la::Vector* cold_guess = nullptr);
 
 } // namespace tfetsram::sram
