@@ -1,8 +1,9 @@
-// Microbenchmark harness for the solver hot paths. Six small, fixed
+// Microbenchmark harness for the solver hot paths. Eight small, fixed
 // workloads — cold DC operating point, warm-started DC re-solve, a full
-// write transient, a WLcrit bisection, an SNM butterfly trace, and a
-// 64-sample Monte-Carlo batch — each metered with wall time and the
-// thread-local solver_stats()
+// write transient, a WLcrit bisection, an SNM butterfly trace, a
+// 64-sample Monte-Carlo batch, and an 8x8-array DC initialization run
+// once per linear kernel (dense vs sparse) — each metered with wall time
+// and the thread-local solver_stats()
 // counters (MNA assemblies, LU factorizations, line-search backtracks, NR
 // iterations, DC/transient solves). Results land as a console table, a
 // CSV, and BENCH_microbench.json via the runner/telemetry plumbing, so
@@ -16,9 +17,11 @@
 #include <chrono>
 #include <cmath>
 
+#include "array/array.hpp"
 #include "bench_common.hpp"
 #include "figures.hpp"
 #include "spice/dc.hpp"
+#include "spice/solver_select.hpp"
 #include "spice/stats.hpp"
 #include "sram/snm.hpp"
 #include "util/contracts.hpp"
@@ -213,6 +216,36 @@ int run_microbench(const runner::RunnerConfig& config) {
         return to_result("mc_batch64", m);
     })));
 
+    // 7/8. Array-scale DC initialization, once per linear kernel: the same
+    // 8x8 array (a few hundred MNA unknowns) with the backend pinned via
+    // ScopedSolverMode. Identical physics and Newton trajectory, different
+    // kernel — the wall-time gap is the kernel-selection trade
+    // docs/SOLVER.md documents, and the reason kAuto routes arrays sparse.
+    for (const bool sparse : {false, true}) {
+        const std::string id = sparse ? "array8x8_sparse" : "array8x8_dense";
+        names.push_back(id);
+        tasks.push_back(r.add(bench_task(id, models, [cell_cfg, sparse, id] {
+            const spice::ScopedSolverMode scoped(
+                sparse ? spice::SolverMode::kSparse
+                       : spice::SolverMode::kDense);
+            array::ArrayConfig acfg;
+            acfg.rows = 8;
+            acfg.cols = 8;
+            acfg.cell = cell_cfg;
+            acfg.read_assist = sram::Assist::kRaGndLowering;
+            std::vector<std::vector<bool>> data(
+                acfg.rows, std::vector<bool>(acfg.cols));
+            for (std::size_t rr = 0; rr < acfg.rows; ++rr)
+                for (std::size_t cc = 0; cc < acfg.cols; ++cc)
+                    data[rr][cc] = (rr + cc) % 2 == 0;
+            const Meter m = metered(3, [&](std::size_t) {
+                array::SramArray arr(acfg);
+                TFET_ASSERT(arr.initialize(data));
+            });
+            return to_result(id, m);
+        })));
+    }
+
     r.run();
 
     auto csv = open_csv("microbench", cfg);
@@ -241,7 +274,9 @@ int run_microbench(const runner::RunnerConfig& config) {
         "assembly per accepted Newton iterate); dc_resolve costs one "
         "assembly/LU/iteration per warm re-solve; wlcrit_bisection's "
         "dc_solves track its transient count plus a small constant (the "
-        "hold state is solved once, not once per bisection step).");
+        "hold state is solved once, not once per bisection step); "
+        "array8x8_sparse beats array8x8_dense on wall time at identical "
+        "iteration counts (same Newton trajectory, cheaper linear kernel).");
     return 0;
 }
 

@@ -2,18 +2,24 @@
 # CI entry point: standard RelWithDebInfo build + full ctest, a
 # fault-injection job exercising the keep-going/quarantine path end to end,
 # the solver microbenchmark (cache off, so every counter in the log is a
-# fresh measurement — docs/SOLVER.md), then a ThreadSanitizer build
-# running the concurrent subsystem's tests
+# fresh measurement — docs/SOLVER.md), an ASan+UBSan build running the
+# linear-kernel suites (the sparse LU's pointer-chasing DFS and in-place
+# pivoting are exactly the code sanitizers exist for), then a
+# ThreadSanitizer build running the concurrent subsystem's tests
 # (the task-graph scheduler, thread pool, result cache, the Monte-Carlo
 # engine that fans out through the shared pool, and the fault-injection
 # suite, whose retry/censor/quarantine paths race by construction).
 #
-# Usage: ./ci.sh [--skip-tsan]
+# Usage: ./ci.sh [--skip-tsan] [--skip-asan]
 set -euo pipefail
 cd "$(dirname "$0")"
 
 SKIP_TSAN=0
-[[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
+SKIP_ASAN=0
+for arg in "$@"; do
+  [[ "$arg" == "--skip-tsan" ]] && SKIP_TSAN=1
+  [[ "$arg" == "--skip-asan" ]] && SKIP_ASAN=1
+done
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
@@ -49,6 +55,21 @@ TFETSRAM_CACHE=off TFETSRAM_OUT_DIR="$BENCH_OUT" ./build/bench/microbench
 grep -q '"failed":0' "$BENCH_OUT"/BENCH_microbench.json
 echo "microbench counters recorded in $BENCH_OUT/BENCH_microbench.json"
 
+if [[ "$SKIP_ASAN" == "1" ]]; then
+  echo "=== asan job skipped ==="
+else
+  echo "=== build (Address+UndefinedBehaviorSanitizer) ==="
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTFETSRAM_SANITIZE=address,undefined
+  cmake --build build-asan -j "$JOBS" --target test_la test_sparse_diff
+
+  echo "=== asan+ubsan: linear-kernel and sparse differential suites ==="
+  ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ./build-asan/tests/test_la
+  ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ./build-asan/tests/test_sparse_diff
+fi
+
 if [[ "$SKIP_TSAN" == "1" ]]; then
   echo "=== tsan job skipped ==="
   exit 0
@@ -57,11 +78,14 @@ fi
 echo "=== build (ThreadSanitizer) ==="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DTFETSRAM_SANITIZE=thread
-cmake --build build-tsan -j "$JOBS" --target test_runner test_mc test_faults
+cmake --build build-tsan -j "$JOBS" --target test_runner test_mc test_faults test_sparse_diff
 
 echo "=== tsan: scheduler/cache/pool/fault tests ==="
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_runner
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_mc
+# The sparse/dense kernel-selection override is an atomic read in the
+# Newton hot path; the diff suite exercises it across backends under TSan.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_sparse_diff
 # The death test aborts by design; its fork/exec interacts badly with TSan,
 # so it runs (and passes) in the regular job only.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_faults \

@@ -167,6 +167,21 @@ double SramArray::separation(std::size_t row, std::size_t col) const {
     return std::fabs(spice::branch_voltage(state_, cell.q, cell.qb));
 }
 
+SolverInfo SramArray::solver_info() {
+    SolverInfo info;
+    info.unknowns = ckt_.num_unknowns();
+    const spice::SolveWorkspace& w = ckt_.workspace();
+    info.kind = w.kind.value_or(spice::select_solver_kind(info.unknowns));
+    if (info.kind == spice::SolverKind::kSparse && w.sjac.finalized()) {
+        info.pattern_nnz = w.sjac.nnz();
+        info.lu_nnz = w.slu.analyzed() ? w.slu.lu_nnz() : 0;
+        if (info.pattern_nnz > 0)
+            info.fill_ratio = static_cast<double>(info.lu_nnz) /
+                              static_cast<double>(info.pattern_nnz);
+    }
+    return info;
+}
+
 bool SramArray::run(double t_end, std::string* message) {
     const spice::SolverOptions opts;
     const spice::TransientResult tr =

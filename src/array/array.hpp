@@ -52,6 +52,16 @@ struct ReadResult {
     std::string message;
 };
 
+/// Which linear kernel this array's circuit was routed to and how big the
+/// system is — recorded per point by bench/array_scaling (docs/SOLVER.md).
+struct SolverInfo {
+    spice::SolverKind kind = spice::SolverKind::kDense;
+    std::size_t unknowns = 0;
+    std::size_t pattern_nnz = 0; ///< 0 on the dense path
+    std::size_t lu_nnz = 0;      ///< L+U nonzeros, 0 on the dense path
+    double fill_ratio = 0.0;     ///< lu_nnz / pattern_nnz, 0 on dense
+};
+
 class SramArray {
 public:
     explicit SramArray(const ArrayConfig& config);
@@ -80,6 +90,11 @@ public:
 
     /// Storage-node separation |v(q) - v(qb)| of a cell (health check).
     [[nodiscard]] double separation(std::size_t row, std::size_t col) const;
+
+    /// Linear-kernel routing of this array's circuit. Meaningful after the
+    /// first solve (initialize()); before that it reports the selection
+    /// the current policy would make, with zero nnz.
+    [[nodiscard]] SolverInfo solver_info();
 
 private:
     struct RowHandles {

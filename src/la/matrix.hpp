@@ -1,7 +1,10 @@
 #pragma once
-// Dense matrix/vector types for the MNA solver. The circuits in this study
-// are small (< 32 unknowns), so a cache-friendly dense representation beats
-// any sparse scheme; correctness and clarity dominate.
+// Dense matrix/vector types for the MNA solver. Single-cell circuits are
+// small (~10 unknowns), where this cache-friendly dense representation
+// beats any sparse scheme; array-scale systems switch to the CSR kernel in
+// la/sparse_matrix.hpp + la/sparse_lu.hpp above kSparseAutoThreshold
+// unknowns (selection in spice/solver_select.hpp, trade documented in
+// docs/SOLVER.md).
 
 #include <cstddef>
 #include <vector>

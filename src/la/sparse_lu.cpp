@@ -1,0 +1,341 @@
+#include "la/sparse_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace tfetsram::la {
+
+namespace {
+
+/// Diagonal-preference factor for threshold pivoting: the structural
+/// diagonal is kept whenever |a_diag| >= kDiagPreference * |a_max| in its
+/// column, trading a bounded element-growth factor for the fill pattern
+/// the minimum-degree ordering planned.
+constexpr double kDiagPreference = 0.1;
+
+} // namespace
+
+// ------------------------------------------------------ minimum degree
+
+std::vector<std::size_t> minimum_degree_order(const SparseMatrix& a) {
+    TFET_EXPECTS(a.finalized());
+    TFET_EXPECTS(a.rows() == a.cols());
+    const std::size_t n = a.rows();
+
+    // Adjacency of the symmetrized pattern A + A^T, self-loops dropped.
+    std::vector<std::vector<std::size_t>> adj(n);
+    const auto& rp = a.row_ptr();
+    const auto& ci = a.col_idx();
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
+            const std::size_t c = ci[k];
+            if (c == r)
+                continue;
+            adj[r].push_back(c);
+            adj[c].push_back(r);
+        }
+    }
+    for (auto& nb : adj) {
+        std::sort(nb.begin(), nb.end());
+        nb.erase(std::unique(nb.begin(), nb.end()), nb.end());
+    }
+
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    std::vector<unsigned char> alive(n, 1);
+    std::vector<unsigned char> mark(n, 0);
+    std::vector<std::size_t> nb;     // live neighbours of the eliminated node
+    std::vector<std::size_t> merged; // rebuilt adjacency scratch
+
+    constexpr std::size_t knone = static_cast<std::size_t>(-1);
+    for (std::size_t step = 0; step < n; ++step) {
+        // Greedy pick: smallest live degree, lowest index on ties (the
+        // scan keeps the ordering deterministic across platforms).
+        std::size_t best = knone;
+        std::size_t best_deg = knone;
+        for (std::size_t v = 0; v < n; ++v) {
+            if (!alive[v])
+                continue;
+            if (adj[v].size() < best_deg) {
+                best_deg = adj[v].size();
+                best = v;
+            }
+        }
+        const std::size_t u = best;
+        order.push_back(u);
+        alive[u] = 0;
+
+        nb.clear();
+        for (std::size_t v : adj[u])
+            if (alive[v])
+                nb.push_back(v);
+
+        // Eliminating u turns its neighbourhood into a clique.
+        for (const std::size_t v : nb) {
+            merged.clear();
+            for (const std::size_t w : adj[v]) {
+                if (!alive[w] || w == v || mark[w])
+                    continue;
+                mark[w] = 1;
+                merged.push_back(w);
+            }
+            for (const std::size_t w : nb) {
+                if (w == v || mark[w])
+                    continue;
+                mark[w] = 1;
+                merged.push_back(w);
+            }
+            adj[v].assign(merged.begin(), merged.end());
+            for (const std::size_t w : merged)
+                mark[w] = 0;
+        }
+        adj[u].clear();
+        adj[u].shrink_to_fit();
+    }
+    return order;
+}
+
+// ------------------------------------------------------------- analyze
+
+void SparseLu::analyze(const SparseMatrix& a) {
+    TFET_EXPECTS(a.finalized());
+    TFET_EXPECTS(a.rows() == a.cols());
+    n_ = a.rows();
+    analyzed_ = false;
+    factored_ = false;
+
+    q_ = minimum_degree_order(a);
+
+    // CSC view of the CSR pattern: csc_val_[k] indexes a.values() so every
+    // refactor gathers fresh numeric values without touching the pattern.
+    const auto& rp = a.row_ptr();
+    const auto& ci = a.col_idx();
+    const std::size_t nnz = a.nnz();
+    csc_ptr_.assign(n_ + 1, 0);
+    for (std::size_t k = 0; k < nnz; ++k)
+        ++csc_ptr_[ci[k] + 1];
+    for (std::size_t c = 0; c < n_; ++c)
+        csc_ptr_[c + 1] += csc_ptr_[c];
+    csc_row_.resize(nnz);
+    csc_val_.resize(nnz);
+    std::vector<std::size_t> next(csc_ptr_.begin(), csc_ptr_.end() - 1);
+    for (std::size_t r = 0; r < n_; ++r) {
+        for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
+            const std::size_t c = ci[k];
+            const std::size_t dst = next[c]++;
+            csc_row_[dst] = r;
+            csc_val_[dst] = k;
+        }
+    }
+
+    l_ptr_.assign(n_ + 1, 0);
+    u_ptr_.assign(n_ + 1, 0);
+    udiag_.assign(n_, 0.0);
+    pinv_.assign(n_, npos);
+    p_.assign(n_, npos);
+    work_x_.assign(n_, 0.0);
+    mark_.assign(n_, 0);
+    topo_.clear();
+    topo_.reserve(n_);
+    stack_.clear();
+    stack_.reserve(n_);
+    pstack_.clear();
+    pstack_.reserve(n_);
+    analyzed_ = true;
+}
+
+// ------------------------------------------------------------ refactor
+
+bool SparseLu::refactor(const SparseMatrix& a, double pivot_tol) {
+    TFET_EXPECTS(analyzed_);
+    TFET_EXPECTS(a.finalized());
+    TFET_EXPECTS(a.rows() == n_ && a.cols() == n_);
+    TFET_EXPECTS(a.nnz() == csc_row_.size());
+    factored_ = false;
+
+    const std::vector<double>& aval = a.values();
+    l_row_.clear();
+    l_val_.clear();
+    u_row_.clear();
+    u_val_.clear();
+    std::fill(pinv_.begin(), pinv_.end(), npos);
+    std::fill(p_.begin(), p_.end(), npos);
+
+    for (std::size_t j = 0; j < n_; ++j) {
+        const std::size_t col = q_[j];
+
+        // ---- symbolic: rows reachable from this column's pattern through
+        // the already-built part of L (Gilbert–Peierls DFS). topo_ ends up
+        // in post-order; iterating it backwards is a topological order.
+        topo_.clear();
+        for (std::size_t k = csc_ptr_[col]; k < csc_ptr_[col + 1]; ++k) {
+            const std::size_t seed = csc_row_[k];
+            if (mark_[seed])
+                continue;
+            stack_.clear();
+            pstack_.clear();
+            stack_.push_back(seed);
+            pstack_.push_back(0);
+            mark_[seed] = 1;
+            while (!stack_.empty()) {
+                const std::size_t node = stack_.back();
+                const std::size_t s = pinv_[node];
+                const std::size_t child_begin =
+                    s == npos ? 0 : l_ptr_[s];
+                const std::size_t child_end = s == npos ? 0 : l_ptr_[s + 1];
+                std::size_t pos = pstack_.back();
+                bool descended = false;
+                while (child_begin + pos < child_end) {
+                    const std::size_t child = l_row_[child_begin + pos];
+                    ++pos;
+                    if (!mark_[child]) {
+                        pstack_.back() = pos;
+                        stack_.push_back(child);
+                        pstack_.push_back(0);
+                        mark_[child] = 1;
+                        descended = true;
+                        break;
+                    }
+                }
+                if (descended)
+                    continue;
+                stack_.pop_back();
+                pstack_.pop_back();
+                topo_.push_back(node);
+            }
+        }
+
+        // ---- numeric: scatter the column, then the sparse triangular
+        // solve x = L \ A(:, col) in topological order.
+        for (std::size_t k = csc_ptr_[col]; k < csc_ptr_[col + 1]; ++k)
+            work_x_[csc_row_[k]] = aval[csc_val_[k]];
+        for (std::size_t t = topo_.size(); t-- > 0;) {
+            const std::size_t node = topo_[t];
+            const std::size_t s = pinv_[node];
+            if (s == npos)
+                continue;
+            const double xj = work_x_[node];
+            if (xj == 0.0)
+                continue;
+            for (std::size_t k = l_ptr_[s]; k < l_ptr_[s + 1]; ++k)
+                work_x_[l_row_[k]] -= l_val_[k] * xj;
+        }
+
+        // ---- pivot: threshold partial pivoting over the not-yet-pivotal
+        // rows, preferring the structural diagonal when it is competitive.
+        std::size_t ipiv = npos;
+        double max_mag = 0.0;
+        for (const std::size_t node : topo_) {
+            if (pinv_[node] != npos)
+                continue;
+            const double mag = std::fabs(work_x_[node]);
+            if (mag > max_mag) {
+                max_mag = mag;
+                ipiv = node;
+            }
+        }
+        if (ipiv == npos || max_mag < pivot_tol) {
+            for (const std::size_t node : topo_) {
+                work_x_[node] = 0.0;
+                mark_[node] = 0;
+            }
+            return false; // structurally or numerically singular column
+        }
+        if (ipiv != col && pinv_[col] == npos &&
+            std::fabs(work_x_[col]) >= kDiagPreference * max_mag)
+            ipiv = col;
+        const double pivot = work_x_[ipiv];
+
+        // ---- store the column: finished rows into U, the rest into L.
+        for (const std::size_t node : topo_) {
+            const std::size_t s = pinv_[node];
+            if (s != npos) {
+                if (work_x_[node] != 0.0) {
+                    u_row_.push_back(s);
+                    u_val_.push_back(work_x_[node]);
+                }
+            } else if (node != ipiv && work_x_[node] != 0.0) {
+                l_row_.push_back(node); // original row id; remapped below
+                l_val_.push_back(work_x_[node] / pivot);
+            }
+            work_x_[node] = 0.0;
+            mark_[node] = 0;
+        }
+        udiag_[j] = pivot;
+        u_ptr_[j + 1] = u_row_.size();
+        l_ptr_[j + 1] = l_row_.size();
+        pinv_[ipiv] = j;
+        p_[j] = ipiv;
+    }
+
+    // Every row is pivotal now; remap L's row ids to pivot steps so the
+    // substitutions run in step space.
+    for (std::size_t& r : l_row_)
+        r = pinv_[r];
+    factored_ = true;
+    return true;
+}
+
+// --------------------------------------------------------------- solve
+
+void SparseLu::solve_into(const Vector& b, Vector& x) const {
+    TFET_EXPECTS(factored_);
+    TFET_EXPECTS(b.size() == n_);
+    TFET_EXPECTS(&b != &x);
+
+    // Forward substitution L y = P b (unit diagonal), column-oriented.
+    work_y_.resize(n_);
+    for (std::size_t k = 0; k < n_; ++k)
+        work_y_[k] = b[p_[k]];
+    for (std::size_t k = 0; k < n_; ++k) {
+        const double yk = work_y_[k];
+        if (yk == 0.0)
+            continue;
+        for (std::size_t t = l_ptr_[k]; t < l_ptr_[k + 1]; ++t)
+            work_y_[l_row_[t]] -= l_val_[t] * yk;
+    }
+    // Back substitution U z = y, then undo the column ordering.
+    for (std::size_t k = n_; k-- > 0;) {
+        const double zk = work_y_[k] / udiag_[k];
+        work_y_[k] = zk;
+        if (zk == 0.0)
+            continue;
+        for (std::size_t t = u_ptr_[k]; t < u_ptr_[k + 1]; ++t)
+            work_y_[u_row_[t]] -= u_val_[t] * zk;
+    }
+    x.resize(n_);
+    for (std::size_t k = 0; k < n_; ++k)
+        x[q_[k]] = work_y_[k];
+}
+
+Vector SparseLu::solve(const Vector& b) const {
+    Vector x;
+    solve_into(b, x);
+    return x;
+}
+
+double SparseLu::fill_ratio() const {
+    if (pattern_nnz() == 0)
+        return 0.0;
+    return static_cast<double>(lu_nnz()) /
+           static_cast<double>(pattern_nnz());
+}
+
+double SparseLu::pivot_spread_log10() const {
+    TFET_EXPECTS(factored_);
+    if (n_ == 0)
+        return 0.0;
+    double lo = std::fabs(udiag_[0]);
+    double hi = lo;
+    for (std::size_t i = 1; i < n_; ++i) {
+        const double p = std::fabs(udiag_[i]);
+        lo = std::min(lo, p);
+        hi = std::max(hi, p);
+    }
+    if (lo == 0.0)
+        return std::numeric_limits<double>::infinity();
+    return std::log10(hi / lo);
+}
+
+} // namespace tfetsram::la

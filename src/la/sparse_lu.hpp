@@ -1,0 +1,110 @@
+#pragma once
+// Sparse LU for the MNA Jacobian, split the way the Newton loop needs it:
+//
+//  * analyze()  — symbolic analysis, once per circuit topology: a
+//    fill-reducing minimum-degree column ordering on the symmetrized
+//    pattern, a CSC view of the CSR pattern, and workspace allocation.
+//  * refactor() — numeric factorization, once per Newton iterate:
+//    left-looking (Gilbert–Peierls) elimination with threshold partial
+//    pivoting, reusing every buffer from the previous call. After the
+//    factor storage has grown to its steady state this is allocation-free,
+//    the sparse analogue of LuFactorization::factor_in_place.
+//
+// Pivoting is threshold partial pivoting with a diagonal preference: the
+// structural diagonal entry is kept as the pivot whenever its magnitude is
+// within a factor of the column maximum, which preserves the fill the
+// minimum-degree ordering planned for; otherwise the largest off-diagonal
+// candidate is swapped in, so numerically hard columns (the zero-diagonal
+// voltage-source rows of MNA) stay stable. Singularity is reported exactly
+// like the dense kernel: a pivot below `pivot_tol` fails the
+// factorization, and the caller falls through to the solver's fallback
+// strategies.
+
+#include <cstddef>
+#include <vector>
+
+#include "la/sparse_matrix.hpp"
+
+namespace tfetsram::la {
+
+class SparseLu {
+public:
+    SparseLu() = default;
+
+    /// Symbolic analysis of a finalized square pattern. Resets any prior
+    /// analysis; refactor() afterwards requires the same pattern.
+    void analyze(const SparseMatrix& a);
+
+    [[nodiscard]] bool analyzed() const { return analyzed_; }
+
+    /// Numeric refactorization of `a` (same pattern as analyze()).
+    /// Returns false if numerically singular (pivot below pivot_tol);
+    /// the factorization is then unusable until the next successful
+    /// refactor.
+    bool refactor(const SparseMatrix& a, double pivot_tol = 1e-300);
+
+    /// Solve A x = b for the last refactored A. `x` must not alias `b`.
+    void solve_into(const Vector& b, Vector& x) const;
+    [[nodiscard]] Vector solve(const Vector& b) const;
+
+    /// The fill-reducing column elimination order chosen by analyze().
+    [[nodiscard]] const std::vector<std::size_t>& column_order() const {
+        return q_;
+    }
+
+    /// Stored entries of L+U after the last refactor (L's unit diagonal is
+    /// implicit and shares the U diagonal position, so this is the nnz of
+    /// the filled factor matrix). Comparable against pattern_nnz().
+    [[nodiscard]] std::size_t lu_nnz() const {
+        return l_row_.size() + u_row_.size() + n_;
+    }
+
+    /// nnz of the analyzed pattern.
+    [[nodiscard]] std::size_t pattern_nnz() const { return csc_row_.size(); }
+
+    /// lu_nnz / pattern_nnz — the fill-in the ordering could not avoid.
+    [[nodiscard]] double fill_ratio() const;
+
+    /// log10 of the ratio of largest to smallest pivot magnitude (same
+    /// conditioning diagnostic as the dense kernel).
+    [[nodiscard]] double pivot_spread_log10() const;
+
+private:
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    std::size_t n_ = 0;
+    bool analyzed_ = false;
+    bool factored_ = false;
+
+    // --- symbolic (set by analyze) ---
+    std::vector<std::size_t> q_;       ///< column elimination order
+    std::vector<std::size_t> csc_ptr_; ///< CSC pattern: per original column
+    std::vector<std::size_t> csc_row_; ///< row index of each CSC entry
+    std::vector<std::size_t> csc_val_; ///< CSR value index of each CSC entry
+
+    // --- numeric factors (rebuilt by refactor; capacity reused) ---
+    // Compressed-column L (unit diagonal implicit) and U; U's diagonal
+    // (the pivots) lives in udiag_. L/U row indices are pivot steps after
+    // refactor() completes.
+    std::vector<std::size_t> l_ptr_, l_row_;
+    std::vector<double> l_val_;
+    std::vector<std::size_t> u_ptr_, u_row_;
+    std::vector<double> u_val_;
+    std::vector<double> udiag_;
+    std::vector<std::size_t> pinv_; ///< original row -> pivot step
+    std::vector<std::size_t> p_;    ///< pivot step -> original row
+
+    // --- per-refactor scratch ---
+    std::vector<double> work_x_;          ///< dense accumulator
+    std::vector<std::size_t> topo_;       ///< DFS post-order of the column
+    std::vector<std::size_t> stack_;      ///< DFS node stack
+    std::vector<std::size_t> pstack_;     ///< DFS child-position stack
+    std::vector<unsigned char> mark_;     ///< DFS visited flags
+    mutable std::vector<double> work_y_;  ///< solve scratch
+};
+
+/// Fill-reducing elimination order: greedy minimum degree on the
+/// symmetrized pattern of `a` (exposed for tests; analyze() calls it).
+std::vector<std::size_t> minimum_degree_order(const SparseMatrix& a);
+
+} // namespace tfetsram::la

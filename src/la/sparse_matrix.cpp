@@ -1,0 +1,114 @@
+#include "la/sparse_matrix.hpp"
+
+#include <algorithm>
+
+namespace tfetsram::la {
+
+void SparseMatrix::reset(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    finalized_ = false;
+    triplets_.clear();
+    row_ptr_.clear();
+    col_idx_.clear();
+    val_.clear();
+}
+
+void SparseMatrix::reserve_entry(std::size_t r, std::size_t c) {
+    TFET_EXPECTS(!finalized_);
+    TFET_EXPECTS(r < rows_ && c < cols_);
+    triplets_.emplace_back(r, c);
+}
+
+void SparseMatrix::finalize_pattern() {
+    TFET_EXPECTS(!finalized_);
+    std::sort(triplets_.begin(), triplets_.end());
+    triplets_.erase(std::unique(triplets_.begin(), triplets_.end()),
+                    triplets_.end());
+
+    row_ptr_.assign(rows_ + 1, 0);
+    col_idx_.resize(triplets_.size());
+    for (std::size_t k = 0; k < triplets_.size(); ++k) {
+        ++row_ptr_[triplets_[k].first + 1];
+        col_idx_[k] = triplets_[k].second;
+    }
+    for (std::size_t r = 0; r < rows_; ++r)
+        row_ptr_[r + 1] += row_ptr_[r];
+    val_.assign(col_idx_.size(), 0.0);
+    triplets_.clear();
+    triplets_.shrink_to_fit();
+    finalized_ = true;
+}
+
+void SparseMatrix::set_zero() {
+    TFET_EXPECTS(finalized_);
+    std::fill(val_.begin(), val_.end(), 0.0);
+}
+
+double& SparseMatrix::ref(std::size_t r, std::size_t c) {
+    TFET_EXPECTS(finalized_);
+    TFET_EXPECTS(r < rows_ && c < cols_);
+    const auto first = col_idx_.begin() +
+                       static_cast<std::ptrdiff_t>(row_ptr_[r]);
+    const auto last = col_idx_.begin() +
+                      static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
+    const auto it = std::lower_bound(first, last, c);
+    TFET_EXPECTS(it != last && *it == c);
+    return val_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+double SparseMatrix::at(std::size_t r, std::size_t c) const {
+    TFET_EXPECTS(finalized_);
+    TFET_EXPECTS(r < rows_ && c < cols_);
+    const auto first = col_idx_.begin() +
+                       static_cast<std::ptrdiff_t>(row_ptr_[r]);
+    const auto last = col_idx_.begin() +
+                      static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
+    const auto it = std::lower_bound(first, last, c);
+    if (it == last || *it != c)
+        return 0.0;
+    return val_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+void SparseMatrix::multiply_into(const Vector& x, Vector& y) const {
+    TFET_EXPECTS(finalized_);
+    TFET_EXPECTS(x.size() == cols_);
+    y.assign(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+            acc += val_[k] * x[col_idx_[k]];
+        y[r] = acc;
+    }
+}
+
+Vector SparseMatrix::multiply(const Vector& x) const {
+    Vector y;
+    multiply_into(x, y);
+    return y;
+}
+
+Matrix SparseMatrix::to_dense() const {
+    TFET_EXPECTS(finalized_);
+    Matrix m(rows_, cols_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+            m(r, col_idx_[k]) = val_[k];
+    return m;
+}
+
+SparseMatrix SparseMatrix::from_dense(const Matrix& m) {
+    SparseMatrix s(m.rows(), m.cols());
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            if (m(r, c) != 0.0)
+                s.reserve_entry(r, c);
+    s.finalize_pattern();
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            if (m(r, c) != 0.0)
+                s.ref(r, c) = m(r, c);
+    return s;
+}
+
+} // namespace tfetsram::la

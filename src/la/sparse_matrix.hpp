@@ -1,0 +1,87 @@
+#pragma once
+// Sparse matrix for array-scale MNA systems. The lifecycle mirrors how the
+// circuit solver uses it: a *pattern* phase registers every position a
+// device stamp can ever touch (triplets, duplicates collapse), a one-shot
+// finalize() compresses them into CSR, and the *numeric* phase then runs
+// per Newton iterate — set_zero() + add() into the fixed pattern, with no
+// allocation and no pattern changes. The dense Matrix in la/matrix.hpp
+// remains the kernel of choice below ~64 unknowns (single cells); this type
+// is what makes rows x cols arrays tractable (see docs/SOLVER.md).
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace tfetsram::la {
+
+/// Compressed-sparse-row matrix of doubles with a frozen pattern.
+class SparseMatrix {
+public:
+    SparseMatrix() = default;
+    SparseMatrix(std::size_t rows, std::size_t cols) { reset(rows, cols); }
+
+    /// Drop pattern and values; back to the pattern-building phase.
+    void reset(std::size_t rows, std::size_t cols);
+
+    [[nodiscard]] std::size_t rows() const { return rows_; }
+    [[nodiscard]] std::size_t cols() const { return cols_; }
+
+    /// Stored entries. Only meaningful after finalize_pattern().
+    [[nodiscard]] std::size_t nnz() const { return col_idx_.size(); }
+
+    /// Register position (r, c) in the pattern (pattern phase only).
+    /// Duplicate registrations collapse into one stored entry.
+    void reserve_entry(std::size_t r, std::size_t c);
+
+    /// Compress the registered triplets into CSR (sorted, deduplicated)
+    /// and zero all values. Idempotent only via reset().
+    void finalize_pattern();
+
+    [[nodiscard]] bool finalized() const { return finalized_; }
+
+    /// Zero every stored value; the pattern is untouched.
+    void set_zero();
+
+    /// Accumulate v into entry (r, c). The entry must be in the pattern —
+    /// stamping outside it is a contract violation (the symbolic pass in
+    /// spice/mna.cpp missed a device position).
+    void add(std::size_t r, std::size_t c, double v) { ref(r, c) += v; }
+
+    /// Mutable reference to a stored entry (must exist in the pattern).
+    [[nodiscard]] double& ref(std::size_t r, std::size_t c);
+
+    /// Value at (r, c); 0.0 for positions outside the pattern.
+    [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+    /// y = A * x, reusing y's storage.
+    void multiply_into(const Vector& x, Vector& y) const;
+    [[nodiscard]] Vector multiply(const Vector& x) const;
+
+    /// Dense copy (tests and diagnostics; O(rows*cols) storage).
+    [[nodiscard]] Matrix to_dense() const;
+
+    /// Finalized sparse view of a dense matrix: one entry per nonzero.
+    [[nodiscard]] static SparseMatrix from_dense(const Matrix& m);
+
+    // Raw CSR views for kernels (SparseLu, residual evaluation).
+    [[nodiscard]] const std::vector<std::size_t>& row_ptr() const {
+        return row_ptr_;
+    }
+    [[nodiscard]] const std::vector<std::size_t>& col_idx() const {
+        return col_idx_;
+    }
+    [[nodiscard]] const std::vector<double>& values() const { return val_; }
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    bool finalized_ = false;
+    std::vector<std::pair<std::size_t, std::size_t>> triplets_;
+    std::vector<std::size_t> row_ptr_; ///< size rows_+1 once finalized
+    std::vector<std::size_t> col_idx_; ///< sorted within each row
+    std::vector<double> val_;
+};
+
+} // namespace tfetsram::la

@@ -1,5 +1,6 @@
 #include "runner/telemetry.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -57,6 +58,13 @@ void Telemetry::record(const TaskRecord& record) {
     summary_.assemblies += record.solver.assemblies;
     summary_.lu_factorizations += record.solver.lu_factorizations;
     summary_.line_search_backtracks += record.solver.line_search_backtracks;
+    summary_.sparse_refactorizations += record.solver.sparse_refactorizations;
+    summary_.sparse_symbolic_analyses +=
+        record.solver.sparse_symbolic_analyses;
+    summary_.sparse_pattern_nnz =
+        std::max(summary_.sparse_pattern_nnz, record.solver.sparse_pattern_nnz);
+    summary_.sparse_lu_nnz =
+        std::max(summary_.sparse_lu_nnz, record.solver.sparse_lu_nnz);
 
     if (!journal_.is_open())
         return;
@@ -77,6 +85,17 @@ void Telemetry::record(const TaskRecord& record) {
     line.set("lu_factorizations", record.solver.lu_factorizations);
     line.set("line_search_backtracks",
              record.solver.line_search_backtracks);
+    // Sparse-kernel fields only appear when the task did sparse work, so
+    // dense-only journals keep their historical shape.
+    if (record.solver.sparse_refactorizations > 0 ||
+        record.solver.sparse_symbolic_analyses > 0) {
+        line.set("sparse_refactorizations",
+                 record.solver.sparse_refactorizations);
+        line.set("sparse_symbolic_analyses",
+                 record.solver.sparse_symbolic_analyses);
+        line.set("sparse_pattern_nnz", record.solver.sparse_pattern_nnz);
+        line.set("sparse_lu_nnz", record.solver.sparse_lu_nnz);
+    }
     journal_ << line.dump() << '\n';
     journal_.flush(); // journal survives a crashed/killed run
 }
@@ -103,6 +122,12 @@ RunSummary Telemetry::finish(double total_wall_s) {
         bench.set("lu_factorizations", summary_.lu_factorizations);
         bench.set("line_search_backtracks",
                   summary_.line_search_backtracks);
+        bench.set("sparse_refactorizations",
+                  summary_.sparse_refactorizations);
+        bench.set("sparse_symbolic_analyses",
+                  summary_.sparse_symbolic_analyses);
+        bench.set("sparse_pattern_nnz", summary_.sparse_pattern_nnz);
+        bench.set("sparse_lu_nnz", summary_.sparse_lu_nnz);
         const std::filesystem::path path =
             out_dir_ / ("BENCH_" + run_name_ + ".json");
         if (!atomic_write(path, bench.dump() + '\n'))

@@ -61,6 +61,12 @@ struct RunSummary {
     std::uint64_t assemblies = 0;
     std::uint64_t lu_factorizations = 0;
     std::uint64_t line_search_backtracks = 0;
+    std::uint64_t sparse_refactorizations = 0;
+    std::uint64_t sparse_symbolic_analyses = 0;
+    /// Largest MNA pattern / L+U factor seen across the run's tasks —
+    /// maxima of per-task gauges, so a dense-only run reports 0.
+    std::uint64_t sparse_pattern_nnz = 0;
+    std::uint64_t sparse_lu_nnz = 0;
 
     /// A degraded run completed the graph but quarantined (or failed)
     /// some tasks — its figures carry placeholder points.

@@ -18,6 +18,7 @@ NodeId Circuit::add_node(const std::string& name) {
     const NodeId id = node_names_.size();
     node_names_.push_back(name);
     node_ids_.emplace(name, id);
+    ++topology_revision_;
     return id;
 }
 
@@ -38,6 +39,7 @@ Resistor& Circuit::add_resistor(const std::string& label, NodeId a, NodeId b,
     auto dev = std::make_unique<Resistor>(label, a, b, ohms);
     Resistor& ref = *dev;
     devices_.push_back(std::move(dev));
+    ++topology_revision_;
     return ref;
 }
 
@@ -46,6 +48,7 @@ Capacitor& Circuit::add_capacitor(const std::string& label, NodeId a, NodeId b,
     auto dev = std::make_unique<Capacitor>(label, a, b, farads);
     Capacitor& ref = *dev;
     devices_.push_back(std::move(dev));
+    ++topology_revision_;
     return ref;
 }
 
@@ -54,6 +57,7 @@ VoltageSource& Circuit::add_vsource(const std::string& label, NodeId pos,
     auto dev = std::make_unique<VoltageSource>(label, pos, neg, std::move(wave));
     VoltageSource& ref = *dev;
     devices_.push_back(std::move(dev));
+    ++topology_revision_;
     vsources_.push_back(&ref);
     return ref;
 }
@@ -63,6 +67,7 @@ CurrentSource& Circuit::add_isource(const std::string& label, NodeId from,
     auto dev = std::make_unique<CurrentSource>(label, from, to, std::move(wave));
     CurrentSource& ref = *dev;
     devices_.push_back(std::move(dev));
+    ++topology_revision_;
     isources_.push_back(&ref);
     return ref;
 }
@@ -75,6 +80,7 @@ Transistor& Circuit::add_transistor(const std::string& label,
                                             gate, source, width_um);
     Transistor& ref = *dev;
     devices_.push_back(std::move(dev));
+    ++topology_revision_;
     transistors_.push_back(&ref);
     return ref;
 }
@@ -85,6 +91,7 @@ TimedSwitch& Circuit::add_switch(const std::string& label, NodeId a, NodeId b,
                                              std::move(control));
     TimedSwitch& ref = *dev;
     devices_.push_back(std::move(dev));
+    ++topology_revision_;
     return ref;
 }
 

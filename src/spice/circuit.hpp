@@ -4,6 +4,7 @@
 // references so harness code can retune waveforms, widths, or models later
 // (e.g. between Monte-Carlo samples).
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -80,6 +81,14 @@ public:
     /// independent workspaces, so no locking is involved.
     [[nodiscard]] SolveWorkspace& workspace() { return workspace_; }
 
+    /// Bumped by every add_node/add_* call. The solver compares it to the
+    /// revision its frozen sparsity pattern was built against, so a
+    /// circuit that grows between solves gets a fresh symbolic analysis
+    /// instead of stamping outside a stale pattern.
+    [[nodiscard]] std::uint64_t topology_revision() const {
+        return topology_revision_;
+    }
+
 private:
     std::vector<std::string> node_names_;
     std::unordered_map<std::string, NodeId> node_ids_;
@@ -87,6 +96,7 @@ private:
     std::vector<VoltageSource*> vsources_;
     std::vector<CurrentSource*> isources_;
     std::vector<Transistor*> transistors_;
+    std::uint64_t topology_revision_ = 1;
     SolveWorkspace workspace_;
 };
 

@@ -18,17 +18,32 @@ namespace {
 /// J(x)*x - rhs(x). (In the companion formulation this equals the sum of
 /// nonlinear device currents at x, i.e. the genuine equation residual.)
 /// The row products are accumulated in place — no temporary vector.
+/// Assembles into whichever Jacobian backend the workspace is pinned to,
+/// leaving it holding the linearization at x for the next factorization.
 double assemble_residual_norm(Circuit& circuit, const AnalysisState& as,
                               double gmin, const la::Vector& x,
-                              la::Matrix& jac, la::Vector& rhs) {
-    assemble(circuit, as, x, gmin, jac, rhs);
+                              SolveWorkspace& w) {
     const std::size_t n = x.size();
     double acc = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-        double r = -rhs[i];
-        for (std::size_t c = 0; c < n; ++c)
-            r += jac(i, c) * x[c];
-        acc += r * r;
+    if (w.kind == SolverKind::kSparse) {
+        assemble(circuit, as, x, gmin, w.sjac, w.rhs);
+        const auto& rp = w.sjac.row_ptr();
+        const auto& ci = w.sjac.col_idx();
+        const auto& val = w.sjac.values();
+        for (std::size_t i = 0; i < n; ++i) {
+            double r = -w.rhs[i];
+            for (std::size_t k = rp[i]; k < rp[i + 1]; ++k)
+                r += val[k] * x[ci[k]];
+            acc += r * r;
+        }
+    } else {
+        assemble(circuit, as, x, gmin, w.jac, w.rhs);
+        for (std::size_t i = 0; i < n; ++i) {
+            double r = -w.rhs[i];
+            for (std::size_t c = 0; c < n; ++c)
+                r += w.jac(i, c) * x[c];
+            acc += r * r;
+        }
     }
     return std::sqrt(acc);
 }
@@ -51,7 +66,23 @@ int newton_raphson_core(Circuit& circuit, const AnalysisState& as,
     // All scratch lives on the circuit: the loop below is allocation-free
     // once the workspace has been sized by a first solve.
     SolveWorkspace& w = circuit.workspace();
-    double resid = assemble_residual_norm(circuit, as, gmin, x, w.jac, w.rhs);
+
+    // Pin the linear backend on the circuit's first solve; symbolic work
+    // (pattern discovery + fill-reducing analysis) happens exactly once
+    // per circuit topology, never per Newton iterate. A circuit that
+    // gained nodes or devices since the last solve re-runs both.
+    if (w.topology_revision != circuit.topology_revision()) {
+        w.kind = select_solver_kind(n);
+        w.topology_revision = circuit.topology_revision();
+        if (*w.kind == SolverKind::kSparse) {
+            build_pattern(circuit, w.sjac);
+            w.slu.analyze(w.sjac);
+            ++solver_stats().sparse_symbolic_analyses;
+            solver_stats().sparse_pattern_nnz = w.sjac.nnz();
+        }
+    }
+
+    double resid = assemble_residual_norm(circuit, as, gmin, x, w);
 
     // Warm-start acceptance floor: a first iterate whose entering KCL
     // residual is already below per-equation itol is at the solution (a
@@ -62,14 +93,29 @@ int newton_raphson_core(Circuit& circuit, const AnalysisState& as,
     const double warm_floor = opts.itol * std::sqrt(static_cast<double>(n));
 
     for (int iter = 1; iter <= opts.max_nr_iterations; ++iter) {
-        // `w.jac`/`w.rhs` hold the linearization at the current x.
+        // The workspace Jacobian holds the linearization at the current x.
+        // lu_factorizations counts both kernels (the contract tests pin it
+        // to nr_iterations); sparse_refactorizations additionally meters
+        // the sparse numeric path.
         ++solver_stats().lu_factorizations;
-        if (!w.lu.factor_in_place(w.jac)) {
+        bool factored;
+        if (w.kind == SolverKind::kSparse) {
+            ++solver_stats().sparse_refactorizations;
+            factored = w.slu.refactor(w.sjac);
+            if (factored)
+                solver_stats().sparse_lu_nnz = w.slu.lu_nnz();
+        } else {
+            factored = w.lu.factor_in_place(w.jac);
+        }
+        if (!factored) {
             if (final_residual != nullptr)
                 *final_residual = resid;
             return -iter;
         }
-        w.lu.solve_into(w.rhs, w.x_new);
+        if (w.kind == SolverKind::kSparse)
+            w.slu.solve_into(w.rhs, w.x_new);
+        else
+            w.lu.solve_into(w.rhs, w.x_new);
         const la::Vector& x_new = w.x_new;
 
         // Convergence: the full Newton update is within tolerance. Checked
@@ -115,8 +161,7 @@ int newton_raphson_core(Circuit& circuit, const AnalysisState& as,
         for (int bt = 0;; ++bt) {
             for (std::size_t i = 0; i < n; ++i)
                 w.x_try[i] = x[i] + alpha * (x_new[i] - x[i]);
-            resid_try = assemble_residual_norm(circuit, as, gmin, w.x_try,
-                                               w.jac, w.rhs);
+            resid_try = assemble_residual_norm(circuit, as, gmin, w.x_try, w);
             if (resid < kResidFloor || resid_try < kResidFloor ||
                 resid_try <= resid * (1.0 - 1e-4 * alpha) || bt >= 6)
                 break;
@@ -125,7 +170,7 @@ int newton_raphson_core(Circuit& circuit, const AnalysisState& as,
         }
 
         x.swap(w.x_try);
-        resid = resid_try; // w.jac/w.rhs already hold the linearization at x
+        resid = resid_try; // workspace Jacobian/rhs already hold x's linearization
     }
     if (final_residual != nullptr)
         *final_residual = resid;

@@ -1,12 +1,45 @@
 #include "spice/device.hpp"
 
+#include "la/sparse_matrix.hpp"
+
 namespace tfetsram::spice {
 
 Stamper::Stamper(la::Matrix& jac, la::Vector& rhs, std::size_t num_nodes)
-    : jac_(jac), rhs_(rhs), num_nodes_(num_nodes) {
-    TFET_EXPECTS(jac_.rows() == jac_.cols());
-    TFET_EXPECTS(rhs_.size() == jac_.rows());
+    : dense_(&jac), rhs_(rhs), num_nodes_(num_nodes) {
+    TFET_EXPECTS(jac.rows() == jac.cols());
+    TFET_EXPECTS(rhs_.size() == jac.rows());
     TFET_EXPECTS(num_nodes_ >= 1);
+}
+
+Stamper::Stamper(la::SparseMatrix& jac, la::Vector& rhs,
+                 std::size_t num_nodes)
+    : Stamper(jac, rhs, num_nodes, /*pattern_only=*/false) {
+    TFET_EXPECTS(jac.finalized());
+}
+
+Stamper::Stamper(la::SparseMatrix& jac, la::Vector& rhs,
+                 std::size_t num_nodes, bool pattern_only)
+    : sparse_(&jac), pattern_only_(pattern_only), rhs_(rhs),
+      num_nodes_(num_nodes) {
+    TFET_EXPECTS(jac.rows() == jac.cols());
+    TFET_EXPECTS(rhs_.size() == jac.rows());
+    TFET_EXPECTS(num_nodes_ >= 1);
+}
+
+Stamper Stamper::pattern_recorder(la::SparseMatrix& jac,
+                                  la::Vector& rhs_scratch,
+                                  std::size_t num_nodes) {
+    return Stamper(jac, rhs_scratch, num_nodes, /*pattern_only=*/true);
+}
+
+void Stamper::acc(std::size_t r, std::size_t c, double v) {
+    if (dense_ != nullptr) {
+        (*dense_)(r, c) += v;
+    } else if (pattern_only_) {
+        sparse_->reserve_entry(r, c);
+    } else {
+        sparse_->add(r, c, v);
+    }
 }
 
 std::size_t Stamper::idx(NodeId n) const {
@@ -16,7 +49,7 @@ std::size_t Stamper::idx(NodeId n) const {
 
 std::size_t Stamper::branch_index(std::size_t branch) const {
     const std::size_t i = (num_nodes_ - 1) + branch;
-    TFET_EXPECTS(i < jac_.rows());
+    TFET_EXPECTS(i < rhs_.size());
     return i;
 }
 
@@ -24,12 +57,12 @@ void Stamper::add_conductance(NodeId a, NodeId b, double g) {
     const std::size_t ia = idx(a);
     const std::size_t ib = idx(b);
     if (ia != npos)
-        jac_(ia, ia) += g;
+        acc(ia, ia, g);
     if (ib != npos)
-        jac_(ib, ib) += g;
+        acc(ib, ib, g);
     if (ia != npos && ib != npos) {
-        jac_(ia, ib) -= g;
-        jac_(ib, ia) -= g;
+        acc(ia, ib, -g);
+        acc(ib, ia, -g);
     }
 }
 
@@ -51,15 +84,15 @@ void Stamper::add_transconductance(NodeId out_from, NodeId out_to,
     const std::size_t icn = idx(ctrl_neg);
     if (iof != npos) {
         if (icp != npos)
-            jac_(iof, icp) += g;
+            acc(iof, icp, g);
         if (icn != npos)
-            jac_(iof, icn) -= g;
+            acc(iof, icn, -g);
     }
     if (iot != npos) {
         if (icp != npos)
-            jac_(iot, icp) -= g;
+            acc(iot, icp, -g);
         if (icn != npos)
-            jac_(iot, icn) += g;
+            acc(iot, icn, g);
     }
 }
 
@@ -69,12 +102,12 @@ void Stamper::stamp_voltage_source(std::size_t branch, NodeId pos, NodeId neg,
     const std::size_t ip = idx(pos);
     const std::size_t in = idx(neg);
     if (ip != npos) {
-        jac_(ip, ib) += 1.0;
-        jac_(ib, ip) += 1.0;
+        acc(ip, ib, 1.0);
+        acc(ib, ip, 1.0);
     }
     if (in != npos) {
-        jac_(in, ib) -= 1.0;
-        jac_(ib, in) -= 1.0;
+        acc(in, ib, -1.0);
+        acc(ib, in, -1.0);
     }
     rhs_[ib] += volts;
 }

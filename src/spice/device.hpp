@@ -10,6 +10,10 @@
 #include "la/matrix.hpp"
 #include "spice/types.hpp"
 
+namespace tfetsram::la {
+class SparseMatrix;
+} // namespace tfetsram::la
+
 namespace tfetsram::spice {
 
 /// Which analysis the engine is running; transient adds companion models
@@ -32,9 +36,25 @@ struct AnalysisState {
 /// Accumulates the linearized system. Maps node/branch ids to unknown
 /// indices (ground is eliminated) and enforces the KCL sign convention:
 /// rows are "sum of currents leaving the node = injected current".
+///
+/// Three backends behind one stamping interface, so devices never know
+/// which kernel the solver picked: dense (into a la::Matrix), sparse
+/// numeric (into a finalized la::SparseMatrix pattern), and a
+/// pattern-recording mode that registers the positions a stamp touches
+/// without writing values (the symbolic pass of spice::build_pattern).
 class Stamper {
 public:
     Stamper(la::Matrix& jac, la::Vector& rhs, std::size_t num_nodes);
+
+    /// Sparse numeric stamping; `jac`'s pattern must be finalized and
+    /// cover every position the circuit stamps.
+    Stamper(la::SparseMatrix& jac, la::Vector& rhs, std::size_t num_nodes);
+
+    /// Pattern-recording stamper: matrix writes register CSR entries in
+    /// the (unfinalized) `jac`; rhs_scratch absorbs RHS writes unread.
+    static Stamper pattern_recorder(la::SparseMatrix& jac,
+                                    la::Vector& rhs_scratch,
+                                    std::size_t num_nodes);
 
     /// Conductance g between nodes a and b.
     void add_conductance(NodeId a, NodeId b, double g);
@@ -55,11 +75,19 @@ public:
     [[nodiscard]] std::size_t branch_index(std::size_t branch) const;
 
 private:
+    Stamper(la::SparseMatrix& jac, la::Vector& rhs, std::size_t num_nodes,
+            bool pattern_only);
+
+    /// Route one Jacobian accumulation to the active backend.
+    void acc(std::size_t r, std::size_t c, double v);
+
     // Returns the unknown index for a node, or npos for ground.
     [[nodiscard]] std::size_t idx(NodeId n) const;
     static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
-    la::Matrix& jac_;
+    la::Matrix* dense_ = nullptr;
+    la::SparseMatrix* sparse_ = nullptr;
+    bool pattern_only_ = false;
     la::Vector& rhs_;
     std::size_t num_nodes_;
 };

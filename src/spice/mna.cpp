@@ -4,6 +4,23 @@
 
 namespace tfetsram::spice {
 
+namespace {
+
+/// Shared stamping order for every backend: gmin shunts first, then the
+/// devices in circuit order. Keeping one code path here is what makes the
+/// dense and sparse assemblies bit-identical per matrix entry.
+void stamp_all(Circuit& circuit, Stamper& st, const AnalysisState& as,
+               const la::Vector& x, double gmin) {
+    if (gmin > 0.0)
+        for (NodeId node = 1; node < circuit.num_nodes(); ++node)
+            st.add_conductance(node, kGround, gmin);
+
+    for (const auto& dev : circuit.devices())
+        dev->stamp(st, as, x);
+}
+
+} // namespace
+
 void assemble(Circuit& circuit, const AnalysisState& as, const la::Vector& x,
               double gmin, la::Matrix& jac, la::Vector& rhs) {
     ++solver_stats().assemblies;
@@ -18,14 +35,55 @@ void assemble(Circuit& circuit, const AnalysisState& as, const la::Vector& x,
     rhs.assign(n, 0.0);
 
     Stamper st(jac, rhs, circuit.num_nodes());
+    stamp_all(circuit, st, as, x, gmin);
+}
 
-    // Convergence-aid conductances from every node to ground.
-    if (gmin > 0.0)
-        for (NodeId node = 1; node < circuit.num_nodes(); ++node)
-            st.add_conductance(node, kGround, gmin);
+void assemble(Circuit& circuit, const AnalysisState& as, const la::Vector& x,
+              double gmin, la::SparseMatrix& jac, la::Vector& rhs) {
+    ++solver_stats().assemblies;
+    circuit.prepare();
+    const std::size_t n = circuit.num_unknowns();
+    TFET_EXPECTS(x.size() == n);
+    TFET_EXPECTS(jac.finalized());
+    TFET_EXPECTS(jac.rows() == n);
 
-    for (const auto& dev : circuit.devices())
-        dev->stamp(st, as, x);
+    jac.set_zero();
+    rhs.assign(n, 0.0);
+
+    Stamper st(jac, rhs, circuit.num_nodes());
+    stamp_all(circuit, st, as, x, gmin);
+}
+
+void build_pattern(Circuit& circuit, la::SparseMatrix& jac) {
+    circuit.prepare();
+    const std::size_t n = circuit.num_unknowns();
+    jac.reset(n, n);
+
+    // Full diagonal: covers the gmin shunts on node rows and keeps a
+    // diagonal slot available for pivoting on every row.
+    for (std::size_t i = 0; i < n; ++i)
+        jac.reserve_entry(i, i);
+
+    la::Vector x_zero(n, 0.0);
+    la::Vector rhs_scratch(n, 0.0);
+    Stamper st = Stamper::pattern_recorder(jac, rhs_scratch,
+                                           circuit.num_nodes());
+
+    // Union over analysis modes: capacitive companion models stamp only
+    // in transient, so a DC-only pass would under-register the pattern.
+    // Stamping is side-effect-free on device state, so running both
+    // passes over the same recorder is safe.
+    AnalysisState dc;
+    dc.mode = AnalysisMode::kDc;
+    stamp_all(circuit, st, dc, x_zero, /*gmin=*/1.0);
+
+    AnalysisState tr;
+    tr.mode = AnalysisMode::kTransient;
+    tr.dt = 1e-12;
+    tr.first_transient_step = true;
+    stamp_all(circuit, st, tr, x_zero, /*gmin=*/1.0);
+
+    jac.finalize_pattern();
 }
 
 } // namespace tfetsram::spice

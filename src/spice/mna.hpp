@@ -1,8 +1,12 @@
 #pragma once
 // Modified-nodal-analysis assembly: linearize every device at a candidate
-// solution into the Jacobian and right-hand side.
+// solution into the Jacobian and right-hand side. Two numeric paths share
+// the same Stamper-driven stamping code, so they accumulate identical
+// addends in identical order: dense (la::Matrix) and sparse (a CSR
+// la::SparseMatrix whose pattern build_pattern froze once per circuit).
 
 #include "la/matrix.hpp"
+#include "la/sparse_matrix.hpp"
 #include "spice/circuit.hpp"
 
 namespace tfetsram::spice {
@@ -12,5 +16,17 @@ namespace tfetsram::spice {
 /// to ground. jac/rhs are resized and zeroed as needed.
 void assemble(Circuit& circuit, const AnalysisState& as, const la::Vector& x,
               double gmin, la::Matrix& jac, la::Vector& rhs);
+
+/// Sparse assembly into a finalized pattern (see build_pattern). The hot
+/// path is allocation-free: values are zeroed and re-accumulated in place.
+void assemble(Circuit& circuit, const AnalysisState& as, const la::Vector& x,
+              double gmin, la::SparseMatrix& jac, la::Vector& rhs);
+
+/// Discover and freeze the circuit's MNA sparsity pattern into `jac`:
+/// the full diagonal (gmin shunts; also gives pivoting a diagonal target)
+/// plus every position any device stamps under DC *or* transient analysis
+/// (the union superset — charge-storage companion models only appear in
+/// transient). Call once per circuit topology, before sparse assemble().
+void build_pattern(Circuit& circuit, la::SparseMatrix& jac);
 
 } // namespace tfetsram::spice

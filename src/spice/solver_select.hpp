@@ -1,0 +1,52 @@
+#pragma once
+// Linear-kernel selection for the Newton loop: dense LU (the right call for
+// single-cell circuits, < ~64 unknowns) versus the sparse kernel (what
+// makes rows x cols arrays tractable). Selection is automatic by system
+// size; TFETSRAM_SOLVER=dense|sparse|auto overrides it process-wide, and
+// set_solver_mode() overrides both programmatically (tests and the
+// sparse-vs-dense microbench workloads).
+
+#include <cstddef>
+
+namespace tfetsram::spice {
+
+/// Backend actually used for one circuit's solves.
+enum class SolverKind { kDense, kSparse };
+
+/// Requested policy (env var / programmatic override).
+enum class SolverMode { kAuto, kDense, kSparse };
+
+/// Unknown count at and above which kAuto picks the sparse kernel. Below
+/// it the dense kernel's cache behaviour wins (see docs/SOLVER.md); a
+/// single 6T cell sits near 10 unknowns, an 8x8 array near 200.
+inline constexpr std::size_t kSparseAutoThreshold = 64;
+
+/// Parse a TFETSRAM_SOLVER value; nullptr, empty, "auto", and anything
+/// unrecognized mean kAuto.
+SolverMode parse_solver_mode(const char* text);
+
+/// Effective policy: the programmatic override if set, else the cached
+/// TFETSRAM_SOLVER environment value.
+SolverMode solver_mode();
+
+/// Install a process-wide programmatic override (kAuto included); wins
+/// over the environment until clear_solver_mode_override().
+void set_solver_mode(SolverMode mode);
+void clear_solver_mode_override();
+
+/// Apply the effective policy to a system size.
+SolverKind select_solver_kind(std::size_t num_unknowns);
+
+/// RAII override for tests/benches comparing backends in one process.
+class ScopedSolverMode {
+public:
+    explicit ScopedSolverMode(SolverMode mode);
+    ~ScopedSolverMode();
+    ScopedSolverMode(const ScopedSolverMode&) = delete;
+    ScopedSolverMode& operator=(const ScopedSolverMode&) = delete;
+
+private:
+    int previous_; ///< encoded prior override (-1 = none)
+};
+
+} // namespace tfetsram::spice

@@ -27,17 +27,36 @@ struct SolverStats {
     std::uint64_t transient_steps = 0; ///< accepted transient time steps
     std::uint64_t transient_solves = 0; ///< solve_transient calls
     std::uint64_t assemblies = 0;       ///< full MNA system assemblies
-    std::uint64_t lu_factorizations = 0; ///< Jacobian LU factorizations
+    std::uint64_t lu_factorizations = 0; ///< Jacobian factorizations (any kernel)
     std::uint64_t line_search_backtracks = 0; ///< rejected damped steps
+    std::uint64_t sparse_refactorizations = 0; ///< sparse numeric refactors
+    std::uint64_t sparse_symbolic_analyses = 0; ///< once per sparse circuit
 
+    // Gauges (latest observed values, not monotonic counters): the MNA
+    // pattern nnz and the L+U nnz of the most recent sparse symbolic
+    // analysis / refactorization on this thread.
+    std::uint64_t sparse_pattern_nnz = 0;
+    std::uint64_t sparse_lu_nnz = 0;
+
+    /// Counter deltas for a metered region. Gauges carry their current
+    /// value through when the region did any sparse work, and 0 otherwise
+    /// (a dense-only region reports no sparse system size).
     SolverStats operator-(const SolverStats& rhs) const {
-        return {nr_iterations - rhs.nr_iterations,
-                dc_solves - rhs.dc_solves,
-                transient_steps - rhs.transient_steps,
-                transient_solves - rhs.transient_solves,
-                assemblies - rhs.assemblies,
-                lu_factorizations - rhs.lu_factorizations,
-                line_search_backtracks - rhs.line_search_backtracks};
+        SolverStats d{nr_iterations - rhs.nr_iterations,
+                      dc_solves - rhs.dc_solves,
+                      transient_steps - rhs.transient_steps,
+                      transient_solves - rhs.transient_solves,
+                      assemblies - rhs.assemblies,
+                      lu_factorizations - rhs.lu_factorizations,
+                      line_search_backtracks - rhs.line_search_backtracks,
+                      sparse_refactorizations - rhs.sparse_refactorizations,
+                      sparse_symbolic_analyses - rhs.sparse_symbolic_analyses,
+                      0, 0};
+        if (d.sparse_refactorizations > 0 || d.sparse_symbolic_analyses > 0) {
+            d.sparse_pattern_nnz = sparse_pattern_nnz;
+            d.sparse_lu_nnz = sparse_lu_nnz;
+        }
+        return d;
     }
 };
 

@@ -1,11 +1,18 @@
-// Unit tests for the dense linear algebra kernel under the MNA solver.
+// Unit tests for the linear algebra kernels under the MNA solver: the
+// dense Matrix/LuFactorization pair and the sparse SparseMatrix/SparseLu
+// pair (pattern lifecycle, orderings, and factorization edge cases; the
+// sparse-vs-dense behavioural comparison lives in test_sparse_diff.cpp).
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "la/lu.hpp"
 #include "la/matrix.hpp"
+#include "la/sparse_lu.hpp"
+#include "la/sparse_matrix.hpp"
 #include "util/rng.hpp"
 
 namespace tfetsram::la {
@@ -116,6 +123,239 @@ TEST(Lu, PivotSpreadFinite) {
     const auto lu = LuFactorization::factor(a);
     ASSERT_TRUE(lu.has_value());
     EXPECT_NEAR(lu->pivot_spread_log10(), 6.0, 1e-9);
+}
+
+// ------------------------------------------------------------ SparseMatrix
+
+TEST(SparseMatrix, DuplicateRegistrationsCollapseAndAddsAccumulate) {
+    SparseMatrix m(2, 2);
+    m.reserve_entry(0, 0);
+    m.reserve_entry(0, 0); // duplicate collapses into one stored entry
+    m.reserve_entry(0, 1);
+    m.reserve_entry(1, 1);
+    m.finalize_pattern();
+    EXPECT_EQ(m.nnz(), 3u);
+
+    m.add(0, 0, 2.0);
+    m.add(0, 0, 3.0); // accumulation, SPICE-stamp style
+    m.add(0, 1, -1.0);
+    EXPECT_DOUBLE_EQ(m.at(0, 0), 5.0);
+    EXPECT_DOUBLE_EQ(m.at(0, 1), -1.0);
+    EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0); // registered but never stamped
+    EXPECT_DOUBLE_EQ(m.at(1, 0), 0.0); // outside the pattern reads 0
+}
+
+TEST(SparseMatrix, AddOutsidePatternIsContractViolation) {
+    SparseMatrix m(2, 2);
+    m.reserve_entry(0, 0);
+    m.finalize_pattern();
+    EXPECT_THROW(m.add(1, 1, 1.0), contract_violation);
+}
+
+TEST(SparseMatrix, CsrRoundTripsThroughDense) {
+    Rng rng(99);
+    Matrix a(6, 6);
+    for (std::size_t r = 0; r < 6; ++r)
+        for (std::size_t c = 0; c < 6; ++c)
+            if (rng.uniform(0.0, 1.0) < 0.4)
+                a(r, c) = rng.uniform(-2.0, 2.0);
+    const SparseMatrix s = SparseMatrix::from_dense(a);
+    const Matrix back = s.to_dense();
+    for (std::size_t r = 0; r < 6; ++r)
+        for (std::size_t c = 0; c < 6; ++c)
+            EXPECT_EQ(back(r, c), a(r, c)) << r << "," << c;
+
+    // CSR invariants: monotone row_ptr, strictly sorted columns per row.
+    const auto& rp = s.row_ptr();
+    const auto& ci = s.col_idx();
+    ASSERT_EQ(rp.size(), 7u);
+    EXPECT_EQ(rp.back(), s.nnz());
+    for (std::size_t r = 0; r < 6; ++r) {
+        EXPECT_LE(rp[r], rp[r + 1]);
+        for (std::size_t k = rp[r] + 1; k < rp[r + 1]; ++k)
+            EXPECT_LT(ci[k - 1], ci[k]);
+    }
+}
+
+TEST(SparseMatrix, MultiplyMatchesDense) {
+    Rng rng(5);
+    Matrix a(5, 5);
+    for (std::size_t r = 0; r < 5; ++r)
+        for (std::size_t c = 0; c < 5; ++c)
+            if ((r + c) % 2 == 0)
+                a(r, c) = rng.uniform(-1.0, 1.0);
+    const SparseMatrix s = SparseMatrix::from_dense(a);
+    Vector x(5);
+    for (auto& v : x)
+        v = rng.uniform(-1.0, 1.0);
+    const Vector yd = a.multiply(x);
+    const Vector ys = s.multiply(x);
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_NEAR(ys[i], yd[i], 1e-14);
+}
+
+TEST(SparseMatrix, EmptyAndOneByOne) {
+    SparseMatrix empty(0, 0);
+    empty.finalize_pattern();
+    EXPECT_EQ(empty.nnz(), 0u);
+
+    SparseMatrix one(1, 1);
+    one.reserve_entry(0, 0);
+    one.finalize_pattern();
+    one.add(0, 0, 3.5);
+    EXPECT_DOUBLE_EQ(one.at(0, 0), 3.5);
+    SparseLu lu;
+    lu.analyze(one);
+    ASSERT_TRUE(lu.refactor(one));
+    const Vector x = lu.solve({7.0});
+    EXPECT_NEAR(x[0], 2.0, 1e-15);
+}
+
+TEST(SparseMatrix, ResetReturnsToPatternPhase) {
+    SparseMatrix m(2, 2);
+    m.reserve_entry(0, 0);
+    m.finalize_pattern();
+    EXPECT_TRUE(m.finalized());
+    m.reset(3, 3);
+    EXPECT_FALSE(m.finalized());
+    m.reserve_entry(2, 2);
+    m.finalize_pattern();
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.nnz(), 1u);
+}
+
+// ---------------------------------------------------------------- ordering
+
+TEST(MinimumDegree, ProducesAValidPermutation) {
+    Rng rng(31);
+    Matrix a(12, 12);
+    for (std::size_t r = 0; r < 12; ++r) {
+        a(r, r) = 1.0;
+        for (std::size_t c = 0; c < 12; ++c)
+            if (rng.uniform(0.0, 1.0) < 0.2)
+                a(r, c) = 1.0;
+    }
+    const SparseMatrix s = SparseMatrix::from_dense(a);
+    const std::vector<std::size_t> q = minimum_degree_order(s);
+    ASSERT_EQ(q.size(), 12u);
+    std::vector<std::size_t> sorted = q;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < 12; ++i)
+        EXPECT_EQ(sorted[i], i) << "not a permutation";
+}
+
+TEST(MinimumDegree, ArrowMatrixEliminatesDenseColumnLast) {
+    // Arrow matrix: dense first row/column + diagonal. Eliminating column
+    // 0 first would fill the whole matrix; minimum degree must defer it
+    // behind the degree-1 columns, keeping the factor fill-free.
+    const std::size_t n = 10;
+    SparseMatrix s(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        s.reserve_entry(i, i);
+        s.reserve_entry(0, i);
+        s.reserve_entry(i, 0);
+    }
+    s.finalize_pattern();
+    const std::vector<std::size_t> q = minimum_degree_order(s);
+    // Once only the hub and a single spoke remain they are both degree 1,
+    // so the hub may come in either of the final two slots — but never
+    // earlier, where eliminating it would clique the remaining spokes.
+    const auto hub = std::find(q.begin(), q.end(), std::size_t{0});
+    ASSERT_NE(hub, q.end());
+    EXPECT_GE(static_cast<std::size_t>(hub - q.begin()), n - 2)
+        << "hub column eliminated while multiple spokes remained";
+
+    // And the factorization of the well-conditioned arrow stays fill-free:
+    // lu_nnz equals the pattern nnz.
+    s.set_zero();
+    for (std::size_t i = 0; i < n; ++i) {
+        s.add(i, i, 4.0);
+        if (i > 0) {
+            s.add(0, i, 1.0);
+            s.add(i, 0, 1.0);
+        } else {
+            s.add(0, 0, 1.0); // total 5 on the hub diagonal
+        }
+    }
+    SparseLu lu;
+    lu.analyze(s);
+    ASSERT_TRUE(lu.refactor(s));
+    EXPECT_EQ(lu.lu_nnz(), s.nnz());
+}
+
+// ---------------------------------------------------------------- SparseLu
+
+TEST(SparseLu, DensePatternMatchesDenseKernel) {
+    // A fully dense pattern is the degenerate case: the sparse kernel must
+    // still agree with the dense one (no shortcuts that assume sparsity).
+    Rng rng(17);
+    const std::size_t n = 9;
+    Matrix a(n, n);
+    Vector b(n);
+    for (std::size_t r = 0; r < n; ++r) {
+        b[r] = rng.uniform(-1.0, 1.0);
+        for (std::size_t c = 0; c < n; ++c)
+            a(r, c) = rng.uniform(-1.0, 1.0);
+        a(r, r) += 4.0;
+    }
+    const auto xd = solve_linear(a, b);
+    ASSERT_TRUE(xd.has_value());
+    const SparseMatrix s = SparseMatrix::from_dense(a);
+    EXPECT_EQ(s.nnz(), n * n);
+    SparseLu lu;
+    lu.analyze(s);
+    ASSERT_TRUE(lu.refactor(s));
+    const Vector xs = lu.solve(b);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(xs[i], (*xd)[i], 1e-11);
+}
+
+TEST(SparseLu, ZeroDiagonalRequiresPivoting) {
+    // The MNA voltage-source shape: structurally zero diagonal on the
+    // constraint row. Solvable only with row pivoting.
+    SparseMatrix s(2, 2);
+    s.reserve_entry(0, 1);
+    s.reserve_entry(1, 0);
+    s.finalize_pattern();
+    s.add(0, 1, 1.0);
+    s.add(1, 0, 1.0);
+    SparseLu lu;
+    lu.analyze(s);
+    ASSERT_TRUE(lu.refactor(s));
+    const Vector x = lu.solve({2.0, 3.0});
+    EXPECT_NEAR(x[0], 3.0, 1e-15);
+    EXPECT_NEAR(x[1], 2.0, 1e-15);
+}
+
+TEST(SparseLu, PivotSpreadMatchesDenseDiagnostic) {
+    Matrix a = Matrix::identity(3);
+    a(2, 2) = 1e-6;
+    const SparseMatrix s = SparseMatrix::from_dense(a);
+    SparseLu lu;
+    lu.analyze(s);
+    ASSERT_TRUE(lu.refactor(s));
+    EXPECT_NEAR(lu.pivot_spread_log10(), 6.0, 1e-9);
+    EXPECT_GE(lu.fill_ratio(), 1.0 - 1e-12);
+}
+
+TEST(SparseLu, RecoversAfterSingularRefactor) {
+    // A singular refactor must not poison the analysis: restoring good
+    // values and refactoring again succeeds (the Newton fallback chain
+    // retries with different gmin after a failed factorization).
+    SparseMatrix s(2, 2);
+    s.reserve_entry(0, 0);
+    s.reserve_entry(1, 1);
+    s.finalize_pattern();
+    SparseLu lu;
+    lu.analyze(s);
+    EXPECT_FALSE(lu.refactor(s)); // all-zero values: singular
+
+    s.add(0, 0, 2.0);
+    s.add(1, 1, 4.0);
+    ASSERT_TRUE(lu.refactor(s));
+    const Vector x = lu.solve({2.0, 8.0});
+    EXPECT_NEAR(x[0], 1.0, 1e-15);
+    EXPECT_NEAR(x[1], 2.0, 1e-15);
 }
 
 } // namespace
