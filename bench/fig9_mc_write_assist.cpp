@@ -11,6 +11,10 @@
 using namespace tfetsram;
 
 int main() {
+    // Explicit simulation context for the whole figure: env-derived
+    // defaults (solver mode, seed root, fault plan) frozen once, every
+    // Monte-Carlo batch below attributed to it.
+    const spice::SimContext ctx(spice::SimConfig::from_env());
     const std::size_t samples = mc::mc_samples_from_env(60);
     bench::banner("Fig. 9", "process variation vs write assists (beta = 2, " +
                                 std::to_string(samples) + " samples)");
@@ -32,7 +36,7 @@ int main() {
                           "write failures"});
     for (sram::Assist a : sram::kWriteAssists) {
         const mc::McResult res = mc::run_monte_carlo(
-            cfg, sampler, samples, 0xF19u,
+            ctx, cfg, sampler, samples, 0xF19u,
             [&](sram::SramCell& cell) {
                 return sram::critical_wordline_pulse(cell, a, opts);
             });
@@ -54,7 +58,7 @@ int main() {
 
     // Fig. 9(d): DRNM under the same variation, cell sized for WA use.
     const mc::McResult drnm = mc::run_monte_carlo(
-        cfg, sampler, samples, 0xF19u,
+        ctx, cfg, sampler, samples, 0xF19u,
         [&](sram::SramCell& cell) {
             const auto d = sram::dynamic_read_noise_margin(
                 cell, sram::Assist::kNone, opts);

@@ -2,10 +2,10 @@
 // workloads — cold DC operating point, warm-started DC re-solve, a full
 // write transient, a WLcrit bisection, an SNM butterfly trace, a
 // 64-sample Monte-Carlo batch, and an 8x8-array DC initialization run
-// once per linear kernel (dense vs sparse) — each metered with wall time
-// and the thread-local solver_stats()
-// counters (MNA assemblies, LU factorizations, line-search backtracks, NR
-// iterations, DC/transient solves). Results land as a console table, a
+// once per linear kernel (dense vs sparse, pinned per task through
+// TaskSpec::sim) — each metered with wall time and the ambient context's
+// solver_stats() counters (MNA assemblies, LU factorizations, line-search
+// backtracks, NR iterations, DC/transient solves). Results land as a console table, a
 // CSV, and BENCH_microbench.json via the runner/telemetry plumbing, so
 // successive commits leave comparable trajectory points (docs/SOLVER.md
 // explains how to read them).
@@ -217,17 +217,16 @@ int run_microbench(const runner::RunnerConfig& config) {
     })));
 
     // 7/8. Array-scale DC initialization, once per linear kernel: the same
-    // 8x8 array (a few hundred MNA unknowns) with the backend pinned via
-    // ScopedSolverMode. Identical physics and Newton trajectory, different
-    // kernel — the wall-time gap is the kernel-selection trade
-    // docs/SOLVER.md documents, and the reason kAuto routes arrays sparse.
+    // 8x8 array (a few hundred MNA unknowns) with the backend pinned
+    // through the task's own SimContext (TaskSpec::sim) rather than any
+    // process-wide override, so the two tasks could even run concurrently.
+    // Identical physics and Newton trajectory, different kernel — the
+    // wall-time gap is the kernel-selection trade docs/SOLVER.md
+    // documents, and the reason kAuto routes arrays sparse.
     for (const bool sparse : {false, true}) {
         const std::string id = sparse ? "array8x8_sparse" : "array8x8_dense";
         names.push_back(id);
-        tasks.push_back(r.add(bench_task(id, models, [cell_cfg, sparse, id] {
-            const spice::ScopedSolverMode scoped(
-                sparse ? spice::SolverMode::kSparse
-                       : spice::SolverMode::kDense);
+        runner::TaskSpec spec = bench_task(id, models, [cell_cfg, id] {
             array::ArrayConfig acfg;
             acfg.rows = 8;
             acfg.cols = 8;
@@ -243,7 +242,12 @@ int run_microbench(const runner::RunnerConfig& config) {
                 TFET_ASSERT(arr.initialize(data));
             });
             return to_result(id, m);
-        })));
+        });
+        spice::SimConfig sim = cfg.sim;
+        sim.mode = sparse ? spice::SolverMode::kSparse
+                          : spice::SolverMode::kDense;
+        spec.sim = std::move(sim);
+        tasks.push_back(r.add(std::move(spec)));
     }
 
     r.run();

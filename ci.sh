@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# CI entry point: standard RelWithDebInfo build + full ctest, a
+# CI entry point: a lint pinning all environment access to util/env, then
+# the standard RelWithDebInfo build + full ctest, a
 # fault-injection job exercising the keep-going/quarantine path end to end,
 # the solver microbenchmark (cache off, so every counter in the log is a
 # fresh measurement — docs/SOLVER.md), an ASan+UBSan build running the
@@ -22,6 +23,19 @@ for arg in "$@"; do
 done
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "=== lint: environment access goes through util/env ==="
+# env::raw() in src/util/env.cpp is the repo's only sanctioned call into
+# the libc environment accessor; everything else must use the typed
+# env::get_* helpers or EnvSnapshot so TFETSRAM_* knobs stay defaults
+# layered under programmatic config (docs/ARCHITECTURE.md).
+STRAYS="$(grep -rn 'getenv *(' src bench examples tests --include='*.cpp' --include='*.hpp' | grep -v '^src/util/env\.cpp:' || true)"
+if [[ -n "$STRAYS" ]]; then
+  echo "direct getenv() outside src/util/env.cpp:" >&2
+  echo "$STRAYS" >&2
+  exit 1
+fi
+echo "env access centralized"
 
 echo "=== build (RelWithDebInfo) ==="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DTFETSRAM_WERROR=ON
@@ -78,11 +92,14 @@ fi
 echo "=== build (ThreadSanitizer) ==="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DTFETSRAM_SANITIZE=thread
-cmake --build build-tsan -j "$JOBS" --target test_runner test_mc test_faults test_sparse_diff
+cmake --build build-tsan -j "$JOBS" --target test_runner test_mc test_faults test_sparse_diff test_context
 
-echo "=== tsan: scheduler/cache/pool/fault tests ==="
+echo "=== tsan: scheduler/cache/pool/fault/context tests ==="
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_runner
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_mc
+# Concurrent tasks pinning conflicting solver backends through their own
+# SimContexts, plus the MC inner-pool stats aggregation, under TSan.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_context
 # The sparse/dense kernel-selection override is an atomic read in the
 # Newton hot path; the diff suite exercises it across backends under TSan.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_sparse_diff

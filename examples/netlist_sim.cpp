@@ -31,6 +31,10 @@ int main(int argc, char** argv) {
             points = static_cast<std::size_t>(std::atol(argv[i + 1]));
 
     try {
+        // All analyses below run under one explicit simulation context
+        // (solver options, backend policy, stats) built from the
+        // environment once.
+        const spice::SimContext ctx(spice::SimConfig::from_env());
         const netlist::Netlist deck = netlist::Netlist::parse_file(argv[1]);
         std::cout << "* " << deck.title() << "\n"
                   << "* " << deck.element_count() << " elements, "
@@ -56,7 +60,7 @@ int main(int argc, char** argv) {
                     return 1;
                 }
                 const spice::AcResult ac = spice::solve_ac(
-                    ckt, {}, {stim, deck.ac_magnitude()}, an.f_start,
+                    ckt, ctx, {stim, deck.ac_magnitude()}, an.f_start,
                     an.f_stop, an.points_per_decade, guess_ptr);
                 if (!ac.ok) {
                     std::cerr << "ac failed: " << ac.message << "\n";
@@ -90,7 +94,7 @@ int main(int argc, char** argv) {
             }
             if (an.kind == netlist::Analysis::Kind::kOperatingPoint) {
                 const spice::DcResult r =
-                    spice::solve_dc(ckt, {}, 0.0, guess_ptr);
+                    spice::solve_dc(ckt, ctx, 0.0, guess_ptr);
                 if (!r.converged) {
                     std::cerr << "operating point did not converge\n";
                     return 1;
@@ -106,7 +110,7 @@ int main(int argc, char** argv) {
                           << "\n\n";
             } else {
                 const spice::TransientResult tr = spice::solve_transient(
-                    ckt, {}, an.tstop, nullptr, guess_ptr);
+                    ckt, ctx, an.tstop, nullptr, guess_ptr);
                 if (!tr.completed) {
                     std::cerr << "transient failed: " << tr.message << "\n";
                     return 1;

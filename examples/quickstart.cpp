@@ -19,8 +19,11 @@ int main() {
                  "tables)...\n";
     const device::ModelSet models = device::make_model_set();
 
+    // An explicit simulation context pinned to the cell: every operation
+    // and metric below runs under it (options, solver policy, counters).
+    const spice::SimContext ctx(spice::SimConfig::from_env());
     const sram::DesignSpec design = sram::proposed_design(0.8, models);
-    sram::SramCell cell = sram::build_cell(design.config);
+    sram::SramCell cell = sram::build_cell(design.config, &ctx);
     std::cout << "Cell: " << design.name << " at VDD = " << design.config.vdd
               << " V, beta = " << design.config.beta << "\n\n";
 
@@ -39,7 +42,7 @@ int main() {
         return 1;
     }
     const spice::TransientResult wr = spice::solve_transient(
-        cell.circuit, opts.solver, w.t_end, nullptr, &hs.x);
+        cell.circuit, ctx, w.t_end, nullptr, &hs.x);
     if (!wr.completed) {
         std::cerr << "write transient failed: " << wr.message << "\n";
         return 1;

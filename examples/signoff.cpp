@@ -14,7 +14,11 @@ using namespace tfetsram;
 
 int main(int argc, char** argv) {
     const std::string which = argc > 1 ? argv[1] : "proposed";
+    // The full qualification (corners, statics, MC) runs under one
+    // explicit simulation context built from the environment.
+    const spice::SimContext ctx(spice::SimConfig::from_env());
     core::SignoffConditions cond;
+    cond.sim = &ctx;
     if (argc > 2)
         cond.mc_samples = static_cast<std::size_t>(std::atol(argv[2]));
 

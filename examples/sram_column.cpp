@@ -89,15 +89,15 @@ Column build_column(const device::ModelSet& m) {
 }
 
 /// DC hold state with each row holding the given value.
-la::Vector settle(Column& col, const std::array<bool, kRows>& data) {
-    const spice::SolverOptions opts;
-    spice::DcResult d0 = spice::solve_dc(col.ckt, opts);
+la::Vector settle(Column& col, const spice::SimContext& ctx,
+                  const std::array<bool, kRows>& data) {
+    spice::DcResult d0 = spice::solve_dc(col.ckt, ctx);
     la::Vector guess = d0.x;
     for (int r = 0; r < kRows; ++r) {
         guess[col.rows[r].q - 1] = data[r] ? kVdd : 0.0;
         guess[col.rows[r].qb - 1] = data[r] ? 0.0 : kVdd;
     }
-    const spice::DcResult d1 = spice::solve_dc(col.ckt, opts, 0.0, &guess);
+    const spice::DcResult d1 = spice::solve_dc(col.ckt, ctx, 0.0, &guess);
     TFET_ASSERT(d1.converged);
     return d1.x;
 }
@@ -160,9 +160,11 @@ int main() {
               << col.ckt.transistors().size() << " transistors, "
               << col.ckt.num_nodes() << " nodes\n\n";
 
-    const spice::SolverOptions opts;
+    // One explicit simulation context for the whole demo (env-derived
+    // solver policy; every solve below is attributed to it).
+    const spice::SimContext ctx(spice::SimConfig::from_env());
     std::array<bool, kRows> stored = {false, false, false, false};
-    la::Vector state = settle(col, stored);
+    la::Vector state = settle(col, ctx, stored);
 
     // Write the pattern 1,0,1,1 row by row.
     const std::array<bool, kRows> pattern = {true, false, true, true};
@@ -171,7 +173,7 @@ int main() {
             continue; // nothing to flip
         const double t_end = program_write(col, r, pattern[r]);
         const spice::TransientResult tr =
-            spice::solve_transient(col.ckt, opts, t_end, nullptr, &state);
+            spice::solve_transient(col.ckt, ctx, t_end, nullptr, &state);
         if (!tr.completed) {
             std::cerr << "write failed: " << tr.message << "\n";
             return 1;
@@ -198,7 +200,7 @@ int main() {
     for (int r = 0; r < kRows; ++r) {
         const ReadPlan plan = program_read(col, r);
         const spice::TransientResult tr =
-            spice::solve_transient(col.ckt, opts, plan.t_end, nullptr, &state);
+            spice::solve_transient(col.ckt, ctx, plan.t_end, nullptr, &state);
         if (!tr.completed) {
             std::cerr << "read failed: " << tr.message << "\n";
             return 1;

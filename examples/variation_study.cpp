@@ -34,14 +34,17 @@ int main(int argc, char** argv) {
     const mc::TfetVariationSampler sampler(vspec);
     const sram::MetricOptions opts;
 
+    // One explicit context for the study: env-derived defaults, and both
+    // batches' solver work lands on its counters.
+    const spice::SimContext ctx(spice::SimConfig::from_env());
     const mc::McResult wl = mc::run_monte_carlo(
-        design.config, sampler, samples, 2024,
+        ctx, design.config, sampler, samples, 2024,
         [&](sram::SramCell& cell) {
             return sram::critical_wordline_pulse(cell, design.write_assist,
                                                  opts);
         });
     const mc::McResult dr = mc::run_monte_carlo(
-        design.config, sampler, samples, 2024,
+        ctx, design.config, sampler, samples, 2024,
         [&](sram::SramCell& cell) {
             const auto d = sram::dynamic_read_noise_margin(
                 cell, design.read_assist, opts);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "sram/operations.hpp"
+#include "spice/context.hpp"
 #include "spice/dc.hpp"
 #include "spice/solution.hpp"
 #include "spice/transient.hpp"
@@ -37,7 +38,8 @@ bool wordline_active_low(const sram::CellConfig& cell) {
 
 } // namespace
 
-SramArray::SramArray(const ArrayConfig& config) : config_(config) {
+SramArray::SramArray(const ArrayConfig& config, const spice::SimContext* sim)
+    : config_(config), sim_(sim) {
     TFET_EXPECTS(config.rows >= 1 && config.cols >= 1);
     TFET_EXPECTS(config.cell.kind == sram::CellKind::kCmos6T ||
                  config.cell.kind == sram::CellKind::kTfet6T);
@@ -126,6 +128,7 @@ bool SramArray::initialize(const std::vector<std::vector<bool>>& data) {
         TFET_EXPECTS(row.size() == config_.cols);
 
     quiesce();
+    const spice::ScopedContext bind(sim_);
     const spice::SolverOptions opts;
     const spice::DcResult cold = spice::solve_dc(ckt_, opts);
     la::Vector guess =
@@ -171,7 +174,12 @@ SolverInfo SramArray::solver_info() {
     SolverInfo info;
     info.unknowns = ckt_.num_unknowns();
     const spice::SolveWorkspace& w = ckt_.workspace();
-    info.kind = w.kind.value_or(spice::select_solver_kind(info.unknowns));
+    // Before any solve pinned the workspace, report the selection the
+    // governing context (explicit or ambient) would make.
+    info.kind = w.kind.value_or(
+        sim_ != nullptr
+            ? sim_->select_kind(info.unknowns)
+            : spice::ambient_context().select_kind(info.unknowns));
     if (info.kind == spice::SolverKind::kSparse && w.sjac.finalized()) {
         info.pattern_nnz = w.sjac.nnz();
         info.lu_nnz = w.slu.analyzed() ? w.slu.lu_nnz() : 0;
@@ -183,6 +191,7 @@ SolverInfo SramArray::solver_info() {
 }
 
 bool SramArray::run(double t_end, std::string* message) {
+    const spice::ScopedContext bind(sim_);
     const spice::SolverOptions opts;
     const spice::TransientResult tr =
         spice::solve_transient(ckt_, opts, t_end, nullptr, &state_);

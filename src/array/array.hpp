@@ -64,7 +64,12 @@ struct SolverInfo {
 
 class SramArray {
 public:
-    explicit SramArray(const ArrayConfig& config);
+    /// Build the array circuit. `sim` (non-owning, optional) pins every
+    /// operation to an explicit simulation context — backend policy and
+    /// counter attribution included; nullptr defers to the caller's
+    /// ambient context at each operation.
+    explicit SramArray(const ArrayConfig& config,
+                       const spice::SimContext* sim = nullptr);
 
     [[nodiscard]] std::size_t rows() const { return config_.rows; }
     [[nodiscard]] std::size_t cols() const { return config_.cols; }
@@ -120,6 +125,7 @@ private:
     [[nodiscard]] bool run(double t_end, std::string* message);
 
     ArrayConfig config_;
+    const spice::SimContext* sim_ = nullptr;
     spice::Circuit ckt_;
     spice::NodeId vdd_node_ = 0;
     std::vector<RowHandles> row_handles_;

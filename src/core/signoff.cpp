@@ -43,6 +43,9 @@ SignoffReport signoff(const sram::DesignSpec& design,
                       const device::TfetParams& tfet_params,
                       const SignoffRequirements& req,
                       const SignoffConditions& cond) {
+    // Every corner, static analysis, and MC batch below runs under this
+    // one context (no-op when cond.sim is null).
+    const spice::ScopedContext bind_sim(cond.sim);
     SignoffReport rep;
     rep.design_name = design.name;
     const sram::MetricOptions& mo = cond.metrics;

@@ -37,6 +37,9 @@ struct SignoffConditions {
     std::size_t mc_samples = 20;
     std::uint64_t mc_seed = 61;
     sram::MetricOptions metrics;
+    /// Simulation context the whole qualification runs under (non-owning;
+    /// nullptr uses the caller's ambient context).
+    const spice::SimContext* sim = nullptr;
 };
 
 /// One evaluated corner.

@@ -2,17 +2,19 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
 #include <limits>
+#include <memory>
 
 #include "runner/thread_pool.hpp"
 #include "spice/dc.hpp"
 #include "spice/solve_error.hpp"
 #include "sram/operations.hpp"
+#include "util/env.hpp"
 
 namespace tfetsram::mc {
 
-McResult run_monte_carlo(const sram::CellConfig& base_config,
+McResult run_monte_carlo(const spice::SimContext& ctx,
+                         const sram::CellConfig& base_config,
                          const TfetVariationSampler& sampler, std::size_t n,
                          std::uint64_t seed, const CellMetric& metric,
                          std::size_t threads, const McPolicy& policy) {
@@ -35,10 +37,9 @@ McResult run_monte_carlo(const sram::CellConfig& base_config,
     // seed empty — samples fall back to cold starts.
     la::Vector nominal_seed;
     {
-        sram::SramCell nominal = sram::build_cell(base_config);
+        sram::SramCell nominal = sram::build_cell(base_config, &ctx);
         sram::program_hold(nominal);
-        spice::DcResult d =
-            spice::solve_dc(nominal.circuit, spice::SolverOptions{}, 0.0);
+        spice::DcResult d = spice::solve_dc(nominal.circuit, ctx, 0.0);
         if (d.converged)
             nominal_seed = std::move(d.x);
     }
@@ -50,12 +51,23 @@ McResult run_monte_carlo(const sram::CellConfig& base_config,
     std::atomic<std::size_t> n_censored{0};
     std::atomic<std::size_t> n_retried{0};
 
+    // One child context per sample: an isolated stats sink plus a seed
+    // stream derived deterministically from (ctx seed, sample index). The
+    // fault plan is shared, so injection budgets span the whole batch.
+    std::vector<std::unique_ptr<spice::SimContext>> children;
+    children.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        children.push_back(
+            std::make_unique<spice::SimContext>(ctx.child(i)));
+
     // Fan the evaluations out through the shared concurrency substrate.
     // Each index writes only its own slots and depends only on its own
     // draw, so the result is identical for every thread count.
     threads = std::min(runner::ThreadPool::resolve(threads), n);
     runner::ThreadPool pool(threads);
     pool.parallel_for(n, [&](std::size_t i) {
+        spice::SimContext& cctx = *children[i];
+        const spice::ScopedContext bind(cctx);
         double value = std::numeric_limits<double>::quiet_NaN();
         bool converged = false;
         int attempt = 1;
@@ -67,7 +79,7 @@ McResult run_monte_carlo(const sram::CellConfig& base_config,
             cfg.models = draws[i].models;
             if (attempt > 1 && policy.reseed)
                 policy.reseed(cfg, attempt, i);
-            sram::SramCell cell = sram::build_cell(cfg);
+            sram::SramCell cell = sram::build_cell(cfg, &cctx);
             cell.dc_seed = nominal_seed; // ignored when sizes mismatch
             try {
                 value = metric(cell);
@@ -86,6 +98,12 @@ McResult run_monte_carlo(const sram::CellConfig& base_config,
         result.censored[i] = converged ? 0 : 1;
         result.tox_values[i] = draws[i].tox;
     });
+    // parallel_for is a barrier, so the children's counters are quiescent
+    // here; fold them into the parent in index order (deterministic sums,
+    // gauges keep the maximum). This closes the attribution gap where MC
+    // work done on pool threads vanished from the caller's counters.
+    for (const auto& child : children)
+        ctx.stats() += child->stats();
     result.n_censored = n_censored.load();
     result.n_retried = n_retried.load();
     // NaN censored slots fall out of the summary on their own (they are
@@ -94,11 +112,18 @@ McResult run_monte_carlo(const sram::CellConfig& base_config,
     return result;
 }
 
+McResult run_monte_carlo(const sram::CellConfig& base_config,
+                         const TfetVariationSampler& sampler, std::size_t n,
+                         std::uint64_t seed, const CellMetric& metric,
+                         std::size_t threads, const McPolicy& policy) {
+    return run_monte_carlo(spice::ambient_context(), base_config, sampler,
+                           n, seed, metric, threads, policy);
+}
+
 std::size_t mc_samples_from_env(std::size_t fallback) {
-    const char* env = std::getenv("TFETSRAM_MC_SAMPLES");
-    if (env == nullptr)
-        return fallback;
-    const long v = std::strtol(env, nullptr, 10);
+    // Read live (not from the process snapshot): the long benches let a
+    // wrapper script resize the batch between runs of one process.
+    const long long v = env::get_int("TFETSRAM_MC_SAMPLES", 0);
     return v > 0 ? static_cast<std::size_t>(v) : fallback;
 }
 

@@ -7,6 +7,7 @@
 #include <functional>
 
 #include "mc/variation.hpp"
+#include "spice/context.hpp"
 #include "sram/cell.hpp"
 #include "util/histogram.hpp"
 #include "util/stats.hpp"
@@ -53,8 +54,8 @@ struct McResult {
     }
 };
 
-/// Run `n` samples. Each sample draws perturbed TFET models, rebuilds the
-/// cell from `base_config` with them, and evaluates `metric`.
+/// Run `n` samples under `ctx`. Each sample draws perturbed TFET models,
+/// rebuilds the cell from `base_config` with them, and evaluates `metric`.
 ///
 /// `threads` = 0 uses the hardware concurrency; 1 runs serially. Results
 /// are deterministic in the seed regardless of the thread count (each
@@ -62,6 +63,20 @@ struct McResult {
 /// evaluations are independent because every worker gets its own cell).
 /// The metric must therefore be safe to call concurrently on distinct
 /// cells (all device models are immutable).
+///
+/// Every worker evaluates its sample under a child context of `ctx`
+/// (derived seed stream = sample index), and when all samples finish the
+/// children's solver counters are aggregated back into `ctx` in index
+/// order — so ctx.stats() reflects the full fan-out, no matter which
+/// pool threads did the work.
+McResult run_monte_carlo(const spice::SimContext& ctx,
+                         const sram::CellConfig& base_config,
+                         const TfetVariationSampler& sampler, std::size_t n,
+                         std::uint64_t seed, const CellMetric& metric,
+                         std::size_t threads = 0,
+                         const McPolicy& policy = {});
+
+/// Compatibility entry: run under the caller's ambient context.
 McResult run_monte_carlo(const sram::CellConfig& base_config,
                          const TfetVariationSampler& sampler, std::size_t n,
                          std::uint64_t seed, const CellMetric& metric,

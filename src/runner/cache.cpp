@@ -1,7 +1,6 @@
 #include "runner/cache.hpp"
 
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -10,6 +9,7 @@
 #include "runner/hash.hpp"
 #include "runner/json.hpp"
 #include "util/contracts.hpp"
+#include "util/env.hpp"
 #include "util/fault.hpp"
 
 namespace tfetsram::runner {
@@ -21,16 +21,16 @@ std::string to_hex(std::uint64_t h) {
     return buf;
 }
 
-CacheMode cache_mode_from_env() {
-    const char* env = std::getenv("TFETSRAM_CACHE");
-    if (env == nullptr)
-        return CacheMode::kReadWrite;
-    const std::string_view v(env);
-    if (v == "off" || v == "0")
+CacheMode parse_cache_mode(std::string_view text) {
+    if (text == "off" || text == "0")
         return CacheMode::kOff;
-    if (v == "ro")
+    if (text == "ro")
         return CacheMode::kReadOnly;
     return CacheMode::kReadWrite;
+}
+
+CacheMode cache_mode_from_env() {
+    return parse_cache_mode(env::get_string("TFETSRAM_CACHE"));
 }
 
 std::string to_string(CacheMode mode) {

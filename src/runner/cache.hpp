@@ -27,6 +27,9 @@ enum class CacheMode {
     kReadOnly,  ///< read hits, never store (e.g. CI against a fixed cache)
 };
 
+/// Parse a cache-mode spelling ("off"/"0", "ro", anything else -> rw);
+/// an empty string means the default kReadWrite.
+CacheMode parse_cache_mode(std::string_view text);
 /// Parse TFETSRAM_CACHE; unset or unrecognized values mean kReadWrite.
 CacheMode cache_mode_from_env();
 std::string to_string(CacheMode mode);

@@ -2,41 +2,43 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstdlib>
 #include <deque>
 #include <exception>
 #include <iostream>
 #include <memory>
 #include <mutex>
-#include <string_view>
 
 #include "util/contracts.hpp"
+#include "util/env.hpp"
 
 namespace tfetsram::runner {
 
 RunnerConfig RunnerConfig::from_env(std::string run_name) {
+    // One capture so every knob — runner scheduling and simulation
+    // defaults alike — comes from the same consistent env snapshot.
+    const env::EnvSnapshot snap = env::EnvSnapshot::capture();
     RunnerConfig cfg;
     cfg.run_name = std::move(run_name);
-    cfg.cache_mode = cache_mode_from_env();
-    cfg.out_dir = out_dir_from_env();
-    if (const char* env = std::getenv("TFETSRAM_CACHE_DIR");
-        env != nullptr && *env != '\0')
-        cfg.cache_dir = env;
-    if (const char* env = std::getenv("TFETSRAM_THREADS");
-        env != nullptr && *env != '\0') {
-        const long v = std::strtol(env, nullptr, 10);
-        if (v > 0)
-            cfg.threads = static_cast<std::size_t>(v);
-    }
-    if (const char* env = std::getenv("TFETSRAM_RETRIES");
-        env != nullptr && *env != '\0') {
-        const long v = std::strtol(env, nullptr, 10);
-        if (v > 0)
-            cfg.default_max_attempts = static_cast<int>(v);
-    }
-    if (const char* env = std::getenv("TFETSRAM_KEEP_GOING");
-        env != nullptr && *env != '\0' && std::string_view(env) != "0")
-        cfg.keep_going = true;
+    cfg.cache_mode = parse_cache_mode(snap.cache);
+    cfg.threads = snap.threads;
+    if (snap.retries > 0)
+        cfg.default_max_attempts = snap.retries;
+    cfg.keep_going = snap.keep_going;
+    cfg.sim = spice::SimConfig::from_env(snap);
+    // TFETSRAM_FAULTS keeps its historical process-wide site counting: a
+    // private per-task plan would restart the indices at every task, so
+    // "dc@50" would mean the 50th solve of *each* task instead of the
+    // run. Task contexts with an empty spec defer to the global injector;
+    // a task wanting a private plan sets TaskSpec::sim.fault_spec.
+    cfg.sim.fault_spec.clear();
+    if (!snap.cache_dir.empty())
+        cfg.cache_dir = snap.cache_dir;
+    if (!snap.out_dir.empty())
+        cfg.out_dir = snap.out_dir;
+    // The context mirrors the runner's directories so task code resolving
+    // paths through its SimContext agrees with the cache and telemetry.
+    cfg.sim.cache_dir = cfg.cache_dir;
+    cfg.sim.out_dir = cfg.out_dir;
     return cfg;
 }
 
@@ -193,7 +195,18 @@ RunSummary Runner::run() {
                     node.spec.max_attempts > 0
                         ? node.spec.max_attempts
                         : std::max(1, config_.default_max_attempts);
-                const spice::SolverStats before = spice::solver_stats();
+                // Each task runs under its own SimContext (its spec's
+                // override or the runner-wide template), bound as this
+                // thread's ambient context. A fresh context starts at zero,
+                // so its counters ARE the task's solver work — including
+                // solves the task fans out to an inner Monte-Carlo pool,
+                // which aggregate into their parent context.
+                spice::SimConfig sim_cfg =
+                    node.spec.sim ? *node.spec.sim : config_.sim;
+                if (sim_cfg.label.empty())
+                    sim_cfg.label = node.spec.id;
+                const spice::SimContext ctx(std::move(sim_cfg));
+                const spice::ScopedContext bind(ctx);
                 const auto t0 = clock::now();
                 int attempt = 1;
                 for (;; ++attempt) {
@@ -222,7 +235,7 @@ RunSummary Runner::run() {
                 }
                 record.attempts = std::min(attempt, max_attempts);
                 record.wall_s = seconds_since(t0);
-                record.solver = spice::solver_stats() - before;
+                record.solver = ctx.stats();
                 if (!error) {
                     record.status = TaskStatus::kExecuted;
                     if (!node.spec.key.empty())

@@ -14,10 +14,12 @@
 #include <filesystem>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "runner/cache.hpp"
+#include "spice/context.hpp"
 #include "runner/task_error.hpp"
 #include "runner/telemetry.hpp"
 #include "runner/thread_pool.hpp"
@@ -29,21 +31,29 @@ using TaskFn = std::function<TaskResult()>;
 
 /// One node of the task graph.
 struct TaskSpec {
-    std::string id;           ///< human-readable name for the journal
-    std::vector<TaskId> deps; ///< must all be ids returned by earlier add()s
+    // Every member carries a default initializer so designated-initializer
+    // construction ({.id = ..., .fn = ...}) stays warning-clean under
+    // -Wextra as fields are added.
+    std::string id{};           ///< human-readable name for the journal
+    std::vector<TaskId> deps{}; ///< must all be ids returned by earlier add()s
     /// Declared inputs; an empty key marks the task uncacheable (it always
     /// executes — unless pruned — and its result is never persisted).
-    CacheKey key;
+    CacheKey key{};
     /// Pure setup (builds shared state, result unused): skipped when every
     /// dependent was a cache hit or itself pruned.
     bool setup_only = false;
-    TaskFn fn;
+    TaskFn fn{};
     /// Execution attempts before the task counts as failed; 0 uses
     /// RunnerConfig::default_max_attempts.
     int max_attempts = 0;
     /// Perturbed-restart hook, called before each retry (attempt >= 2) so
     /// the task can nudge its initial guess / reseed before running again.
-    std::function<void(int attempt)> on_retry;
+    std::function<void(int attempt)> on_retry{};
+    /// Simulation-context override for this task. When set, the task runs
+    /// under a SimContext built from this config instead of the runner's
+    /// RunnerConfig::sim — e.g. to pin a solver backend or tighten
+    /// tolerances for one sweep leg without touching process state.
+    std::optional<spice::SimConfig> sim = std::nullopt;
 };
 
 struct RunnerConfig {
@@ -59,10 +69,17 @@ struct RunnerConfig {
     /// Quarantine failed tasks (and their dependents) and complete the
     /// rest of the graph instead of aborting on the first failure.
     bool keep_going = false;
+    /// Simulation-context template: every task without a TaskSpec::sim
+    /// override runs under a fresh SimContext built from this config, so
+    /// per-task solver counters are attributed exactly — including work a
+    /// task fans out to an inner Monte-Carlo pool.
+    spice::SimConfig sim;
 
     /// Standard environment wiring: TFETSRAM_CACHE, TFETSRAM_OUT_DIR,
-    /// TFETSRAM_THREADS, TFETSRAM_RETRIES, TFETSRAM_KEEP_GOING
-    /// (see docs/RUNNER.md and docs/ROBUSTNESS.md).
+    /// TFETSRAM_THREADS, TFETSRAM_RETRIES, TFETSRAM_KEEP_GOING, plus the
+    /// SimConfig env set (TFETSRAM_SOLVER, TFETSRAM_SEED, TFETSRAM_FAULTS)
+    /// captured in one snapshot (see docs/RUNNER.md and
+    /// docs/ARCHITECTURE.md).
     static RunnerConfig from_env(std::string run_name);
 };
 

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
-#include <cstdlib>
 
 #include "runner/json.hpp"
+#include "util/env.hpp"
 #include "util/fault.hpp"
 #include "util/table_printer.hpp"
 #include "util/units.hpp"
@@ -13,10 +13,8 @@
 namespace tfetsram::runner {
 
 std::filesystem::path out_dir_from_env() {
-    const char* env = std::getenv("TFETSRAM_OUT_DIR");
-    if (env != nullptr && *env != '\0')
-        return std::filesystem::path(env);
-    return std::filesystem::path("bench_csv");
+    return std::filesystem::path(
+        env::get_string("TFETSRAM_OUT_DIR", "bench_csv"));
 }
 
 std::string to_string(TaskStatus status) {

@@ -42,7 +42,8 @@ struct TaskRecord {
     int attempts = 1;  ///< execution attempts spent (retries included)
     std::string error; ///< structured-error rendering when failed/quarantined
     double wall_s = 0.0;
-    spice::SolverStats solver; ///< deltas on the executing thread
+    spice::SolverStats solver; ///< the task's SimContext totals
+                               ///< (inner-pool work included)
 };
 
 /// Aggregate counts returned by Runner::run and asserted on in tests.

@@ -1,0 +1,120 @@
+#include "spice/context.hpp"
+
+#include "util/fault.hpp"
+
+namespace tfetsram::spice {
+
+namespace {
+
+/// SplitMix64 finalizer — the same mix the fault injector uses; one
+/// application fully decorrelates child streams from the root seed.
+std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+thread_local const SimContext* t_bound = nullptr;
+
+} // namespace
+
+SimConfig SimConfig::from_env() {
+    return from_env(env::EnvSnapshot::capture());
+}
+
+SimConfig SimConfig::from_env(const env::EnvSnapshot& snap) {
+    SimConfig cfg;
+    // An unset TFETSRAM_SOLVER leaves mode empty: the context then tracks
+    // the live process-wide policy instead of freezing "auto" at capture
+    // time, so set_solver_mode()/ScopedSolverMode still take effect.
+    if (!snap.solver.empty())
+        cfg.mode = parse_solver_mode(snap.solver.c_str());
+    if (snap.seed != 0)
+        cfg.seed = snap.seed;
+    cfg.fault_spec = snap.faults;
+    if (!snap.out_dir.empty())
+        cfg.out_dir = snap.out_dir;
+    if (!snap.cache_dir.empty())
+        cfg.cache_dir = snap.cache_dir;
+    return cfg;
+}
+
+SimContext::SimContext(SimConfig config)
+    : config_(std::move(config)), stats_sink_(&stats_) {
+    if (!config_.fault_spec.empty())
+        fault_ = std::make_shared<fault::FaultState>(config_.fault_spec);
+}
+
+SimContext::~SimContext() = default;
+
+SimContext::SimContext(SimContext&& other) noexcept
+    : config_(std::move(other.config_)), stats_(other.stats_),
+      // A moved context that owned its sink keeps owning it; a view keeps
+      // aliasing its parent.
+      stats_sink_(other.stats_sink_ == &other.stats_ ? &stats_
+                                                     : other.stats_sink_),
+      fault_(std::move(other.fault_)) {}
+
+SimContext::SimContext(ViewTag, const SimContext& parent,
+                       const SolverOptions& opts)
+    : config_(parent.config_), stats_sink_(parent.stats_sink_),
+      fault_(parent.fault_) {
+    config_.options = opts;
+}
+
+SolverKind SimContext::select_kind(std::size_t num_unknowns) const {
+    return apply_solver_mode(config_.mode ? *config_.mode : solver_mode(),
+                             num_unknowns);
+}
+
+std::uint64_t SimContext::derive_seed(std::uint64_t stream) const {
+    return mix64(config_.seed ^ mix64(stream));
+}
+
+SimContext SimContext::child(std::uint64_t stream) const {
+    SimConfig cfg = config_;
+    cfg.seed = derive_seed(stream);
+    SimContext ctx(std::move(cfg));
+    ctx.fault_ = fault_; // children share the plan (and its op counters)
+    return ctx;
+}
+
+SimContext SimContext::with_options(const SolverOptions& opts) const {
+    return SimContext(ViewTag{}, *this, opts);
+}
+
+bool SimContext::should_fail(fault::Site site) const {
+    if (fault_)
+        return fault_->should_fail(site);
+    return fault::should_fail(site);
+}
+
+const SimContext& ambient_context() {
+    if (t_bound != nullptr)
+        return *t_bound;
+    // Per-thread default: env defaults frozen at first use, own stats —
+    // exactly the historical thread_local solver_stats() semantics for
+    // code running outside any explicit context.
+    thread_local SimContext default_ctx(
+        SimConfig::from_env(env::EnvSnapshot::process()));
+    return default_ctx;
+}
+
+ScopedContext::ScopedContext(const SimContext& ctx)
+    : previous_(t_bound), active_(true) {
+    t_bound = &ctx;
+}
+
+ScopedContext::ScopedContext(const SimContext* ctx)
+    : previous_(t_bound), active_(ctx != nullptr) {
+    if (active_)
+        t_bound = ctx;
+}
+
+ScopedContext::~ScopedContext() {
+    if (active_)
+        t_bound = previous_;
+}
+
+} // namespace tfetsram::spice

@@ -1,0 +1,156 @@
+#pragma once
+// SimContext: the explicit, immutable-after-construction simulation
+// context threaded through solver → cell → array → MC → runner. One
+// context owns everything that used to live in process-global state:
+//
+//  * the effective SolverOptions,
+//  * the solver-mode policy (a context with an explicit mode ignores the
+//    process-wide set_solver_mode()/TFETSRAM_SOLVER override entirely —
+//    that is what makes concurrent dense-vs-sparse A/B tasks safe),
+//  * the RNG seed root plus deterministic derived seeds for child work,
+//  * an optional private fault-injection plan,
+//  * output/cache directories,
+//  * a per-context SolverStats sink, so work fanned out to inner pools is
+//    attributed to the context, not to whichever thread happened to run it.
+//
+// Contexts compose two ways: child(stream) derives an independent context
+// (own stats, derived seed) for fan-out work whose counters the parent
+// aggregates afterwards, and with_options(opts) makes a cheap view that
+// shares the parent's stats sink while swapping the tolerance set — the
+// compatibility shim behind every legacy SolverOptions call site.
+//
+// Threading model: a context is bound to a thread with ScopedContext;
+// ambient_context() returns the innermost binding, falling back to a
+// per-thread default context built once from the process env snapshot.
+// The legacy entry points (solve_dc(circuit, opts), solver_stats(),
+// ScopedSolverMode) all delegate to the ambient context, so unported call
+// sites keep their exact historical behavior. See docs/ARCHITECTURE.md.
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "spice/solver_options.hpp"
+#include "spice/solver_select.hpp"
+#include "spice/stats.hpp"
+#include "util/env.hpp"
+
+namespace tfetsram::fault {
+enum class Site : std::size_t;
+class FaultState;
+} // namespace tfetsram::fault
+
+namespace tfetsram::spice {
+
+/// Everything a SimContext is built from. Plain data: fill it in (or start
+/// from from_env()) and hand it to the SimContext constructor, after which
+/// it never changes.
+struct SimConfig {
+    SolverOptions options;
+    /// Backend policy. nullopt defers to the process-wide resolution
+    /// (set_solver_mode override → TFETSRAM_SOLVER → auto-by-size), which
+    /// is what default/ambient contexts use so ScopedSolverMode keeps
+    /// working; a set value is final — the context is isolated from every
+    /// global override.
+    std::optional<SolverMode> mode;
+    /// RNG seed root; derive_seed()/child() mix per-stream seeds from it.
+    std::uint64_t seed = 0x746665747372616dull; // "tfetsram"
+    /// Private fault-injection plan (TFETSRAM_FAULTS grammar). Empty means
+    /// the context consults the process-wide injector, preserving the
+    /// ScopedFaultInjection / env-var behavior.
+    std::string fault_spec;
+    std::filesystem::path out_dir = "bench_csv";
+    std::filesystem::path cache_dir = ".tfetsram_cache";
+    /// Attribution label (e.g. the runner task id); diagnostic only.
+    std::string label;
+
+    /// Defaults layered from a fresh environment snapshot.
+    static SimConfig from_env();
+    /// Defaults layered from `snap` (one capture shared across subsystems).
+    static SimConfig from_env(const env::EnvSnapshot& snap);
+};
+
+class SimContext {
+public:
+    /// Deliberately explicit and not default-constructible: `solve_dc(ckt,
+    /// {})` must keep meaning "default SolverOptions", never silently
+    /// become a context overload.
+    explicit SimContext(SimConfig config);
+    ~SimContext();
+
+    SimContext(const SimContext&) = delete;
+    SimContext& operator=(const SimContext&) = delete;
+    SimContext(SimContext&& other) noexcept;
+    SimContext& operator=(SimContext&&) = delete;
+
+    [[nodiscard]] const SimConfig& config() const { return config_; }
+    [[nodiscard]] const SolverOptions& options() const {
+        return config_.options;
+    }
+    [[nodiscard]] std::uint64_t seed() const { return config_.seed; }
+
+    /// This context's counter sink. Owned by the context, except for
+    /// with_options() views, which write into their parent's sink.
+    [[nodiscard]] SolverStats& stats() const { return *stats_sink_; }
+
+    /// Resolve the linear backend for a system of `num_unknowns`: the
+    /// context's own mode when set, else the process-wide policy.
+    [[nodiscard]] SolverKind select_kind(std::size_t num_unknowns) const;
+
+    /// Deterministic per-stream seed (splitmix-style mix of the root and
+    /// `stream`): two contexts with equal roots derive equal seeds for
+    /// equal streams, regardless of threading.
+    [[nodiscard]] std::uint64_t derive_seed(std::uint64_t stream) const;
+
+    /// Independent child for fan-out work (one per MC sample): same
+    /// options/mode/dirs, seed derived from `stream`, shared fault plan,
+    /// and its own zeroed stats — the parent aggregates children in
+    /// deterministic order once the fan-out joins (stats() += child.stats()).
+    [[nodiscard]] SimContext child(std::uint64_t stream) const;
+
+    /// View with a replacement tolerance set: shares this context's stats
+    /// sink and fault plan. The bridge under every legacy
+    /// solve_*(circuit, SolverOptions) call.
+    [[nodiscard]] SimContext with_options(const SolverOptions& options) const;
+
+    /// Fault hook: the private plan when this context has one, else the
+    /// process-wide injector.
+    [[nodiscard]] bool should_fail(fault::Site site) const;
+
+private:
+    struct ViewTag {};
+    SimContext(ViewTag, const SimContext& parent, const SolverOptions& opts);
+
+    SimConfig config_;
+    mutable SolverStats stats_;
+    SolverStats* stats_sink_ = nullptr;
+    std::shared_ptr<fault::FaultState> fault_;
+};
+
+/// The context solver work on this thread attributes to: the innermost
+/// ScopedContext binding, else a per-thread default built once from
+/// env::EnvSnapshot::process().
+const SimContext& ambient_context();
+
+/// RAII thread binding. Every context-taking solver entry binds itself on
+/// entry so nested legacy calls (and the assembly counters inside the
+/// Newton loop) resolve to the right context.
+class ScopedContext {
+public:
+    explicit ScopedContext(const SimContext& ctx);
+    /// nullptr is a no-op binding — callers with an optional context
+    /// (e.g. SramCell::sim) bind unconditionally.
+    explicit ScopedContext(const SimContext* ctx);
+    ~ScopedContext();
+    ScopedContext(const ScopedContext&) = delete;
+    ScopedContext& operator=(const ScopedContext&) = delete;
+
+private:
+    const SimContext* previous_;
+    bool active_;
+};
+
+} // namespace tfetsram::spice

@@ -57,8 +57,10 @@ double assemble_residual_norm(Circuit& circuit, const AnalysisState& as,
 /// k + backtracks assemblies and k LU factorizations — the contract
 /// tests/test_solver_perf.cpp pins.
 int newton_raphson_core(Circuit& circuit, const AnalysisState& as,
-                        const SolverOptions& opts, double gmin, la::Vector& x,
+                        const SimContext& ctx, double gmin, la::Vector& x,
                         double* final_residual) {
+    const SolverOptions& opts = ctx.options();
+    SolverStats& stats = ctx.stats();
     const std::size_t n = circuit.num_unknowns();
     const std::size_t n_node_unknowns = circuit.num_nodes() - 1;
     TFET_EXPECTS(x.size() == n);
@@ -72,13 +74,13 @@ int newton_raphson_core(Circuit& circuit, const AnalysisState& as,
     // per circuit topology, never per Newton iterate. A circuit that
     // gained nodes or devices since the last solve re-runs both.
     if (w.topology_revision != circuit.topology_revision()) {
-        w.kind = select_solver_kind(n);
+        w.kind = ctx.select_kind(n);
         w.topology_revision = circuit.topology_revision();
         if (*w.kind == SolverKind::kSparse) {
             build_pattern(circuit, w.sjac);
             w.slu.analyze(w.sjac);
-            ++solver_stats().sparse_symbolic_analyses;
-            solver_stats().sparse_pattern_nnz = w.sjac.nnz();
+            ++stats.sparse_symbolic_analyses;
+            stats.sparse_pattern_nnz = w.sjac.nnz();
         }
     }
 
@@ -97,13 +99,13 @@ int newton_raphson_core(Circuit& circuit, const AnalysisState& as,
         // lu_factorizations counts both kernels (the contract tests pin it
         // to nr_iterations); sparse_refactorizations additionally meters
         // the sparse numeric path.
-        ++solver_stats().lu_factorizations;
+        ++stats.lu_factorizations;
         bool factored;
         if (w.kind == SolverKind::kSparse) {
-            ++solver_stats().sparse_refactorizations;
+            ++stats.sparse_refactorizations;
             factored = w.slu.refactor(w.sjac);
             if (factored)
-                solver_stats().sparse_lu_nnz = w.slu.lu_nnz();
+                stats.sparse_lu_nnz = w.slu.lu_nnz();
         } else {
             factored = w.lu.factor_in_place(w.jac);
         }
@@ -165,7 +167,7 @@ int newton_raphson_core(Circuit& circuit, const AnalysisState& as,
             if (resid < kResidFloor || resid_try < kResidFloor ||
                 resid_try <= resid * (1.0 - 1e-4 * alpha) || bt >= 6)
                 break;
-            ++solver_stats().line_search_backtracks;
+            ++stats.line_search_backtracks;
             alpha *= 0.5;
         }
 
@@ -180,25 +182,28 @@ int newton_raphson_core(Circuit& circuit, const AnalysisState& as,
 } // namespace
 
 int newton_raphson(Circuit& circuit, const AnalysisState& as,
-                   const SolverOptions& opts, double gmin, la::Vector& x,
+                   const SimContext& ctx, double gmin, la::Vector& x,
                    double* final_residual) {
-    if (fault::should_fail(fault::Site::kNewton)) {
+    if (ctx.should_fail(fault::Site::kNewton)) {
         if (final_residual != nullptr)
             *final_residual = std::numeric_limits<double>::quiet_NaN();
         return -1;
     }
     const int iters =
-        newton_raphson_core(circuit, as, opts, gmin, x, final_residual);
-    solver_stats().nr_iterations +=
-        static_cast<std::uint64_t>(std::abs(iters));
+        newton_raphson_core(circuit, as, ctx, gmin, x, final_residual);
+    ctx.stats().nr_iterations += static_cast<std::uint64_t>(std::abs(iters));
     return iters;
 }
 
 } // namespace detail
 
-DcResult solve_dc(Circuit& circuit, const SolverOptions& opts, double time,
+DcResult solve_dc(Circuit& circuit, const SimContext& ctx, double time,
                   const la::Vector* initial_guess) {
-    ++solver_stats().dc_solves;
+    // Bind the context so nested work (MNA assembly counters, legacy
+    // helpers called from device callbacks) attributes here too.
+    const ScopedContext bind(ctx);
+    const SolverOptions& opts = ctx.options();
+    ++ctx.stats().dc_solves;
     circuit.prepare();
     const std::size_t n = circuit.num_unknowns();
 
@@ -211,7 +216,7 @@ DcResult solve_dc(Circuit& circuit, const SolverOptions& opts, double time,
     if (initial_guess != nullptr && initial_guess->size() == n)
         result.x = *initial_guess;
 
-    if (fault::should_fail(fault::Site::kDcSolve)) {
+    if (ctx.should_fail(fault::Site::kDcSolve)) {
         result.converged = false;
         result.strategy = "failed";
         SolveError err;
@@ -232,7 +237,7 @@ DcResult solve_dc(Circuit& circuit, const SolverOptions& opts, double time,
         StrategyAttempt attempt;
         attempt.name = "newton";
         la::Vector x = result.x;
-        const int iters = detail::newton_raphson(circuit, as, opts, opts.gmin,
+        const int iters = detail::newton_raphson(circuit, as, ctx, opts.gmin,
                                                  x, &attempt.residual);
         attempt.iterations = std::abs(iters);
         attempt.converged = iters > 0;
@@ -266,7 +271,7 @@ DcResult solve_dc(Circuit& circuit, const SolverOptions& opts, double time,
             const bool final_stage = g <= opts.gmin * (1.0 + 1e-9) ||
                                      g <= 1e-14 || stage >= kMaxGminStages;
             const double g_eff = final_stage ? opts.gmin : g;
-            const int iters = detail::newton_raphson(circuit, as, opts, g_eff,
+            const int iters = detail::newton_raphson(circuit, as, ctx, g_eff,
                                                      x, &attempt.residual);
             attempt.iterations += std::abs(iters);
             ok = iters > 0;
@@ -295,7 +300,7 @@ DcResult solve_dc(Circuit& circuit, const SolverOptions& opts, double time,
             AnalysisState ramped = as;
             ramped.source_scale = std::min(lambda, 1.0);
             const int iters = detail::newton_raphson(
-                circuit, ramped, opts, opts.gmin, x, &attempt.residual);
+                circuit, ramped, ctx, opts.gmin, x, &attempt.residual);
             attempt.iterations += std::abs(iters);
             if (iters < 0) {
                 ok = false;
@@ -325,6 +330,15 @@ DcResult solve_dc(Circuit& circuit, const SolverOptions& opts, double time,
     err.last_iterate = std::move(last_x);
     result.error = std::move(err);
     return result;
+}
+
+DcResult solve_dc(Circuit& circuit, const SolverOptions& opts, double time,
+                  const la::Vector* initial_guess) {
+    const SimContext& ambient = ambient_context();
+    if (&opts == &ambient.options())
+        return solve_dc(circuit, ambient, time, initial_guess);
+    const SimContext view = ambient.with_options(opts);
+    return solve_dc(circuit, view, time, initial_guess);
 }
 
 } // namespace tfetsram::spice

@@ -1,8 +1,9 @@
 #include "spice/solver_select.hpp"
 
 #include <atomic>
-#include <cstdlib>
 #include <cstring>
+
+#include "util/env.hpp"
 
 namespace tfetsram::spice {
 
@@ -15,7 +16,7 @@ std::atomic<int> g_override{-1};
 
 SolverMode env_mode() {
     static const SolverMode cached =
-        parse_solver_mode(std::getenv("TFETSRAM_SOLVER"));
+        parse_solver_mode(env::raw("TFETSRAM_SOLVER"));
     return cached;
 }
 
@@ -46,14 +47,18 @@ void clear_solver_mode_override() {
     g_override.store(-1, std::memory_order_relaxed);
 }
 
-SolverKind select_solver_kind(std::size_t num_unknowns) {
-    switch (solver_mode()) {
+SolverKind apply_solver_mode(SolverMode mode, std::size_t num_unknowns) {
+    switch (mode) {
     case SolverMode::kDense: return SolverKind::kDense;
     case SolverMode::kSparse: return SolverKind::kSparse;
     case SolverMode::kAuto: break;
     }
     return num_unknowns >= kSparseAutoThreshold ? SolverKind::kSparse
                                                 : SolverKind::kDense;
+}
+
+SolverKind select_solver_kind(std::size_t num_unknowns) {
+    return apply_solver_mode(solver_mode(), num_unknowns);
 }
 
 ScopedSolverMode::ScopedSolverMode(SolverMode mode)

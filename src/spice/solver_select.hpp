@@ -25,8 +25,14 @@ inline constexpr std::size_t kSparseAutoThreshold = 64;
 /// unrecognized mean kAuto.
 SolverMode parse_solver_mode(const char* text);
 
-/// Effective policy: the programmatic override if set, else the cached
-/// TFETSRAM_SOLVER environment value.
+/// Apply a policy to a system size (kAuto routes by kSparseAutoThreshold).
+/// Pure — SimContext uses it with its own mode, select_solver_kind with
+/// the process-wide one.
+SolverKind apply_solver_mode(SolverMode mode, std::size_t num_unknowns);
+
+/// Effective process-wide policy: the programmatic override if set, else
+/// the cached TFETSRAM_SOLVER environment value. Contexts with an explicit
+/// SimConfig::mode bypass this entirely (spice/context.hpp).
 SolverMode solver_mode();
 
 /// Install a process-wide programmatic override (kAuto included); wins

@@ -1,10 +1,11 @@
 #include "spice/stats.hpp"
 
+#include "spice/context.hpp"
+
 namespace tfetsram::spice {
 
 SolverStats& solver_stats() {
-    thread_local SolverStats stats;
-    return stats;
+    return ambient_context().stats();
 }
 
 } // namespace tfetsram::spice

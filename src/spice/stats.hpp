@@ -12,10 +12,14 @@
 // asserts these invariants and bench/microbench.cpp publishes them as the
 // BENCH_microbench.json trajectory (see docs/SOLVER.md).
 //
-// thread_local on purpose: counts attribute cleanly to the task running on
-// this thread with no atomic traffic in the Newton hot loop. A task that
-// fans work out to other threads (e.g. an inner Monte-Carlo pool) only
-// observes the solves made on its own thread — see docs/RUNNER.md.
+// Counters live on a SimContext (spice/context.hpp): each context owns a
+// sink, the engines bump the context doing the solving, and a parent
+// aggregates its fan-out children with operator+= — which is how inner
+// Monte-Carlo pool work now attributes to the task that spawned it (see
+// docs/ARCHITECTURE.md). solver_stats() remains as the thread-ambient
+// view: it resolves to the context bound to this thread (else the
+// per-thread default), preserving the historical snapshot/subtract
+// metering idiom with no atomic traffic in the Newton hot loop.
 
 #include <cstdint>
 
@@ -58,10 +62,31 @@ struct SolverStats {
         }
         return d;
     }
+
+    /// Aggregate a child context's totals into a parent: counters add,
+    /// gauges keep the largest observed system (matching how RunSummary
+    /// folds per-task gauges).
+    SolverStats& operator+=(const SolverStats& rhs) {
+        nr_iterations += rhs.nr_iterations;
+        dc_solves += rhs.dc_solves;
+        transient_steps += rhs.transient_steps;
+        transient_solves += rhs.transient_solves;
+        assemblies += rhs.assemblies;
+        lu_factorizations += rhs.lu_factorizations;
+        line_search_backtracks += rhs.line_search_backtracks;
+        sparse_refactorizations += rhs.sparse_refactorizations;
+        sparse_symbolic_analyses += rhs.sparse_symbolic_analyses;
+        if (rhs.sparse_pattern_nnz > sparse_pattern_nnz)
+            sparse_pattern_nnz = rhs.sparse_pattern_nnz;
+        if (rhs.sparse_lu_nnz > sparse_lu_nnz)
+            sparse_lu_nnz = rhs.sparse_lu_nnz;
+        return *this;
+    }
 };
 
-/// This thread's running counters (monotonically increasing; snapshot and
-/// subtract to meter a region).
+/// The ambient context's running counters (monotonically increasing;
+/// snapshot and subtract to meter a region on this thread). Equivalent to
+/// ambient_context().stats().
 SolverStats& solver_stats();
 
 } // namespace tfetsram::spice

@@ -130,15 +130,17 @@ double lte_ratio(const la::Vector& x, const la::Vector& x_pred,
 
 } // namespace
 
-TransientResult solve_transient(Circuit& circuit, const SolverOptions& opts,
+TransientResult solve_transient(Circuit& circuit, const SimContext& ctx,
                                 double t_end, const StopCondition& stop,
                                 const la::Vector* dc_guess) {
     TFET_EXPECTS(t_end > 0.0);
-    ++solver_stats().transient_solves;
+    const ScopedContext bind(ctx);
+    const SolverOptions& opts = ctx.options();
+    ++ctx.stats().transient_solves;
     TransientResult result;
 
     // Operating point at t = 0.
-    DcResult dc = solve_dc(circuit, opts, 0.0, dc_guess);
+    DcResult dc = solve_dc(circuit, ctx, 0.0, dc_guess);
     if (!dc.converged) {
         result.message = "transient: t=0 operating point did not converge";
         result.time_reached = 0.0;
@@ -201,7 +203,7 @@ TransientResult solve_transient(Circuit& circuit, const SolverOptions& opts,
             as.first_transient_step = force_be || attempt >= 2;
             x_new = x; // warm start from the current state
             const int iters =
-                detail::newton_raphson(circuit, as, opts, opts.gmin, x_new);
+                detail::newton_raphson(circuit, as, ctx, opts.gmin, x_new);
             if (iters > 0) {
                 solved = true;
                 break;
@@ -257,7 +259,7 @@ TransientResult solve_transient(Circuit& circuit, const SolverOptions& opts,
         }
 
         // Accept the step.
-        ++solver_stats().transient_steps;
+        ++ctx.stats().transient_steps;
         for (const auto& dev : circuit.devices())
             dev->accept_step(as, x_new);
         x_prev = std::move(x);
@@ -291,6 +293,17 @@ TransientResult solve_transient(Circuit& circuit, const SolverOptions& opts,
     err.last_iterate = x;
     result.error = std::move(err);
     return result;
+}
+
+TransientResult solve_transient(Circuit& circuit, const SolverOptions& opts,
+                                double t_end, const StopCondition& stop,
+                                const la::Vector* dc_guess) {
+    const SimContext& ambient = ambient_context();
+    if (&opts == &ambient.options())
+        return solve_transient(circuit, ambient, t_end, stop, dc_guess);
+    // One view for the whole run: every step's Newton work shares it.
+    const SimContext view = ambient.with_options(opts);
+    return solve_transient(circuit, view, t_end, stop, dc_guess);
 }
 
 } // namespace tfetsram::spice

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "spice/circuit.hpp"
+#include "spice/context.hpp"
 #include "spice/solve_error.hpp"
 #include "spice/solver_options.hpp"
 
@@ -72,11 +73,19 @@ private:
     std::vector<la::Vector> states_;
 };
 
-/// Run a transient to t_end. The circuit's sources define the stimulus.
-/// `stop` (optional) ends the run early when it returns true.
-/// `dc_guess` (optional) seeds the t=0 operating point — essential for
-/// bistable circuits, where it selects which stable state the cell starts
-/// in.
+/// Run a transient to t_end under `ctx` (options, backend policy, stats,
+/// faults; bound as this thread's ambient context for the duration). The
+/// circuit's sources define the stimulus. `stop` (optional) ends the run
+/// early when it returns true. `dc_guess` (optional) seeds the t=0
+/// operating point — essential for bistable circuits, where it selects
+/// which stable state the cell starts in.
+TransientResult solve_transient(Circuit& circuit, const SimContext& ctx,
+                                double t_end,
+                                const StopCondition& stop = nullptr,
+                                const la::Vector* dc_guess = nullptr);
+
+/// Compatibility entry: run under the ambient context with `opts` layered
+/// over its options.
 TransientResult solve_transient(Circuit& circuit, const SolverOptions& opts,
                                 double t_end,
                                 const StopCondition& stop = nullptr,

@@ -164,7 +164,7 @@ void build_bitline(SramCell& cell, const std::string& name,
 
 } // namespace
 
-SramCell build_cell(const CellConfig& config) {
+SramCell build_cell(const CellConfig& config, const spice::SimContext* sim) {
     TFET_EXPECTS(config.vdd > 0.0);
     TFET_EXPECTS(config.beta > 0.0 && config.w_access > 0.0);
     TFET_EXPECTS(config.models.nmos && config.models.pmos);
@@ -173,6 +173,7 @@ SramCell build_cell(const CellConfig& config) {
 
     SramCell cell;
     cell.config = config;
+    cell.sim = sim;
     spice::Circuit& ckt = cell.circuit;
 
     cell.q = ckt.add_node("q");

@@ -15,6 +15,10 @@
 #include "device/models.hpp"
 #include "spice/circuit.hpp"
 
+namespace tfetsram::spice {
+class SimContext;
+} // namespace tfetsram::spice
+
 namespace tfetsram::sram {
 
 /// Access-transistor choice for the 6T cell (Fig. 3b-e, plus the CMOS
@@ -102,13 +106,22 @@ struct SramCell {
     /// e.g. SNM's probe source, simply falls back to a cold start).
     la::Vector dc_seed;
 
+    /// Simulation context this cell's operations run under (non-owning;
+    /// nullptr defers to the caller's ambient context). The operation and
+    /// metric entry points bind it for the duration of their solves, so a
+    /// cell built under an explicit context stays attributed to it even
+    /// when evaluated from another thread.
+    const spice::SimContext* sim = nullptr;
+
     /// Wordline levels implied by the access-device polarity.
     [[nodiscard]] double wl_active_level() const;
     [[nodiscard]] double wl_inactive_level() const;
 };
 
-/// Build a cell netlist from a configuration.
-SramCell build_cell(const CellConfig& config);
+/// Build a cell netlist from a configuration, optionally pinned to an
+/// explicit simulation context (see SramCell::sim).
+SramCell build_cell(const CellConfig& config,
+                    const spice::SimContext* sim = nullptr);
 
 /// External connection points of one 6T cell being embedded into a larger
 /// circuit (arrays). All nodes must already exist in the circuit.

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "spice/context.hpp"
 #include "spice/report.hpp"
 #include "spice/solution.hpp"
 #include "spice/transient.hpp"
@@ -43,6 +44,7 @@ double worst_hold_static_power(SramCell& cell, const MetricOptions& opts) {
 
 DrnmResult dynamic_read_noise_margin(SramCell& cell, Assist assist,
                                      const MetricOptions& opts) {
+    const spice::ScopedContext bind(cell.sim);
     DrnmResult res;
     const ReadSetup setup = program_read(cell, opts.read_duration, assist,
                                          opts.assist_fraction, opts.timing,
@@ -75,6 +77,7 @@ DrnmResult dynamic_read_noise_margin(SramCell& cell, Assist assist,
 WriteOutcome attempt_write(SramCell& cell, double pulse_width, Assist assist,
                            const MetricOptions& opts,
                            std::optional<HoldState>* hold_cache) {
+    const spice::ScopedContext bind(cell.sim);
     WriteOutcome out;
     const bool value = preferred_write_value(cell.config.kind);
     const OperationWindow w = program_write(cell, value, pulse_width, assist,
@@ -159,6 +162,7 @@ double critical_wordline_pulse(SramCell& cell, Assist assist,
 }
 
 double write_delay(SramCell& cell, Assist assist, const MetricOptions& opts) {
+    const spice::ScopedContext bind(cell.sim);
     const bool value = preferred_write_value(cell.config.kind);
     const OperationWindow w =
         program_write(cell, value, opts.write_probe_pulse, assist,
@@ -183,6 +187,7 @@ double write_delay(SramCell& cell, Assist assist, const MetricOptions& opts) {
 }
 
 double read_delay(SramCell& cell, Assist assist, const MetricOptions& opts) {
+    const spice::ScopedContext bind(cell.sim);
     const ReadSetup setup = program_read(cell, opts.read_duration, assist,
                                          opts.assist_fraction, opts.timing,
                                          /*float_bitlines=*/true);
@@ -212,6 +217,7 @@ double read_delay(SramCell& cell, Assist assist, const MetricOptions& opts) {
 
 double write_energy(SramCell& cell, double pulse_width, Assist assist,
                     const MetricOptions& opts) {
+    const spice::ScopedContext bind(cell.sim);
     const bool value = preferred_write_value(cell.config.kind);
     const OperationWindow w = program_write(cell, value, pulse_width, assist,
                                             opts.assist_fraction, opts.timing);
@@ -226,6 +232,7 @@ double write_energy(SramCell& cell, double pulse_width, Assist assist,
 }
 
 double read_energy(SramCell& cell, Assist assist, const MetricOptions& opts) {
+    const spice::ScopedContext bind(cell.sim);
     const ReadSetup setup = program_read(cell, opts.read_duration, assist,
                                          opts.assist_fraction, opts.timing,
                                          /*float_bitlines=*/false);

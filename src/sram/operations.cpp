@@ -1,5 +1,6 @@
 #include "sram/operations.hpp"
 
+#include "spice/context.hpp"
 #include "spice/dc.hpp"
 #include "spice/solution.hpp"
 
@@ -207,6 +208,9 @@ ReadSetup program_read(SramCell& cell, double read_duration, Assist assist,
 HoldState solve_hold_state(SramCell& cell, bool q_high,
                            const spice::SolverOptions& opts,
                            la::Vector* cold_guess) {
+    // A cell pinned to an explicit context runs under it (no-op when the
+    // cell carries none — the caller's ambient context then applies).
+    const spice::ScopedContext bind(cell.sim);
     HoldState hs;
     const double vdd = cell.config.vdd;
     const std::size_t n = cell.circuit.num_unknowns();

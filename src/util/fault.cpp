@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "util/contracts.hpp"
+#include "util/env.hpp"
 
 namespace tfetsram::fault {
 
@@ -169,6 +170,23 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     return plan;
 }
 
+FaultState::FaultState(const std::string& spec)
+    : plan_(spec.empty() ? FaultPlan{} : FaultPlan::parse(spec)) {}
+
+bool FaultState::should_fail(Site site) {
+    if (plan_.empty())
+        return false;
+    const std::size_t s = static_cast<std::size_t>(site);
+    const std::uint64_t index =
+        counters_[s].fetch_add(1, std::memory_order_relaxed);
+    return plan_.fires(site, index);
+}
+
+std::uint64_t FaultState::op_count(Site site) const {
+    return counters_[static_cast<std::size_t>(site)].load(
+        std::memory_order_relaxed);
+}
+
 bool should_fail(Site site) {
     Injector& in = injector();
     if (!in.armed.load(std::memory_order_relaxed))
@@ -187,10 +205,10 @@ std::uint64_t op_count(Site site) {
 }
 
 void reload_from_env() {
-    const char* env = std::getenv("TFETSRAM_FAULTS");
+    const std::string spec = env::get_string("TFETSRAM_FAULTS");
     FaultPlan plan;
-    if (env != nullptr && *env != '\0')
-        plan = FaultPlan::parse(env);
+    if (!spec.empty())
+        plan = FaultPlan::parse(spec);
     raw_injector().install(std::move(plan));
 }
 

@@ -20,6 +20,7 @@
 //
 // Overhead when no plan is armed: one relaxed atomic load per hook.
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -60,6 +61,29 @@ private:
         std::uint64_t seed = 0;
     };
     std::vector<Selector> selectors_[kSiteCount];
+};
+
+/// A private, context-owned injector: one parsed plan plus its own
+/// per-site operation counters, consulted instead of the process-wide
+/// injector by simulation contexts carrying a fault_spec
+/// (spice::SimContext). The plan is immutable after construction, so the
+/// hook is a counter increment and a read — no locking, safe to share
+/// across a context's fan-out children.
+class FaultState {
+public:
+    /// Parse `spec` (same grammar as TFETSRAM_FAULTS; empty = never
+    /// fires); throws contract_violation on a malformed spec.
+    explicit FaultState(const std::string& spec);
+
+    /// Does the plan fire at this site's next operation index?
+    bool should_fail(Site site);
+
+    /// Operations observed at `site` since construction.
+    [[nodiscard]] std::uint64_t op_count(Site site) const;
+
+private:
+    FaultPlan plan_;
+    std::atomic<std::uint64_t> counters_[kSiteCount] = {};
 };
 
 /// Consult the process-wide injector at a hook point. Increments the

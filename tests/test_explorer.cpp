@@ -35,8 +35,9 @@ TEST(Explorer, RediscoversThePapersDesign) {
         } else {
             EXPECT_LT(row.static_power, 1e-15) << sram::to_string(row.access);
         }
-        if (row.access == sram::AccessDevice::kInwardN)
+        if (row.access == sram::AccessDevice::kInwardN) {
             EXPECT_FALSE(row.write_ok);
+        }
     }
     ASSERT_TRUE(report.chosen_access.has_value());
     EXPECT_EQ(*report.chosen_access, sram::AccessDevice::kInwardP);

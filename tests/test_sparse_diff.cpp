@@ -20,7 +20,6 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
-#include <cstdlib>
 #include <vector>
 
 #include "array/array.hpp"
@@ -34,6 +33,7 @@
 #include "spice/solver_select.hpp"
 #include "spice/stats.hpp"
 #include "sram/designs.hpp"
+#include "util/env.hpp"
 #include "util/rng.hpp"
 
 namespace tfetsram {
@@ -433,7 +433,7 @@ TEST(SparseCounters, AutoModeRoutesBySystemSize) {
     // No override, no env expected in the test environment: kAuto routes a
     // single cell (~10 unknowns) dense and an 8x4 array (> threshold)
     // sparse. Guard against an externally set TFETSRAM_SOLVER.
-    if (std::getenv("TFETSRAM_SOLVER") != nullptr)
+    if (env::raw("TFETSRAM_SOLVER") != nullptr)
         GTEST_SKIP() << "TFETSRAM_SOLVER set; auto-routing not observable";
     spice::ScopedSolverMode scoped(spice::SolverMode::kAuto);
 

@@ -1,14 +1,16 @@
 // Unit tests for the util layer: statistics, histograms, ranges, units,
-// table printing, CSV escaping, RNG determinism.
+// table printing, CSV escaping, RNG determinism, environment parsing.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <limits>
 
 #include "util/csv.hpp"
+#include "util/env.hpp"
 #include "util/histogram.hpp"
 #include "util/ranges.hpp"
 #include "util/rng.hpp"
@@ -213,6 +215,62 @@ TEST(Rng, ZeroSigmaIsMean) {
 TEST(Contracts, ExpectsThrows) {
     EXPECT_THROW(TFET_EXPECTS(false), contract_violation);
     EXPECT_NO_THROW(TFET_EXPECTS(true));
+}
+
+TEST(Env, ParseIntAcceptsSignedDecimals) {
+    EXPECT_EQ(env::parse_int("42"), 42);
+    EXPECT_EQ(env::parse_int("-7"), -7);
+    EXPECT_EQ(env::parse_int("+9"), 9);
+    EXPECT_EQ(env::parse_int("0"), 0);
+}
+
+TEST(Env, ParseIntRejectsJunkEmptyAndOverflow) {
+    EXPECT_FALSE(env::parse_int("").has_value());
+    EXPECT_FALSE(env::parse_int("12x").has_value());
+    EXPECT_FALSE(env::parse_int("x12").has_value());
+    EXPECT_FALSE(env::parse_int("-").has_value());
+    EXPECT_FALSE(env::parse_int("1e3").has_value());
+    EXPECT_FALSE(env::parse_int("99999999999999999999999").has_value());
+}
+
+TEST(Env, ParseBoolRecognizesBothSpellingsCaseInsensitively) {
+    for (const char* t : {"1", "true", "TRUE", "on", "Yes"})
+        EXPECT_EQ(env::parse_bool(t), true) << t;
+    for (const char* f : {"0", "false", "OFF", "no", "No"})
+        EXPECT_EQ(env::parse_bool(f), false) << f;
+    EXPECT_FALSE(env::parse_bool("").has_value());
+    EXPECT_FALSE(env::parse_bool("maybe").has_value());
+}
+
+TEST(Env, ParseChoiceFindsExactMatchesOnly) {
+    EXPECT_EQ(env::parse_choice("sparse", {"dense", "sparse", "auto"}), 1u);
+    EXPECT_EQ(env::parse_choice("dense", {"dense", "sparse", "auto"}), 0u);
+    EXPECT_FALSE(
+        env::parse_choice("Sparse", {"dense", "sparse", "auto"}).has_value());
+    EXPECT_FALSE(env::parse_choice("", {"dense", "sparse"}).has_value());
+}
+
+TEST(Env, TypedGettersLayerFallbacks) {
+    ::setenv("TFETSRAM_TEST_KNOB", "17", 1);
+    EXPECT_EQ(env::get_int("TFETSRAM_TEST_KNOB", 3), 17);
+    EXPECT_EQ(env::get_string("TFETSRAM_TEST_KNOB", "d"), "17");
+    ::setenv("TFETSRAM_TEST_KNOB", "", 1);
+    EXPECT_EQ(env::get_int("TFETSRAM_TEST_KNOB", 3), 3);
+    EXPECT_EQ(env::get_string("TFETSRAM_TEST_KNOB", "d"), "d");
+    ::unsetenv("TFETSRAM_TEST_KNOB");
+    EXPECT_EQ(env::get_int("TFETSRAM_TEST_KNOB", 3), 3);
+    EXPECT_EQ(env::raw("TFETSRAM_TEST_KNOB"), nullptr);
+}
+
+TEST(Env, GetBoolArmsOnUnrecognizedNonEmptyText) {
+    ::setenv("TFETSRAM_TEST_FLAG", "false", 1);
+    EXPECT_FALSE(env::get_bool("TFETSRAM_TEST_FLAG", true));
+    // Historical behavior: "TFETSRAM_KEEP_GOING=anything" arms the flag.
+    ::setenv("TFETSRAM_TEST_FLAG", "anything", 1);
+    EXPECT_TRUE(env::get_bool("TFETSRAM_TEST_FLAG", false));
+    ::unsetenv("TFETSRAM_TEST_FLAG");
+    EXPECT_TRUE(env::get_bool("TFETSRAM_TEST_FLAG", true));
+    EXPECT_FALSE(env::get_bool("TFETSRAM_TEST_FLAG", false));
 }
 
 } // namespace
