@@ -11,6 +11,12 @@
 # engine that fans out through the shared pool, and the fault-injection
 # suite, whose retry/censor/quarantine paths race by construction).
 #
+# The mixed-vs-flat differential lane (docs/HIERARCHY.md) rides both
+# sanitizer jobs: the ASan+UBSan build runs the `diff`-labelled harnesses
+# (sparse-vs-dense kernel parity AND mixed-vs-flat engine parity), and the
+# TSan build runs the hier unit suite, whose counter contracts flow through
+# the ambient per-thread SolverStats the context tests race on.
+#
 # Usage: ./ci.sh [--skip-tsan] [--skip-asan]
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -75,13 +81,18 @@ else
   echo "=== build (Address+UndefinedBehaviorSanitizer) ==="
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DTFETSRAM_SANITIZE=address,undefined
-  cmake --build build-asan -j "$JOBS" --target test_la test_sparse_diff
+  cmake --build build-asan -j "$JOBS" --target test_la test_sparse_diff test_hier_diff
 
-  echo "=== asan+ubsan: linear-kernel and sparse differential suites ==="
+  echo "=== asan+ubsan: linear-kernel and differential suites ==="
   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ./build-asan/tests/test_la
   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ./build-asan/tests/test_sparse_diff
+  # Mixed-vs-flat engine parity: the mixed engine's partition rebuild and
+  # latched-load stamping are fresh pointer-heavy code; run its drift
+  # detector under the memory sanitizers (docs/HIERARCHY.md).
+  ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ./build-asan/tests/test_hier_diff
 fi
 
 if [[ "$SKIP_TSAN" == "1" ]]; then
@@ -92,7 +103,7 @@ fi
 echo "=== build (ThreadSanitizer) ==="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DTFETSRAM_SANITIZE=thread
-cmake --build build-tsan -j "$JOBS" --target test_runner test_mc test_faults test_sparse_diff test_context
+cmake --build build-tsan -j "$JOBS" --target test_runner test_mc test_faults test_sparse_diff test_context test_hier
 
 echo "=== tsan: scheduler/cache/pool/fault/context tests ==="
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_runner
@@ -107,5 +118,9 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_sparse_diff
 # so it runs (and passes) in the regular job only.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_faults \
   --gtest_filter='-ThreadPoolDeathTest.*'
+# Mixed-engine counter contracts: hier promotions/demotions bump the
+# ambient per-thread SolverStats; the exact-count assertions must hold
+# under TSan's scheduling too.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_hier
 
 echo "=== ci.sh: all green ==="

@@ -38,9 +38,34 @@ bool wordline_active_low(const sram::CellConfig& cell) {
 
 } // namespace
 
+void validate_config(const ArrayConfig& config) {
+    auto reject = [](const std::string& what) {
+        spice::SolveError err;
+        err.code = spice::SolveErrorCode::kInvalidConfig;
+        err.message = "ArrayConfig: " + what;
+        throw spice::SolveException(std::move(err));
+    };
+    if (config.rows == 0 || config.cols == 0)
+        reject("degenerate shape " + std::to_string(config.rows) + "x" +
+               std::to_string(config.cols) +
+               " (rows and cols must both be >= 1)");
+    if (!std::isfinite(config.c_bitline_per_row) ||
+        config.c_bitline_per_row <= 0.0)
+        reject("c_bitline_per_row must be finite and > 0 (got " +
+               std::to_string(config.c_bitline_per_row) +
+               "); it is stamped per row into each column's lumped "
+               "bitline capacitor");
+    if (!std::isfinite(config.cell.vdd) || config.cell.vdd <= 0.0)
+        reject("cell.vdd must be finite and > 0");
+    if (!(config.write_pulse > 0.0) || !(config.read_duration > 0.0))
+        reject("write_pulse and read_duration must be > 0");
+    if (!std::isfinite(config.sense_margin) || config.sense_margin < 0.0)
+        reject("sense_margin must be finite and >= 0");
+}
+
 SramArray::SramArray(const ArrayConfig& config, const spice::SimContext* sim)
     : config_(config), sim_(sim) {
-    TFET_EXPECTS(config.rows >= 1 && config.cols >= 1);
+    validate_config(config);
     TFET_EXPECTS(config.cell.kind == sram::CellKind::kCmos6T ||
                  config.cell.kind == sram::CellKind::kTfet6T);
 
@@ -171,23 +196,7 @@ double SramArray::separation(std::size_t row, std::size_t col) const {
 }
 
 SolverInfo SramArray::solver_info() {
-    SolverInfo info;
-    info.unknowns = ckt_.num_unknowns();
-    const spice::SolveWorkspace& w = ckt_.workspace();
-    // Before any solve pinned the workspace, report the selection the
-    // governing context (explicit or ambient) would make.
-    info.kind = w.kind.value_or(
-        sim_ != nullptr
-            ? sim_->select_kind(info.unknowns)
-            : spice::ambient_context().select_kind(info.unknowns));
-    if (info.kind == spice::SolverKind::kSparse && w.sjac.finalized()) {
-        info.pattern_nnz = w.sjac.nnz();
-        info.lu_nnz = w.slu.analyzed() ? w.slu.lu_nnz() : 0;
-        if (info.pattern_nnz > 0)
-            info.fill_ratio = static_cast<double>(info.lu_nnz) /
-                              static_cast<double>(info.pattern_nnz);
-    }
-    return info;
+    return spice::probe_solver_info(ckt_, sim_);
 }
 
 bool SramArray::run(double t_end, std::string* message) {

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "spice/solver_info.hpp"
 #include "sram/assist.hpp"
 #include "sram/cell.hpp"
 
@@ -54,13 +55,17 @@ struct ReadResult {
 
 /// Which linear kernel this array's circuit was routed to and how big the
 /// system is — recorded per point by bench/array_scaling (docs/SOLVER.md).
-struct SolverInfo {
-    spice::SolverKind kind = spice::SolverKind::kDense;
-    std::size_t unknowns = 0;
-    std::size_t pattern_nnz = 0; ///< 0 on the dense path
-    std::size_t lu_nnz = 0;      ///< L+U nonzeros, 0 on the dense path
-    double fill_ratio = 0.0;     ///< lu_nnz / pattern_nnz, 0 on dense
-};
+/// The shared definition lives in spice/solver_info.hpp so the mixed-level
+/// engine can report the same structure per active partition.
+using SolverInfo = spice::SolverInfo;
+
+/// Validate an ArrayConfig before any MNA system is assembled from it.
+/// Throws spice::SolveException with SolveErrorCode::kInvalidConfig on
+/// degenerate shapes (rows = 0 or cols = 0), non-finite or negative
+/// per-row bitline capacitance, a non-positive supply, or non-positive
+/// operation windows — each of which would otherwise produce a malformed
+/// (or empty) MNA system with a far less actionable failure downstream.
+void validate_config(const ArrayConfig& config);
 
 class SramArray {
 public:

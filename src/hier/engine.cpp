@@ -1,0 +1,69 @@
+#include "hier/engine.hpp"
+
+#include "util/contracts.hpp"
+
+namespace tfetsram::hier {
+
+const char* to_string(EngineMode mode) {
+    switch (mode) {
+    case EngineMode::kFlat: return "flat";
+    case EngineMode::kMixed: return "mixed";
+    case EngineMode::kAuto: return "auto";
+    }
+    return "?";
+}
+
+ArrayEngine::ArrayEngine(const array::ArrayConfig& config, EngineMode mode,
+                         HierConfig hier, const spice::SimContext* sim)
+    : config_(config) {
+    const bool use_mixed =
+        mode == EngineMode::kMixed ||
+        (mode == EngineMode::kAuto && config.rows >= kAutoMixedRows);
+    if (use_mixed)
+        mixed_ = std::make_unique<MixedArray>(config, hier, sim);
+    else
+        flat_ = std::make_unique<array::SramArray>(config, sim);
+}
+
+bool ArrayEngine::initialize(const std::vector<std::vector<bool>>& data) {
+    return mixed_ ? mixed_->initialize(data) : flat_->initialize(data);
+}
+
+array::OpResult ArrayEngine::write(std::size_t row, std::size_t col,
+                                   bool value) {
+    return mixed_ ? mixed_->write(row, col, value)
+                  : flat_->write(row, col, value);
+}
+
+array::ReadResult ArrayEngine::read(std::size_t row, std::size_t col) {
+    return mixed_ ? mixed_->read(row, col) : flat_->read(row, col);
+}
+
+bool ArrayEngine::stored(std::size_t row, std::size_t col) const {
+    return mixed_ ? mixed_->stored(row, col) : flat_->stored(row, col);
+}
+
+double ArrayEngine::separation(std::size_t row, std::size_t col) const {
+    return mixed_ ? mixed_->separation(row, col)
+                  : flat_->separation(row, col);
+}
+
+spice::SolverInfo ArrayEngine::solver_info() {
+    return mixed_ ? mixed_->partition_solver_info() : flat_->solver_info();
+}
+
+std::size_t ArrayEngine::transistors() const {
+    return mixed_ ? mixed_->partition_transistors()
+                  : flat_->circuit().transistors().size();
+}
+
+std::size_t ArrayEngine::unknowns() const {
+    return mixed_ ? mixed_->partition_unknowns()
+                  : flat_->circuit().num_unknowns();
+}
+
+const HierStats* ArrayEngine::hier_stats() const {
+    return mixed_ ? &mixed_->stats() : nullptr;
+}
+
+} // namespace tfetsram::hier

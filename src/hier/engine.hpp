@@ -1,0 +1,79 @@
+#pragma once
+// ArrayEngine: the operation-driver entry point that routes an array
+// workload to either the flat whole-array SPICE driver (array::SramArray)
+// or the mixed-level engine (hier::MixedArray) behind one interface.
+// Benches and tests talk to the engine; the selection policy lives here:
+//
+//  * kFlat / kMixed force an engine;
+//  * kAuto solves small arrays flat (the regime where whole-array SPICE
+//    is cheap and serves as the reference) and switches to mixed-level
+//    once the row count passes kAutoMixedRows — the regime the flat
+//    driver cannot reach (a 1024-row column is ~37k unknowns flat, ~200
+//    in the mixed engine's active partition).
+
+#include <memory>
+#include <vector>
+
+#include "array/array.hpp"
+#include "hier/mixed_array.hpp"
+
+namespace tfetsram::hier {
+
+enum class EngineMode {
+    kFlat,  ///< whole-array device-level simulation
+    kMixed, ///< active-partition simulation with latched quiescent cells
+    kAuto,  ///< flat below kAutoMixedRows rows, mixed at/above
+};
+const char* to_string(EngineMode mode);
+
+/// Row count at which kAuto switches to the mixed engine. Chosen so the
+/// flat reference regime (every size the differential tests compare) stays
+/// flat, while tall arrays route to the engine that scales.
+inline constexpr std::size_t kAutoMixedRows = 32;
+
+class ArrayEngine {
+public:
+    explicit ArrayEngine(const array::ArrayConfig& config,
+                         EngineMode mode = EngineMode::kAuto,
+                         HierConfig hier = {},
+                         const spice::SimContext* sim = nullptr);
+
+    /// Which engine the mode resolved to.
+    [[nodiscard]] bool mixed() const { return mixed_ != nullptr; }
+
+    [[nodiscard]] std::size_t rows() const { return config_.rows; }
+    [[nodiscard]] std::size_t cols() const { return config_.cols; }
+    [[nodiscard]] const array::ArrayConfig& config() const { return config_; }
+
+    [[nodiscard]] bool initialize(
+        const std::vector<std::vector<bool>>& data);
+    array::OpResult write(std::size_t row, std::size_t col, bool value);
+    array::ReadResult read(std::size_t row, std::size_t col);
+    [[nodiscard]] bool stored(std::size_t row, std::size_t col) const;
+    [[nodiscard]] double separation(std::size_t row, std::size_t col) const;
+
+    /// Kernel routing of the governing MNA system: the whole-array
+    /// circuit (flat) or the most recent active partition (mixed).
+    [[nodiscard]] spice::SolverInfo solver_info();
+
+    /// Device count of the governing circuit (whole array flat; the most
+    /// recent active partition mixed — 0 before the first operation).
+    [[nodiscard]] std::size_t transistors() const;
+    /// Unknowns of the governing MNA system (as solver_info().unknowns,
+    /// without probing the workspace).
+    [[nodiscard]] std::size_t unknowns() const;
+
+    /// Mixed-engine statistics; nullptr when running flat.
+    [[nodiscard]] const HierStats* hier_stats() const;
+
+    /// Underlying drivers (nullptr for the one not selected).
+    [[nodiscard]] MixedArray* mixed_array() { return mixed_.get(); }
+    [[nodiscard]] array::SramArray* flat_array() { return flat_.get(); }
+
+private:
+    array::ArrayConfig config_;
+    std::unique_ptr<array::SramArray> flat_;
+    std::unique_ptr<MixedArray> mixed_;
+};
+
+} // namespace tfetsram::hier

@@ -1,0 +1,68 @@
+#include "hier/event_queue.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+#include "util/units.hpp"
+
+namespace tfetsram::hier {
+
+namespace {
+
+/// std::push_heap builds a max-heap, so "greater" orders the earliest
+/// (time, seq) to the heap top.
+bool later(const Event& a, const Event& b) {
+    if (a.time != b.time)
+        return a.time > b.time;
+    return a.seq > b.seq;
+}
+
+} // namespace
+
+const char* to_string(EventKind kind) {
+    switch (kind) {
+    case EventKind::kPromote: return "promote";
+    case EventKind::kRelinearize: return "relinearize";
+    case EventKind::kDemote: return "demote";
+    case EventKind::kGuardTrip: return "guard-trip";
+    }
+    return "?";
+}
+
+void EventQueue::push(Event ev) {
+    ev.seq = next_seq_++;
+    heap_.push_back(ev);
+    std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+Event EventQueue::pop() {
+    TFET_EXPECTS(!heap_.empty());
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    Event ev = heap_.back();
+    heap_.pop_back();
+    return ev;
+}
+
+void EventQueue::clear() {
+    heap_.clear();
+    next_seq_ = 0;
+}
+
+std::string to_string(const Event& ev) {
+    std::string out = "t=" + format_si(ev.time, "s") + " ";
+    out += to_string(ev.kind);
+    if (ev.kind == EventKind::kRelinearize ||
+        ev.kind == EventKind::kGuardTrip) {
+        out += " c" + std::to_string(ev.col);
+    } else {
+        out += " r" + std::to_string(ev.row) + "c" + std::to_string(ev.col);
+    }
+    if (ev.kind == EventKind::kPromote) {
+        out += " (";
+        out += to_string(ev.reason);
+        out += ")";
+    }
+    return out;
+}
+
+} // namespace tfetsram::hier

@@ -1,0 +1,58 @@
+#pragma once
+// Deterministic event queue of the mixed-level engine. Level transitions
+// (promote to SPICE, re-linearize a lumped load, demote back to latched)
+// are modeled as discrete events keyed to operation timeline instants —
+// the wordline edges and guard-band trips — and drained in strict
+// (time, sequence) order, so two runs of the same operation sequence
+// produce byte-identical event traces and counter values. The drained
+// trace is kept per operation for tests and diagnostics.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hier/partition.hpp"
+
+namespace tfetsram::hier {
+
+enum class EventKind {
+    kPromote,     ///< cell enters the active partition
+    kRelinearize, ///< a column's lumped load is (re)extracted and stamped
+    kDemote,      ///< cell re-latches after the post-access settle
+    kGuardTrip,   ///< a lumped rail left its guard band; plan refined
+};
+const char* to_string(EventKind kind);
+
+/// One level-transition event. `row` is unused (0) for column-scoped
+/// events (kRelinearize, kGuardTrip).
+struct Event {
+    double time = 0.0;      ///< operation-timeline instant [s]
+    std::uint64_t seq = 0;  ///< tie-break: issue order at equal time
+    EventKind kind = EventKind::kPromote;
+    std::size_t row = 0;
+    std::size_t col = 0;
+    PromoteReason reason = PromoteReason::kWordlineEdge; ///< kPromote only
+};
+
+/// Min-queue over (time, seq). push() assigns the sequence number, so
+/// issue order is the deterministic tie-break at equal times.
+class EventQueue {
+public:
+    void push(Event ev);
+    [[nodiscard]] bool empty() const { return heap_.empty(); }
+    [[nodiscard]] std::size_t size() const { return heap_.size(); }
+    /// Pop the earliest event. Precondition: !empty().
+    Event pop();
+    void clear();
+
+private:
+    std::vector<Event> heap_;
+    std::uint64_t next_seq_ = 0;
+};
+
+/// Render an event for diagnostics, e.g.
+/// "t=565ps promote r3c1 (wordline-edge)".
+std::string to_string(const Event& ev);
+
+} // namespace tfetsram::hier

@@ -1,0 +1,623 @@
+#include "hier/mixed_array.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spice/context.hpp"
+#include "spice/dc.hpp"
+#include "spice/solution.hpp"
+#include "spice/transient.hpp"
+#include "util/contracts.hpp"
+
+namespace tfetsram::hier {
+
+namespace {
+
+using spice::Waveform;
+
+// Operation timing constants of the flat driver (array/array.cpp). They
+// must stay identical in both engines — the differential tests compare
+// mixed and flat outcomes on the same waveform program, so any drift here
+// shows up as a voltage mismatch there.
+constexpr double kSettle = 50e-12;
+constexpr double kAssistLead = 500e-12;
+constexpr double kAssistEdge = 10e-12;
+constexpr double kWlEdge = 5e-12;
+constexpr double kPost = 400e-12;
+constexpr double kAssistLag = 30e-12;
+
+/// Base level until t_on, ramp to active, hold until t_off, ramp back.
+Waveform excursion(double base, double active, double t_on, double t_off,
+                   double edge) {
+    if (base == active)
+        return Waveform::dc(base);
+    return Waveform::pwl({{t_on, base},
+                          {t_on + edge, active},
+                          {t_off, active},
+                          {t_off + edge, base}});
+}
+
+bool wordline_active_low(const sram::CellConfig& cell) {
+    return cell.kind == sram::CellKind::kTfet6T &&
+           sram::access_is_ptype(cell.access);
+}
+
+} // namespace
+
+namespace {
+
+// Reject degenerate configurations before any member (the Partitioner in
+// particular) consumes them, so the caller sees kInvalidConfig rather
+// than a contract violation from an internal component.
+const array::ArrayConfig& validated(const array::ArrayConfig& config) {
+    array::validate_config(config);
+    return config;
+}
+
+} // namespace
+
+MixedArray::MixedArray(const array::ArrayConfig& config, HierConfig hier,
+                       const spice::SimContext* sim)
+    : config_(validated(config)), hier_(hier), sim_(sim),
+      partitioner_(config.rows, config.cols, hier.partition),
+      model_(config.cell, sim) {
+    TFET_EXPECTS(config.cell.kind == sram::CellKind::kCmos6T ||
+                 config.cell.kind == sram::CellKind::kTfet6T);
+    model_.set_extraction_dv(hier_.extraction_dv);
+    store_.resize(config_.rows * config_.cols);
+}
+
+const LatchedState& MixedArray::at(std::size_t row, std::size_t col) const {
+    TFET_EXPECTS(row < config_.rows && col < config_.cols);
+    return store_[row * config_.cols + col];
+}
+
+bool MixedArray::initialize(const std::vector<std::vector<bool>>& data) {
+    TFET_EXPECTS(data.size() == config_.rows);
+    for (const auto& row : data)
+        TFET_EXPECTS(row.size() == config_.cols);
+
+    const spice::ScopedContext bind(sim_);
+    const double vdd = config_.cell.vdd;
+    for (std::size_t r = 0; r < config_.rows; ++r) {
+        for (std::size_t c = 0; c < config_.cols; ++c) {
+            // The latched hold point at quiescent column levels; one
+            // extraction per stored polarity serves the whole grid.
+            const BitlineLoad& l = model_.load(data[r][c], 0.0, vdd, vdd);
+            if (!l.valid)
+                return false;
+            LatchedState& s = store_[r * config_.cols + c];
+            s.value = data[r][c];
+            s.v_q = l.v_q;
+            s.v_qb = l.v_qb;
+        }
+    }
+    initialized_ = true;
+    return true;
+}
+
+bool MixedArray::stored(std::size_t row, std::size_t col) const {
+    TFET_EXPECTS(initialized_);
+    return at(row, col).value;
+}
+
+double MixedArray::separation(std::size_t row, std::size_t col) const {
+    TFET_EXPECTS(initialized_);
+    const LatchedState& s = at(row, col);
+    return std::fabs(s.v_q - s.v_qb);
+}
+
+const LatchedState& MixedArray::latched(std::size_t row,
+                                        std::size_t col) const {
+    TFET_EXPECTS(initialized_);
+    return at(row, col);
+}
+
+spice::SolverInfo MixedArray::partition_solver_info() {
+    if (last_partition_ == nullptr)
+        return {};
+    return spice::probe_solver_info(last_partition_->ckt, sim_);
+}
+
+std::size_t MixedArray::partition_transistors() const {
+    return last_partition_ == nullptr
+               ? 0
+               : last_partition_->ckt.transistors().size();
+}
+
+std::size_t MixedArray::partition_unknowns() const {
+    return last_partition_ == nullptr ? 0
+                                      : last_partition_->ckt.num_unknowns();
+}
+
+std::unique_ptr<MixedArray::Partition>
+MixedArray::build_partition(const PartitionPlan& plan) {
+    auto part = std::make_unique<Partition>();
+    spice::Circuit& ckt = part->ckt;
+    const double vdd = config_.cell.vdd;
+    const bool active_low = wordline_active_low(config_.cell);
+
+    part->vdd_node = ckt.add_node("vdd");
+    ckt.add_vsource("Vvdd", part->vdd_node, spice::kGround,
+                    Waveform::dc(vdd));
+
+    // Every column keeps its full rail infrastructure — bitline pair with
+    // the whole column's wire capacitance, precharge switches, segmented
+    // virtual ground — because the operation waveforms act on columns, not
+    // cells. Only the cells themselves are partitioned.
+    part->cols.resize(config_.cols);
+    for (std::size_t c = 0; c < config_.cols; ++c) {
+        ColHandles& col = part->cols[c];
+        const std::string id = std::to_string(c);
+        col.bl = ckt.add_node("bl" + id);
+        col.blb = ckt.add_node("blb" + id);
+        const spice::NodeId bld = ckt.add_node("bl" + id + "_drv");
+        const spice::NodeId blbd = ckt.add_node("blb" + id + "_drv");
+        col.v_bl = &ckt.add_vsource("Vbl" + id, bld, spice::kGround,
+                                    Waveform::dc(vdd));
+        col.v_blb = &ckt.add_vsource("Vblb" + id, blbd, spice::kGround,
+                                     Waveform::dc(vdd));
+        col.sw_bl = &ckt.add_switch("SWbl" + id, bld, col.bl,
+                                    config_.cell.r_precharge, 1e12,
+                                    Waveform::dc(1.0));
+        col.sw_blb = &ckt.add_switch("SWblb" + id, blbd, col.blb,
+                                     config_.cell.r_precharge, 1e12,
+                                     Waveform::dc(1.0));
+        const double c_bl =
+            config_.c_bitline_per_row * static_cast<double>(config_.rows);
+        ckt.add_capacitor("Cbl" + id, col.bl, spice::kGround, c_bl);
+        ckt.add_capacitor("Cblb" + id, col.blb, spice::kGround, c_bl);
+        col.vss = ckt.add_node("vss" + id);
+        col.v_vss = &ckt.add_vsource("Vvss" + id, col.vss, spice::kGround,
+                                     Waveform::dc(0.0));
+        // The latched population's lumped leakage; programmed per
+        // operation by program_loads().
+        col.load_bl = &ckt.add_linearized_load("Lbl" + id, col.bl);
+        col.load_blb = &ckt.add_linearized_load("Lblb" + id, col.blb);
+    }
+
+    // Wordlines only for rows that own at least one promoted cell.
+    part->wl.assign(config_.rows, nullptr);
+    std::vector<spice::NodeId> wl_node(config_.rows, spice::kGround);
+    for (const PromotedCell& p : plan.promoted) {
+        const std::size_t r = p.ref.row;
+        if (part->wl[r] != nullptr)
+            continue;
+        const std::string rid = std::to_string(r);
+        wl_node[r] = ckt.add_node("wl" + rid);
+        part->wl[r] = &ckt.add_vsource("Vwl" + rid, wl_node[r],
+                                       spice::kGround,
+                                       Waveform::dc(active_low ? vdd : 0.0));
+    }
+
+    for (const PromotedCell& p : plan.promoted) {
+        ActiveCell ac;
+        ac.ref = p.ref;
+        const std::string cid =
+            std::to_string(p.ref.row) + "_" + std::to_string(p.ref.col);
+        ac.q = ckt.add_node("q" + cid);
+        ac.qb = ckt.add_node("qb" + cid);
+        const ColHandles& col = part->cols[p.ref.col];
+        const sram::CellPorts ports{ac.q,    ac.qb,
+                                    col.bl,  col.blb,
+                                    wl_node[p.ref.row], part->vdd_node,
+                                    col.vss};
+        sram::build_6t_devices(ckt, config_.cell, ports, "x" + cid + "_");
+        part->cells.push_back(ac);
+    }
+    ckt.prepare();
+    return part;
+}
+
+MixedArray::ColumnBias MixedArray::column_bias(const PartitionPlan& plan,
+                                               std::size_t col,
+                                               bool value) const {
+    const double vdd = config_.cell.vdd;
+    const bool active_low = wordline_active_low(config_.cell);
+    const double wl_active = active_low ? 0.0 : vdd;
+    ColumnBias b;
+    b.v_bl = vdd;
+    b.v_blb = vdd;
+    b.vss = 0.0;
+    if (plan.is_write) {
+        if (col == plan.access_col) {
+            const sram::AssistLevels wa = sram::assist_levels(
+                vdd, wl_active, config_.write_assist,
+                config_.assist_fraction);
+            b.vss = wa.vss;
+            b.v_bl = value ? wa.bl_high : wa.bl_low;
+            b.v_blb = value ? wa.bl_low : wa.bl_high;
+        } else if (config_.read_assist != sram::Assist::kNone) {
+            const sram::AssistLevels ra = sram::assist_levels(
+                vdd, wl_active, config_.read_assist,
+                config_.assist_fraction);
+            b.vss = ra.vss;
+        }
+    } else {
+        const sram::AssistLevels ra =
+            sram::assist_levels(vdd, wl_active, config_.read_assist,
+                                config_.assist_fraction);
+        b.vss = ra.vss;
+        if (col == plan.access_col) {
+            b.v_bl = ra.bl_high;
+            b.v_blb = ra.bl_high;
+        }
+    }
+    return b;
+}
+
+bool MixedArray::program_loads(Partition& part, const PartitionPlan& plan,
+                               bool value, std::string* message) {
+    for (std::size_t c = 0; c < config_.cols; ++c) {
+        ColHandles& col = part.cols[c];
+        std::size_t n0 = 0;
+        std::size_t n1 = 0;
+        for (std::size_t r = 0; r < config_.rows; ++r) {
+            if (plan.contains(r, c))
+                continue;
+            if (store_[r * config_.cols + c].value)
+                ++n1;
+            else
+                ++n0;
+        }
+        col.latched_cells = n0 + n1;
+        const ColumnBias b = column_bias(plan, c, value);
+        col.v0_bl = b.v_bl;
+        col.v0_blb = b.v_blb;
+        if (col.latched_cells == 0) {
+            col.load_bl->set_load(0.0, 0.0, 0.0, 0.0);
+            col.load_blb->set_load(0.0, 0.0, 0.0, 0.0);
+            continue;
+        }
+        double i_bl = 0.0;
+        double g_bl = 0.0;
+        double i_blb = 0.0;
+        double g_blb = 0.0;
+        const std::pair<std::size_t, bool> populations[] = {{n0, false},
+                                                            {n1, true}};
+        for (const auto& [n, state] : populations) {
+            if (n == 0)
+                continue;
+            const BitlineLoad& l = model_.load(state, b.vss, b.v_bl, b.v_blb);
+            if (!l.valid) {
+                if (message != nullptr)
+                    *message = "latched-cell extraction failed to converge "
+                               "(column " +
+                               std::to_string(c) + ", state " +
+                               (state ? std::string("1") : std::string("0")) +
+                               ")";
+                return false;
+            }
+            const double scale = static_cast<double>(n);
+            i_bl += scale * l.i_bl;
+            g_bl += scale * l.g_bl;
+            i_blb += scale * l.i_blb;
+            g_blb += scale * l.g_blb;
+        }
+        col.load_bl->set_load(1.0, i_bl, g_bl, b.v_bl);
+        col.load_blb->set_load(1.0, i_blb, g_blb, b.v_blb);
+    }
+    return true;
+}
+
+double MixedArray::program_write(Partition& part, const PartitionPlan& plan,
+                                 bool value, double* wl_start_out) const {
+    const double vdd = config_.cell.vdd;
+    const bool active_low = wordline_active_low(config_.cell);
+    const double wl_inactive = active_low ? vdd : 0.0;
+    const sram::AssistLevels lv = sram::assist_levels(
+        vdd, active_low ? 0.0 : vdd, config_.write_assist,
+        config_.assist_fraction);
+
+    const double ta_on = kSettle;
+    const double wl_start = ta_on + kAssistEdge + kAssistLead;
+    const double wl_fall = wl_start + kWlEdge + config_.write_pulse;
+    const double wl_end = wl_fall + kWlEdge;
+    const double ta_off = wl_end + kAssistLag;
+    const double t_end = wl_end + kPost;
+    *wl_start_out = wl_start;
+
+    part.wl[plan.access_row]->set_waveform(
+        excursion(wl_inactive, lv.wl_active, wl_start, wl_fall, kWlEdge));
+    ColHandles& target = part.cols[plan.access_col];
+    target.v_vss->set_waveform(
+        excursion(0.0, lv.vss, ta_on, ta_off, kAssistEdge));
+    target.v_bl->set_waveform(excursion(vdd, value ? lv.bl_high : lv.bl_low,
+                                        ta_on, ta_off, kAssistEdge));
+    target.v_blb->set_waveform(excursion(vdd, value ? lv.bl_low : lv.bl_high,
+                                         ta_on, ta_off, kAssistEdge));
+    if (config_.read_assist != sram::Assist::kNone) {
+        const sram::AssistLevels ra = sram::assist_levels(
+            vdd, active_low ? 0.0 : vdd, config_.read_assist,
+            config_.assist_fraction);
+        for (std::size_t c = 0; c < config_.cols; ++c)
+            if (c != plan.access_col)
+                part.cols[c].v_vss->set_waveform(
+                    excursion(0.0, ra.vss, ta_on, ta_off, kAssistEdge));
+    }
+    return t_end;
+}
+
+double MixedArray::program_read(Partition& part, const PartitionPlan& plan,
+                                double* wl_start_out) const {
+    const double vdd = config_.cell.vdd;
+    const bool active_low = wordline_active_low(config_.cell);
+    const double wl_inactive = active_low ? vdd : 0.0;
+    const sram::AssistLevels lv =
+        sram::assist_levels(vdd, active_low ? 0.0 : vdd, config_.read_assist,
+                            config_.assist_fraction);
+
+    const double ta_on = kSettle;
+    const double wl_start = ta_on + kAssistEdge + kAssistLead;
+    const double wl_fall = wl_start + kWlEdge + config_.read_duration;
+    const double wl_end = wl_fall + kWlEdge;
+    const double ta_off = wl_end + kAssistLag;
+    const double t_end = wl_end + kPost;
+    *wl_start_out = wl_start;
+
+    part.wl[plan.access_row]->set_waveform(
+        excursion(wl_inactive, lv.wl_active, wl_start, wl_fall, kWlEdge));
+    for (std::size_t c = 0; c < config_.cols; ++c)
+        part.cols[c].v_vss->set_waveform(
+            excursion(0.0, lv.vss, ta_on, ta_off, kAssistEdge));
+    ColHandles& target = part.cols[plan.access_col];
+    target.v_bl->set_waveform(
+        excursion(vdd, lv.bl_high, ta_on, ta_off, kAssistEdge));
+    target.v_blb->set_waveform(
+        excursion(vdd, lv.bl_high, ta_on, ta_off, kAssistEdge));
+    const Waveform open = Waveform::pwl(
+        {{wl_start - 4e-12, 1.0}, {wl_start - 2e-12, 0.0}});
+    target.sw_bl->set_control(open);
+    target.sw_blb->set_control(open);
+    return t_end;
+}
+
+bool MixedArray::solve_partition_dc(Partition& part, std::string* message) {
+    const spice::SolverOptions opts;
+    const spice::DcResult cold = spice::solve_dc(part.ckt, opts);
+    la::Vector guess = cold.converged
+                           ? cold.x
+                           : la::Vector(part.ckt.num_unknowns(), 0.0);
+    for (const ActiveCell& ac : part.cells) {
+        const LatchedState& s =
+            store_[ac.ref.row * config_.cols + ac.ref.col];
+        guess[ac.q - 1] = s.v_q;
+        guess[ac.qb - 1] = s.v_qb;
+    }
+    spice::DcResult settled = spice::solve_dc(part.ckt, opts, 0.0, &guess);
+    if (!settled.converged) {
+        spice::SolverOptions crawl = opts;
+        crawl.dv_limit = 0.05;
+        settled = spice::solve_dc(part.ckt, crawl, 0.0, &guess);
+        if (!settled.converged) {
+            if (message != nullptr)
+                *message = "active-partition DC init failed to converge";
+            return false;
+        }
+    }
+    part.state = std::move(settled.x);
+    return true;
+}
+
+MixedArray::AttemptOutcome
+MixedArray::run_attempt(Partition& part, double t_end,
+                        const std::vector<bool>& monitor_col) {
+    AttemptOutcome out;
+    const double gb = partitioner_.policy().guard_band;
+    const double vdd = config_.cell.vdd;
+    spice::StopCondition stop;
+    if (std::any_of(monitor_col.begin(), monitor_col.end(),
+                    [](bool m) { return m; })) {
+        stop = [&](double t, const la::Vector& x) {
+            for (std::size_t c = 0; c < part.cols.size(); ++c) {
+                const ColHandles& col = part.cols[c];
+                if (!monitor_col[c] || col.latched_cells == 0)
+                    continue;
+                // Allowed band: the envelope spanned by the quiescent
+                // level (bitlines rest at VDD) and the extraction bias,
+                // padded by the guard band. The rail legitimately ramps
+                // between those two levels during the operation; escaping
+                // the envelope means the latched linearization is being
+                // evaluated far from its extraction point.
+                const struct {
+                    spice::NodeId node;
+                    double v0;
+                } rails[2] = {{col.bl, col.v0_bl}, {col.blb, col.v0_blb}};
+                for (const auto& rail : rails) {
+                    const double lo = std::min(vdd, rail.v0) - gb;
+                    const double hi = std::max(vdd, rail.v0) + gb;
+                    const double v = spice::node_voltage(x, rail.node);
+                    if (v < lo || v > hi) {
+                        out.guard_tripped = true;
+                        out.guard_col = c;
+                        out.guard_time = t;
+                        return true;
+                    }
+                }
+            }
+            return false;
+        };
+    }
+    const spice::SolverOptions opts;
+    const spice::TransientResult tr =
+        spice::solve_transient(part.ckt, opts, t_end, stop, &part.state);
+    if (!tr.completed) {
+        out.message = tr.message;
+        out.guard_tripped = false;
+        return out;
+    }
+    if (tr.stopped_early)
+        return out; // guard fields were set by the stop condition
+    out.completed = true;
+    part.state = tr.state(tr.size() - 1);
+    return out;
+}
+
+void MixedArray::drain_events() {
+    spice::SolverStats& ss = spice::solver_stats();
+    while (!queue_.empty()) {
+        const Event ev = queue_.pop();
+        switch (ev.kind) {
+        case EventKind::kPromote:
+            ++stats_.promotions;
+            ++ss.hier_promotions;
+            break;
+        case EventKind::kDemote:
+            ++stats_.demotions;
+            ++ss.hier_demotions;
+            break;
+        case EventKind::kRelinearize:
+            ++stats_.relinearizations;
+            ++ss.hier_relinearizations;
+            break;
+        case EventKind::kGuardTrip:
+            ++stats_.guard_retries;
+            ++ss.hier_guard_retries;
+            break;
+        }
+        trace_.push_back(ev);
+    }
+}
+
+void MixedArray::relatch(const Partition& part) {
+    for (const ActiveCell& ac : part.cells) {
+        LatchedState& s = store_[ac.ref.row * config_.cols + ac.ref.col];
+        s.v_q = spice::node_voltage(part.state, ac.q);
+        s.v_qb = spice::node_voltage(part.state, ac.qb);
+        s.value = s.v_q > s.v_qb;
+    }
+}
+
+MixedArray::ExecOutcome MixedArray::execute(PartitionPlan& plan, bool value) {
+    ExecOutcome er;
+    trace_.clear();
+    queue_.clear();
+    std::vector<bool> monitor(config_.cols, true);
+    const std::size_t max_attempts =
+        partitioner_.policy().max_guard_retries + 1;
+
+    for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+        std::unique_ptr<Partition> part = build_partition(plan);
+        const std::size_t unknowns = part->ckt.num_unknowns();
+        stats_.last_active_cells = part->cells.size();
+        stats_.last_latched_cells =
+            config_.rows * config_.cols - part->cells.size();
+        stats_.last_active_unknowns = unknowns;
+        stats_.max_active_unknowns =
+            std::max(stats_.max_active_unknowns, unknowns);
+        spice::solver_stats().hier_active_unknowns = unknowns;
+
+        if (!program_loads(*part, plan, value, &er.message))
+            return er;
+        double wl_start = 0.0;
+        const double t_end =
+            plan.is_write ? program_write(*part, plan, value, &wl_start)
+                          : program_read(*part, plan, &wl_start);
+
+        // This attempt's level transitions, in timeline order: lumped
+        // loads stamp at t=0 (as do guard-promoted sentinels, present
+        // from the start of a retry), excursion sentinels activate with
+        // the column rails at t_settle, the accessed row promotes on its
+        // wordline edge, and everything demotes after the post-settle.
+        for (std::size_t c = 0; c < config_.cols; ++c)
+            if (part->cols[c].latched_cells > 0)
+                queue_.push({0.0, 0, EventKind::kRelinearize, 0, c,
+                             PromoteReason::kWordlineEdge});
+        for (const PromotedCell& p : plan.promoted) {
+            double t = 0.0;
+            if (p.reason == PromoteReason::kWordlineEdge)
+                t = wl_start;
+            else if (p.reason == PromoteReason::kBitlineExcursion)
+                t = kSettle;
+            queue_.push({t, 0, EventKind::kPromote, p.ref.row, p.ref.col,
+                         p.reason});
+        }
+
+        if (!solve_partition_dc(*part, &er.message)) {
+            drain_events();
+            return er;
+        }
+
+        // The final permitted attempt runs unguarded: its result stands.
+        const bool guarded = attempt + 1 < max_attempts;
+        std::vector<bool> attempt_monitor =
+            guarded ? monitor : std::vector<bool>(config_.cols, false);
+        const AttemptOutcome out =
+            run_attempt(*part, t_end, attempt_monitor);
+
+        if (!out.completed && !out.guard_tripped) {
+            er.message = out.message;
+            drain_events();
+            return er;
+        }
+        if (out.guard_tripped) {
+            for (const PromotedCell& p : plan.promoted)
+                queue_.push({out.guard_time, 0, EventKind::kDemote,
+                             p.ref.row, p.ref.col, p.reason});
+            queue_.push({out.guard_time, 0, EventKind::kGuardTrip, 0,
+                         out.guard_col, PromoteReason::kGuardBand});
+            drain_events();
+            // More sentinels on the offending column; when the column is
+            // already fully promoted, stop guarding it instead.
+            if (partitioner_.refine(plan, out.guard_col) == 0)
+                monitor[out.guard_col] = false;
+            continue;
+        }
+
+        for (const PromotedCell& p : plan.promoted)
+            queue_.push({t_end, 0, EventKind::kDemote, p.ref.row, p.ref.col,
+                         p.reason});
+        drain_events();
+        relatch(*part);
+        last_partition_ = std::move(part);
+        ++stats_.operations;
+        er.completed = true;
+        er.t_end = t_end;
+        return er;
+    }
+    TFET_ASSERT(false); // final attempt is unguarded and always returns
+    return er;
+}
+
+array::OpResult MixedArray::write(std::size_t row, std::size_t col,
+                                  bool value) {
+    TFET_EXPECTS(initialized_);
+    TFET_EXPECTS(row < config_.rows && col < config_.cols);
+    array::OpResult res;
+    const spice::ScopedContext bind(sim_);
+    PartitionPlan plan = partitioner_.plan_write(row, col);
+    const ExecOutcome er = execute(plan, value);
+    if (!er.completed) {
+        res.message = er.message;
+        return res;
+    }
+    res.duration = er.t_end;
+    res.ok = stored(row, col) == value;
+    if (!res.ok)
+        res.message = "write did not flip the cell";
+    return res;
+}
+
+array::ReadResult MixedArray::read(std::size_t row, std::size_t col) {
+    TFET_EXPECTS(initialized_);
+    TFET_EXPECTS(row < config_.rows && col < config_.cols);
+    array::ReadResult res;
+    const spice::ScopedContext bind(sim_);
+    PartitionPlan plan = partitioner_.plan_read(row, col);
+    const ExecOutcome er = execute(plan, /*value=*/false);
+    if (!er.completed) {
+        res.message = er.message;
+        return res;
+    }
+    const ColHandles& target = last_partition_->cols[col];
+    const double dbl = spice::branch_voltage(last_partition_->state,
+                                             target.bl, target.blb);
+    res.differential = dbl;
+    res.value = dbl > 0.0;
+    res.ok = std::fabs(dbl) >= config_.sense_margin;
+    if (!res.ok)
+        res.message = "differential below sense margin";
+    return res;
+}
+
+} // namespace tfetsram::hier

@@ -1,0 +1,88 @@
+#include "hier/partition.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace tfetsram::hier {
+
+const char* to_string(PromoteReason reason) {
+    switch (reason) {
+    case PromoteReason::kWordlineEdge: return "wordline-edge";
+    case PromoteReason::kBitlineExcursion: return "bitline-excursion";
+    case PromoteReason::kGuardBand: return "guard-band";
+    }
+    return "?";
+}
+
+bool PartitionPlan::contains(std::size_t row, std::size_t col) const {
+    return std::any_of(promoted.begin(), promoted.end(),
+                       [&](const PromotedCell& p) {
+                           return p.ref.row == row && p.ref.col == col;
+                       });
+}
+
+Partitioner::Partitioner(std::size_t rows, std::size_t cols,
+                         PartitionPolicy policy)
+    : rows_(rows), cols_(cols), policy_(policy) {
+    TFET_EXPECTS(rows_ >= 1 && cols_ >= 1);
+}
+
+std::vector<std::size_t> Partitioner::free_rows(const PartitionPlan& plan,
+                                                std::size_t col,
+                                                std::size_t limit) const {
+    std::vector<std::size_t> out;
+    // Walk outward from the accessed row; rows below it (smaller index)
+    // come first at equal distance so the order is total and obvious.
+    for (std::size_t d = 1; d < rows_ && out.size() < limit; ++d) {
+        if (plan.access_row >= d) {
+            const std::size_t r = plan.access_row - d;
+            if (!plan.contains(r, col) && out.size() < limit)
+                out.push_back(r);
+        }
+        const std::size_t r = plan.access_row + d;
+        if (r < rows_ && !plan.contains(r, col) && out.size() < limit)
+            out.push_back(r);
+    }
+    return out;
+}
+
+PartitionPlan Partitioner::plan_write(std::size_t row, std::size_t col) const {
+    TFET_EXPECTS(row < rows_ && col < cols_);
+    PartitionPlan plan;
+    plan.access_row = row;
+    plan.access_col = col;
+    plan.is_write = true;
+    // The asserted wordline opens every access device on the row: the
+    // target cell plus all its half-selected row-mates.
+    for (std::size_t c = 0; c < cols_; ++c)
+        plan.promoted.push_back({{row, c}, PromoteReason::kWordlineEdge});
+    // Excursion sentinels on the written column.
+    for (std::size_t r : free_rows(plan, col, policy_.sentinel_rows))
+        plan.promoted.push_back({{r, col}, PromoteReason::kBitlineExcursion});
+    return plan;
+}
+
+PartitionPlan Partitioner::plan_read(std::size_t row, std::size_t col) const {
+    TFET_EXPECTS(row < rows_ && col < cols_);
+    PartitionPlan plan;
+    plan.access_row = row;
+    plan.access_col = col;
+    plan.is_write = false;
+    // Reads keep every bitline within a precharge level of quiescence, so
+    // the asserted row alone is the active partition.
+    for (std::size_t c = 0; c < cols_; ++c)
+        plan.promoted.push_back({{row, c}, PromoteReason::kWordlineEdge});
+    return plan;
+}
+
+std::size_t Partitioner::refine(PartitionPlan& plan, std::size_t col) const {
+    TFET_EXPECTS(col < cols_);
+    const std::vector<std::size_t> rows =
+        free_rows(plan, col, policy_.guard_promote);
+    for (std::size_t r : rows)
+        plan.promoted.push_back({{r, col}, PromoteReason::kGuardBand});
+    return rows.size();
+}
+
+} // namespace tfetsram::hier

@@ -1,0 +1,113 @@
+#pragma once
+// Access-pattern partitioner for the mixed-level array engine. Given an
+// operation (write/read at a row/column), it decides which cells must be
+// solved at full SPICE level — the *active partition* — while every other
+// cell stays latched behind a lumped bitline load (see latched_cell.hpp).
+//
+// The promotion rules mirror the physics of the flat driver
+// (array/array.cpp):
+//  * Any operation asserts one wordline, so every cell on the accessed
+//    row conducts through its access device — all of them promote
+//    (kWordlineEdge). This is exactly the half-select population: a write
+//    to one column read-disturbs the accessed row's other cells, and the
+//    mixed engine must resolve those at device level, not behaviorally.
+//  * Writes additionally swing the target column's bitlines rail-to-rail
+//    (a guaranteed large excursion), so a few quiescent *sentinel* cells
+//    on that column promote too (kBitlineExcursion) — they anchor the
+//    latched approximation for the remaining cells of the column, and
+//    give the guard monitor concrete device-level neighbors to compare
+//    against.
+//  * If the runtime guard band trips on a column's lumped rail, refine()
+//    promotes further sentinels on that column and the operation re-runs
+//    (kGuardBand).
+//
+// Plans are deterministic: promoted cells are listed accessed row first
+// (column order), then sentinels nearest-row-first — the differential
+// tests pin the resulting counter values exactly.
+
+#include <cstddef>
+#include <vector>
+
+namespace tfetsram::hier {
+
+/// Why a cell joined the active partition.
+enum class PromoteReason {
+    kWordlineEdge,      ///< on the asserted row (includes half-selected)
+    kBitlineExcursion,  ///< sentinel on a column with a planned full swing
+    kGuardBand,         ///< runtime guard-band trip promoted it (refine)
+};
+const char* to_string(PromoteReason reason);
+
+/// Grid coordinate of one cell.
+struct CellRef {
+    std::size_t row = 0;
+    std::size_t col = 0;
+    friend bool operator==(const CellRef&, const CellRef&) = default;
+};
+
+struct PromotedCell {
+    CellRef ref;
+    PromoteReason reason = PromoteReason::kWordlineEdge;
+};
+
+/// One operation's active partition.
+struct PartitionPlan {
+    std::size_t access_row = 0;
+    std::size_t access_col = 0;
+    bool is_write = false;
+    /// Deterministic order: accessed row (by column), then sentinels.
+    std::vector<PromotedCell> promoted;
+
+    [[nodiscard]] bool contains(std::size_t row, std::size_t col) const;
+    [[nodiscard]] std::size_t count() const { return promoted.size(); }
+};
+
+/// Tunables governing partition size and the latched-approximation guard.
+struct PartitionPolicy {
+    /// Allowed deviation of a lumped column rail beyond the envelope
+    /// spanned by its quiescent and extraction levels [V]. A rail leaving
+    /// the band trips a guard event and the operation re-runs with a
+    /// refined plan.
+    double guard_band = 0.25;
+    /// Quiescent cells promoted per full-swing column as excursion
+    /// sentinels (clamped to the rows actually available).
+    std::size_t sentinel_rows = 2;
+    /// Additional sentinels promoted per guard trip.
+    std::size_t guard_promote = 2;
+    /// Bound on guard-trip re-runs per operation; afterwards the column's
+    /// guard is accepted as-is (the trip is still counted).
+    std::size_t max_guard_retries = 2;
+};
+
+class Partitioner {
+public:
+    Partitioner(std::size_t rows, std::size_t cols, PartitionPolicy policy);
+
+    [[nodiscard]] PartitionPlan plan_write(std::size_t row,
+                                           std::size_t col) const;
+    [[nodiscard]] PartitionPlan plan_read(std::size_t row,
+                                          std::size_t col) const;
+
+    /// Promote up to policy().guard_promote further quiescent cells of
+    /// `col` into `plan` (reason kGuardBand), nearest the accessed row
+    /// first. Returns how many were added — 0 means the column is already
+    /// fully promoted and no further refinement is possible.
+    std::size_t refine(PartitionPlan& plan, std::size_t col) const;
+
+    [[nodiscard]] const PartitionPolicy& policy() const { return policy_; }
+    [[nodiscard]] std::size_t rows() const { return rows_; }
+    [[nodiscard]] std::size_t cols() const { return cols_; }
+
+private:
+    /// Quiescent rows of `col` not yet in `plan`, nearest `access_row`
+    /// first (below before above at equal distance), capped at `limit`.
+    [[nodiscard]] std::vector<std::size_t>
+    free_rows(const PartitionPlan& plan, std::size_t col,
+              std::size_t limit) const;
+
+    std::size_t rows_;
+    std::size_t cols_;
+    PartitionPolicy policy_;
+};
+
+} // namespace tfetsram::hier

@@ -59,10 +59,16 @@ void Telemetry::record(const TaskRecord& record) {
     summary_.sparse_refactorizations += record.solver.sparse_refactorizations;
     summary_.sparse_symbolic_analyses +=
         record.solver.sparse_symbolic_analyses;
+    summary_.hier_promotions += record.solver.hier_promotions;
+    summary_.hier_demotions += record.solver.hier_demotions;
+    summary_.hier_relinearizations += record.solver.hier_relinearizations;
+    summary_.hier_guard_retries += record.solver.hier_guard_retries;
     summary_.sparse_pattern_nnz =
         std::max(summary_.sparse_pattern_nnz, record.solver.sparse_pattern_nnz);
     summary_.sparse_lu_nnz =
         std::max(summary_.sparse_lu_nnz, record.solver.sparse_lu_nnz);
+    summary_.hier_active_unknowns = std::max(
+        summary_.hier_active_unknowns, record.solver.hier_active_unknowns);
 
     if (!journal_.is_open())
         return;
@@ -93,6 +99,18 @@ void Telemetry::record(const TaskRecord& record) {
                  record.solver.sparse_symbolic_analyses);
         line.set("sparse_pattern_nnz", record.solver.sparse_pattern_nnz);
         line.set("sparse_lu_nnz", record.solver.sparse_lu_nnz);
+    }
+    // Mixed-level engine fields likewise appear only when the task actually
+    // ran the engine, so flat-only journals keep their historical shape.
+    if (record.solver.hier_promotions > 0 ||
+        record.solver.hier_demotions > 0 ||
+        record.solver.hier_relinearizations > 0) {
+        line.set("hier_promotions", record.solver.hier_promotions);
+        line.set("hier_demotions", record.solver.hier_demotions);
+        line.set("hier_relinearizations",
+                 record.solver.hier_relinearizations);
+        line.set("hier_guard_retries", record.solver.hier_guard_retries);
+        line.set("hier_active_unknowns", record.solver.hier_active_unknowns);
     }
     journal_ << line.dump() << '\n';
     journal_.flush(); // journal survives a crashed/killed run
@@ -126,6 +144,17 @@ RunSummary Telemetry::finish(double total_wall_s) {
                   summary_.sparse_symbolic_analyses);
         bench.set("sparse_pattern_nnz", summary_.sparse_pattern_nnz);
         bench.set("sparse_lu_nnz", summary_.sparse_lu_nnz);
+        // Emitted only when some task ran the mixed-level engine, so the
+        // BENCH schema of flat-only runs is unchanged.
+        if (summary_.hier_promotions > 0 || summary_.hier_demotions > 0 ||
+            summary_.hier_relinearizations > 0) {
+            bench.set("hier_promotions", summary_.hier_promotions);
+            bench.set("hier_demotions", summary_.hier_demotions);
+            bench.set("hier_relinearizations",
+                      summary_.hier_relinearizations);
+            bench.set("hier_guard_retries", summary_.hier_guard_retries);
+            bench.set("hier_active_unknowns", summary_.hier_active_unknowns);
+        }
         const std::filesystem::path path =
             out_dir_ / ("BENCH_" + run_name_ + ".json");
         if (!atomic_write(path, bench.dump() + '\n'))

@@ -64,10 +64,18 @@ struct RunSummary {
     std::uint64_t line_search_backtracks = 0;
     std::uint64_t sparse_refactorizations = 0;
     std::uint64_t sparse_symbolic_analyses = 0;
+    /// Mixed-level array engine totals (0 unless some task ran it).
+    std::uint64_t hier_promotions = 0;
+    std::uint64_t hier_demotions = 0;
+    std::uint64_t hier_relinearizations = 0;
+    std::uint64_t hier_guard_retries = 0;
     /// Largest MNA pattern / L+U factor seen across the run's tasks —
     /// maxima of per-task gauges, so a dense-only run reports 0.
     std::uint64_t sparse_pattern_nnz = 0;
     std::uint64_t sparse_lu_nnz = 0;
+    /// Largest active-partition size the mixed-level engine solved across
+    /// the run's tasks (gauge maximum; 0 when the engine never ran).
+    std::uint64_t hier_active_unknowns = 0;
 
     /// A degraded run completed the graph but quarantined (or failed)
     /// some tasks — its figures carry placeholder points.

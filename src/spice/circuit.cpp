@@ -95,6 +95,15 @@ TimedSwitch& Circuit::add_switch(const std::string& label, NodeId a, NodeId b,
     return ref;
 }
 
+LinearizedLoad& Circuit::add_linearized_load(const std::string& label,
+                                             NodeId node) {
+    auto dev = std::make_unique<LinearizedLoad>(label, node);
+    LinearizedLoad& ref = *dev;
+    devices_.push_back(std::move(dev));
+    ++topology_revision_;
+    return ref;
+}
+
 void Circuit::prepare() {
     const std::size_t node_unknowns = num_nodes() - 1;
     for (std::size_t b = 0; b < vsources_.size(); ++b)

@@ -55,6 +55,9 @@ public:
                                double width_um);
     TimedSwitch& add_switch(const std::string& label, NodeId a, NodeId b,
                             double r_on, double r_off, Waveform control);
+    /// Lumped Norton load for the mixed-level engine's latched-cell
+    /// populations (starts disabled: scale = 0; see LinearizedLoad).
+    LinearizedLoad& add_linearized_load(const std::string& label, NodeId node);
 
     [[nodiscard]] const std::vector<std::unique_ptr<Device>>& devices() const {
         return devices_;

@@ -121,6 +121,40 @@ double CurrentSource::power(const la::Vector& x) const {
     return v * i; // absorbing when current flows from high to low potential
 }
 
+// ---------------------------------------------------------- LinearizedLoad
+
+LinearizedLoad::LinearizedLoad(std::string label, NodeId node)
+    : Device(std::move(label)), node_(node) {
+    TFET_EXPECTS(node != kGround);
+}
+
+void LinearizedLoad::set_load(double scale, double i0, double g, double v0) {
+    TFET_EXPECTS(scale >= 0.0);
+    TFET_EXPECTS(std::isfinite(i0) && std::isfinite(g) && std::isfinite(v0));
+    // A negative small-signal conductance (possible at an extraction bias
+    // on a steep tunneling branch) would de-stabilize the otherwise
+    // passive lumped load; clamp to the constant-current term only.
+    scale_ = scale;
+    i0_ = i0;
+    g_ = g > 0.0 ? g : 0.0;
+    v0_ = v0;
+}
+
+void LinearizedLoad::stamp(Stamper& st, const AnalysisState& /*as*/,
+                           const la::Vector& /*x*/) {
+    if (scale_ == 0.0)
+        return;
+    // Norton form of scale*(i0 + g*(V - v0)) leaving the node: conductance
+    // scale*g to ground plus the bias-point constant scale*(i0 - g*v0).
+    st.add_conductance(node_, kGround, scale_ * g_);
+    st.add_current(node_, kGround, scale_ * (i0_ - g_ * v0_));
+}
+
+double LinearizedLoad::power(const la::Vector& x) const {
+    const double v = node_voltage(x, node_);
+    return v * current_at(v);
+}
+
 // ------------------------------------------------------------- TimedSwitch
 
 TimedSwitch::TimedSwitch(std::string label, NodeId a, NodeId b, double r_on,

@@ -98,6 +98,46 @@ private:
     Waveform wave_;
 };
 
+/// Lumped Norton boundary load: the mixed-level array engine's stamp for a
+/// population of latched (behaviorally collapsed) cells hanging off one
+/// bitline. Models `scale` identical cells, each drawing
+///   i(V) = i0 + g * (V - v0)
+/// from `node` to ground — the first-order linearization of the latched
+/// cells' leakage around the extraction bias v0 (src/hier/latched_cell).
+/// The load is linear, so it converges in the same Newton iterate as the
+/// rest of the system; DC and transient stamp identically (the latched
+/// cells' charge storage is carried by the bitline wire capacitance, which
+/// the engine keeps at full-column value). Parameters are mutable: the
+/// engine re-linearizes event-style on wordline edges and guard-band
+/// excursions (docs/HIERARCHY.md).
+class LinearizedLoad final : public Device {
+public:
+    LinearizedLoad(std::string label, NodeId node);
+
+    void stamp(Stamper& st, const AnalysisState& as,
+               const la::Vector& x) override;
+    [[nodiscard]] double power(const la::Vector& x) const override;
+
+    /// Reprogram the load: `scale` cells each drawing i0 + g*(V - v0).
+    /// A scale of 0 turns the load off (stamps nothing but stays in the
+    /// sparsity pattern via the diagonal).
+    void set_load(double scale, double i0, double g, double v0);
+
+    [[nodiscard]] double scale() const { return scale_; }
+    /// Total current drawn from the node at voltage v.
+    [[nodiscard]] double current_at(double v) const {
+        return scale_ * (i0_ + g_ * (v - v0_));
+    }
+    [[nodiscard]] double bias() const { return v0_; }
+
+private:
+    NodeId node_;
+    double scale_ = 0.0;
+    double i0_ = 0.0;
+    double g_ = 0.0;
+    double v0_ = 0.0;
+};
+
 /// Time-controlled switch (e.g. a bitline precharge device). The control
 /// waveform is interpreted as a conductance blend: 1 -> r_on, 0 -> r_off,
 /// interpolated geometrically in resistance so transitions are smooth.

@@ -13,6 +13,7 @@ std::string to_string(SolveErrorCode code) {
     case SolveErrorCode::kMaxStepsExceeded: return "max-steps-exceeded";
     case SolveErrorCode::kSingularAcSystem: return "singular-ac-system";
     case SolveErrorCode::kInjectedFault: return "injected-fault";
+    case SolveErrorCode::kInvalidConfig: return "invalid-config";
     }
     return "?";
 }

@@ -23,6 +23,9 @@ enum class SolveErrorCode {
     kMaxStepsExceeded, ///< transient hit the runaway step guard
     kSingularAcSystem, ///< AC phasor system numerically singular
     kInjectedFault,    ///< forced by the fault injector (util/fault.hpp)
+    kInvalidConfig,    ///< rejected configuration (e.g. a degenerate
+                       ///< 0-row/0-column array that would assemble a
+                       ///< malformed MNA system)
 };
 std::string to_string(SolveErrorCode code);
 

@@ -36,11 +36,22 @@ struct SolverStats {
     std::uint64_t sparse_refactorizations = 0; ///< sparse numeric refactors
     std::uint64_t sparse_symbolic_analyses = 0; ///< once per sparse circuit
 
+    // Mixed-level array engine (src/hier) event counters: exact and
+    // deterministic for a given operation sequence — the differential
+    // tests pin them, and the telemetry journal exposes them per task.
+    std::uint64_t hier_promotions = 0;   ///< cells raised to SPICE level
+    std::uint64_t hier_demotions = 0;    ///< cells re-latched after settling
+    std::uint64_t hier_relinearizations = 0; ///< lumped-load re-extractions
+    std::uint64_t hier_guard_retries = 0; ///< ops re-run after a guard trip
+
     // Gauges (latest observed values, not monotonic counters): the MNA
     // pattern nnz and the L+U nnz of the most recent sparse symbolic
     // analysis / refactorization on this thread.
     std::uint64_t sparse_pattern_nnz = 0;
     std::uint64_t sparse_lu_nnz = 0;
+    /// Gauge: unknowns of the mixed-level engine's most recent active
+    /// partition (0 when the engine never ran in the metered region).
+    std::uint64_t hier_active_unknowns = 0;
 
     /// Counter deltas for a metered region. Gauges carry their current
     /// value through when the region did any sparse work, and 0 otherwise
@@ -55,11 +66,18 @@ struct SolverStats {
                       line_search_backtracks - rhs.line_search_backtracks,
                       sparse_refactorizations - rhs.sparse_refactorizations,
                       sparse_symbolic_analyses - rhs.sparse_symbolic_analyses,
-                      0, 0};
+                      hier_promotions - rhs.hier_promotions,
+                      hier_demotions - rhs.hier_demotions,
+                      hier_relinearizations - rhs.hier_relinearizations,
+                      hier_guard_retries - rhs.hier_guard_retries,
+                      0, 0, 0};
         if (d.sparse_refactorizations > 0 || d.sparse_symbolic_analyses > 0) {
             d.sparse_pattern_nnz = sparse_pattern_nnz;
             d.sparse_lu_nnz = sparse_lu_nnz;
         }
+        if (d.hier_promotions > 0 || d.hier_demotions > 0 ||
+            d.hier_relinearizations > 0)
+            d.hier_active_unknowns = hier_active_unknowns;
         return d;
     }
 
@@ -76,10 +94,16 @@ struct SolverStats {
         line_search_backtracks += rhs.line_search_backtracks;
         sparse_refactorizations += rhs.sparse_refactorizations;
         sparse_symbolic_analyses += rhs.sparse_symbolic_analyses;
+        hier_promotions += rhs.hier_promotions;
+        hier_demotions += rhs.hier_demotions;
+        hier_relinearizations += rhs.hier_relinearizations;
+        hier_guard_retries += rhs.hier_guard_retries;
         if (rhs.sparse_pattern_nnz > sparse_pattern_nnz)
             sparse_pattern_nnz = rhs.sparse_pattern_nnz;
         if (rhs.sparse_lu_nnz > sparse_lu_nnz)
             sparse_lu_nnz = rhs.sparse_lu_nnz;
+        if (rhs.hier_active_unknowns > hier_active_unknowns)
+            hier_active_unknowns = rhs.hier_active_unknowns;
         return *this;
     }
 };

@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "array/array.hpp"
+#include "spice/solve_error.hpp"
 #include "sram/designs.hpp"
 
 namespace tfetsram::array {
@@ -163,6 +166,54 @@ TEST(Array, RejectsUnsupportedTopology) {
     ArrayConfig cfg = proposed_array(1, 1);
     cfg.cell.kind = sram::CellKind::kTfet7T;
     EXPECT_THROW(SramArray{cfg}, contract_violation);
+}
+
+TEST(Array, RejectsDegenerateConfigs) {
+    auto expect_invalid = [](ArrayConfig cfg, const char* what) {
+        try {
+            const SramArray arr(cfg);
+            FAIL() << what << " must be rejected";
+        } catch (const spice::SolveException& e) {
+            EXPECT_EQ(e.error().code, spice::SolveErrorCode::kInvalidConfig)
+                << what;
+            EXPECT_NE(e.error().message.find("ArrayConfig"),
+                      std::string::npos)
+                << what;
+        }
+    };
+    ArrayConfig cfg = proposed_array(2, 2);
+
+    ArrayConfig bad = cfg;
+    bad.rows = 0;
+    expect_invalid(bad, "rows = 0");
+    bad = cfg;
+    bad.cols = 0;
+    expect_invalid(bad, "cols = 0");
+    bad = cfg;
+    bad.c_bitline_per_row = 0.0;
+    expect_invalid(bad, "zero bitline cap");
+    bad = cfg;
+    bad.c_bitline_per_row = -2e-15;
+    expect_invalid(bad, "negative bitline cap");
+    bad = cfg;
+    bad.c_bitline_per_row = std::numeric_limits<double>::quiet_NaN();
+    expect_invalid(bad, "NaN bitline cap");
+    bad = cfg;
+    bad.cell.vdd = 0.0;
+    expect_invalid(bad, "zero supply");
+    bad = cfg;
+    bad.write_pulse = 0.0;
+    expect_invalid(bad, "zero write pulse");
+    bad = cfg;
+    bad.read_duration = -1e-12;
+    expect_invalid(bad, "negative read duration");
+    bad = cfg;
+    bad.sense_margin = -0.1;
+    expect_invalid(bad, "negative sense margin");
+
+    // validate_config is also callable directly (the mixed-level engine
+    // shares it) and accepts the nominal configuration.
+    EXPECT_NO_THROW(validate_config(cfg));
 }
 
 } // namespace
