@@ -53,13 +53,15 @@ inline CsvWriter open_csv(const std::string& name,
 }
 
 /// Read a named value from a task's result, degrading to `placeholder`
-/// when the task was quarantined (keep-going mode) and holds no result —
-/// so a degraded run still renders its tables and CSVs with explicit
-/// placeholder points instead of crashing on the missing value.
+/// when the task was quarantined (keep-going mode) or cancelled (watchdog
+/// / shutdown drain) and holds no result — so a degraded run still renders
+/// its tables and CSVs with explicit placeholder points instead of
+/// crashing on the missing value.
 inline std::string value_or(const runner::Runner& r, runner::TaskId id,
                             std::string_view name,
                             const std::string& placeholder) {
-    if (r.status(id) == runner::TaskStatus::kQuarantined)
+    if (r.status(id) == runner::TaskStatus::kQuarantined ||
+        r.status(id) == runner::TaskStatus::kCancelled)
         return placeholder;
     return r.result(id).get(name);
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "figures.hpp"
+#include "runner/signal.hpp"
 
 using namespace tfetsram;
 
@@ -72,6 +73,13 @@ int main(int argc, char** argv) {
         }
     }
 
+    // SIGINT/SIGTERM → cooperative drain: the runner's watchdog thread
+    // sees the flag, cancels every in-flight task context, queued tasks
+    // are journaled as cancelled, and telemetry (journal + BENCH json) is
+    // flushed atomically before we exit nonzero. A second signal kills
+    // the process outright (the handler re-arms the default disposition).
+    runner::install_signal_handlers();
+
     int rc = 0;
     for (const bench::Figure* fig : selection) {
         runner::RunnerConfig cfg = runner::RunnerConfig::from_env(fig->name);
@@ -81,6 +89,11 @@ int main(int argc, char** argv) {
             std::cerr << "run_all: " << fig->name << " exited with "
                       << figure_rc << "\n";
             rc = 1;
+        }
+        if (runner::shutdown_requested()) {
+            std::cerr << "run_all: interrupted — run drained and "
+                         "telemetry flushed; remaining figures skipped\n";
+            return 130; // conventional fatal-signal exit status
         }
     }
     return rc;

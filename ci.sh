@@ -67,6 +67,22 @@ grep -q '"degraded":true' "$FAULT_OUT"/BENCH_fig6_write_assist.json
 grep -q '"cache":"quarantined"' "$FAULT_OUT"/fig6_write_assist_journal.jsonl
 echo "degraded run journaled and marked as expected"
 
+echo "=== fault injection: watchdog cancels a stalled task ==="
+# Park one sweep task in the stall fault site; the runner's watchdog must
+# notice the flatlined heartbeat, cancel the attempt through its token,
+# quarantine the task, and let the rest of the run complete degraded
+# (docs/ROBUSTNESS.md).
+STALL_OUT="build/ci_stall_out"
+rm -rf "$STALL_OUT"
+TFETSRAM_THREADS=2 TFETSRAM_FAULTS="stall@0" \
+  TFETSRAM_STALL_TIMEOUT=0.3 TFETSRAM_RETRIES=1 \
+  TFETSRAM_KEEP_GOING=1 TFETSRAM_CACHE=off \
+  TFETSRAM_OUT_DIR="$STALL_OUT" \
+  ./build/bench/run_all fig6_write_assist >/dev/null
+grep -q '"degraded":true' "$STALL_OUT"/BENCH_fig6_write_assist.json
+grep -q '"watchdog":"stall"' "$STALL_OUT"/fig6_write_assist_journal.jsonl
+echo "stalled task detected, cancelled, and quarantined as expected"
+
 echo "=== microbench: solver hot-path counters ==="
 # Cache off: counters must be measured, not replayed (docs/SOLVER.md).
 BENCH_OUT="build/ci_bench_out"
@@ -103,7 +119,7 @@ fi
 echo "=== build (ThreadSanitizer) ==="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DTFETSRAM_SANITIZE=thread
-cmake --build build-tsan -j "$JOBS" --target test_runner test_mc test_faults test_sparse_diff test_context test_hier
+cmake --build build-tsan -j "$JOBS" --target test_runner test_mc test_faults test_deadline test_sparse_diff test_context test_hier
 
 echo "=== tsan: scheduler/cache/pool/fault/context tests ==="
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_runner
@@ -118,6 +134,10 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_sparse_diff
 # so it runs (and passes) in the regular job only.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_faults \
   --gtest_filter='-ThreadPoolDeathTest.*'
+# Cancellation is cross-thread by design: the watchdog thread cancels
+# tokens that solver threads poll, and request_cancel() races the
+# scheduler's drain. The deadline suite must be TSan-clean.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_deadline
 # Mixed-engine counter contracts: hier promotions/demotions bump the
 # ambient per-thread SolverStats; the exact-count assertions must hold
 # under TSan's scheduling too.

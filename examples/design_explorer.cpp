@@ -16,6 +16,7 @@
 
 #include "core/explorer.hpp"
 #include "runner/runner.hpp"
+#include "runner/signal.hpp"
 #include "util/units.hpp"
 
 using namespace tfetsram;
@@ -32,6 +33,10 @@ int main(int argc, char** argv) {
     if (opt.mc_samples > 0)
         std::cout << " with " << opt.mc_samples << " Monte-Carlo samples";
     std::cout << "...\n\n";
+
+    // Ctrl-C cancels the in-flight exploration cooperatively: the runner
+    // drains, flushes its journal/BENCH artifacts, and we exit nonzero.
+    runner::install_signal_handlers();
 
     runner::Runner r(runner::RunnerConfig::from_env("design_explorer"));
     runner::TaskSpec spec;
@@ -52,6 +57,16 @@ int main(int argc, char** argv) {
     };
     const runner::TaskId explore_task = r.add(std::move(spec));
     r.run();
+
+    const runner::TaskStatus status = r.status(explore_task);
+    if (status != runner::TaskStatus::kExecuted &&
+        status != runner::TaskStatus::kHit) {
+        std::cerr << "design_explorer: exploration "
+                  << runner::to_string(status)
+                  << (runner::shutdown_requested() ? " (interrupted)" : "")
+                  << " — no report produced\n";
+        return runner::shutdown_requested() ? 130 : 1;
+    }
 
     const runner::TaskResult& result = r.result(explore_task);
     std::cout << result.get("report");

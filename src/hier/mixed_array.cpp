@@ -497,6 +497,22 @@ MixedArray::ExecOutcome MixedArray::execute(PartitionPlan& plan, bool value) {
         partitioner_.policy().max_guard_retries + 1;
 
     for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+        // Cancellation checkpoint per promote/retry attempt: an expired or
+        // cancelled context abandons the operation gracefully (ok=false,
+        // message says why) instead of burning further guard retries.
+        {
+            const spice::SimContext& hctx =
+                sim_ != nullptr ? *sim_ : spice::ambient_context();
+            const spice::SolveErrorCode status = hctx.poll_cancellation();
+            if (status != spice::SolveErrorCode::kNone) {
+                ++hctx.stats().cancelled_solves;
+                er.message =
+                    std::string("mixed-array operation abandoned: ") +
+                    spice::to_string(status);
+                drain_events();
+                return er;
+            }
+        }
         std::unique_ptr<Partition> part = build_partition(plan);
         const std::size_t unknowns = part->ckt.num_unknowns();
         stats_.last_active_cells = part->cells.size();

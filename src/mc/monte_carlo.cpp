@@ -71,7 +71,14 @@ McResult run_monte_carlo(const spice::SimContext& ctx,
         double value = std::numeric_limits<double>::quiet_NaN();
         bool converged = false;
         int attempt = 1;
-        for (; attempt <= policy.max_attempts; ++attempt) {
+        // Sample-boundary cancellation checkpoint: once the batch's token
+        // fires or its deadline expires, remaining samples censor without
+        // spending a solve — they flow into n_censored exactly like
+        // non-converged samples, and censored_yield_interval's worst-case
+        // imputation covers them.
+        const bool expired =
+            cctx.poll_cancellation() != spice::SolveErrorCode::kNone;
+        for (; !expired && attempt <= policy.max_attempts; ++attempt) {
             // Rebuild from scratch every attempt: fresh device companion
             // state is itself a re-seeded restart, and the reseed hook can
             // additionally perturb the config before the retry.
@@ -85,9 +92,15 @@ McResult run_monte_carlo(const spice::SimContext& ctx,
                 value = metric(cell);
                 converged = true;
                 break;
-            } catch (const spice::SolveException&) {
+            } catch (const spice::SolveException& e) {
                 // Non-converged solve: this attempt produced no
-                // observation. Retry (or censor when attempts run out).
+                // observation. Retry (or censor when attempts run out) —
+                // unless the failure was a cancellation, which a retry
+                // under the same expired context can only repeat.
+                if (spice::is_cancellation(e.error().code) ||
+                    cctx.cancellation_status() !=
+                        spice::SolveErrorCode::kNone)
+                    break;
             }
         }
         if (attempt > 1)

@@ -2,16 +2,47 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <deque>
 #include <exception>
 #include <iostream>
 #include <memory>
 #include <mutex>
+#include <thread>
 
+#include "runner/signal.hpp"
+#include "spice/cancel.hpp"
 #include "util/contracts.hpp"
 #include "util/env.hpp"
 
 namespace tfetsram::runner {
+
+namespace {
+
+/// SplitMix64 finalizer (same mix as SimContext::derive_seed) — turns
+/// (seed, attempt) into the backoff jitter draw.
+std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+double retry_backoff_s(int attempt, std::uint64_t seed, double base_s,
+                       double max_s) {
+    if (attempt <= 1 || base_s <= 0.0)
+        return 0.0;
+    double delay = base_s * std::ldexp(1.0, attempt - 2); // base * 2^(a-2)
+    const std::uint64_t h =
+        mix64(seed ^ mix64(static_cast<std::uint64_t>(attempt)));
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53; // [0, 1)
+    delay *= 0.5 + 0.5 * u;
+    if (max_s > 0.0 && delay > max_s)
+        delay = max_s;
+    return delay;
+}
 
 RunnerConfig RunnerConfig::from_env(std::string run_name) {
     // One capture so every knob — runner scheduling and simulation
@@ -24,6 +55,14 @@ RunnerConfig RunnerConfig::from_env(std::string run_name) {
     if (snap.retries > 0)
         cfg.default_max_attempts = snap.retries;
     cfg.keep_going = snap.keep_going;
+    cfg.task_timeout_s = snap.task_timeout;
+    cfg.stall_timeout_s = snap.stall_timeout;
+    if (snap.backoff_base > 0)
+        cfg.backoff_base_s = snap.backoff_base;
+    if (snap.backoff_max > 0)
+        cfg.backoff_max_s = snap.backoff_max;
+    // The same snapshot arms the cooperative per-task deadline
+    // (sim.deadline_s) that the watchdog's wall-clock cancel backstops.
     cfg.sim = spice::SimConfig::from_env(snap);
     // TFETSRAM_FAULTS keeps its historical process-wide site counting: a
     // private per-task plan would restart the indices at every task, so
@@ -160,9 +199,96 @@ RunSummary Runner::run() {
         ThreadPool pool(config_.threads);
         std::condition_variable all_done;
         std::exception_ptr first_error;
+        // Bounded-queue backpressure: at most max_in_flight tasks handed
+        // to the pool at once; the rest of the ready frontier waits in
+        // `ready` and is pumped in as slots free up.
+        std::size_t submitted = 0; // handed to the pool, not yet finished
+        const std::size_t max_in_flight = config_.max_in_flight > 0
+                                              ? config_.max_in_flight
+                                              : 2 * pool.size();
+
+        // Watchdog registry: one slot per task, written by the worker
+        // around each attempt, scanned by the monitor thread. The monitor
+        // reads ONLY the token's lock-free atomics (heartbeat progress,
+        // cancelled flag) — never a task's non-atomic SolverStats — so the
+        // TSan lane stays clean.
+        struct Attempt {
+            std::shared_ptr<spice::CancelToken> token;
+            clock::time_point start{};
+            std::uint64_t last_progress = 0;
+            clock::time_point last_change{};
+            const char* reason = nullptr; ///< "timeout"|"stall"|"shutdown"
+            bool active = false;
+        };
+        std::mutex wd_mutex; // guards the registry (worker <-> monitor)
+        std::vector<Attempt> watchdog(nodes_.size());
+
+        std::atomic<bool> monitor_stop{false};
+        std::thread monitor([&] {
+            // ~2ms cadence: responsive for sub-second stall windows, idle
+            // otherwise. Also the run's shutdown observer: once a cancel
+            // or signal arrives it keeps cancelling every active token
+            // each tick, so an attempt that registers after a sweep is
+            // still stopped.
+            while (!monitor_stop.load(std::memory_order_acquire)) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(2));
+                const bool cancelling =
+                    cancel_requested_.load(std::memory_order_acquire) ||
+                    shutdown_requested();
+                const auto now = clock::now();
+                std::lock_guard<std::mutex> lock(wd_mutex);
+                for (Attempt& a : watchdog) {
+                    if (!a.active || a.token == nullptr)
+                        continue;
+                    if (cancelling) {
+                        if (a.reason == nullptr)
+                            a.reason = "shutdown";
+                        a.token->cancel();
+                        continue;
+                    }
+                    const std::uint64_t beat = a.token->progress();
+                    if (beat != a.last_progress) {
+                        a.last_progress = beat;
+                        a.last_change = now;
+                    }
+                    const double since_start =
+                        std::chrono::duration<double>(now - a.start).count();
+                    const double since_beat =
+                        std::chrono::duration<double>(now - a.last_change)
+                            .count();
+                    if (config_.task_timeout_s > 0 &&
+                        since_start > config_.task_timeout_s) {
+                        a.reason = "timeout";
+                        a.token->cancel();
+                    } else if (config_.stall_timeout_s > 0 &&
+                               since_beat > config_.stall_timeout_s) {
+                        a.reason = "stall";
+                        a.token->cancel();
+                    }
+                }
+            }
+        });
+
+        std::function<void(TaskId)> execute;
+
+        // Both called with `mutex` held / released respectively.
+        auto pump_locked = [&]() {
+            std::vector<TaskId> batch;
+            while (!ready.empty() && submitted < max_in_flight) {
+                batch.push_back(ready.front());
+                ready.pop_front();
+                ++submitted;
+            }
+            return batch;
+        };
+        auto submit_batch = [&](const std::vector<TaskId>& batch) {
+            for (TaskId id : batch)
+                pool.submit([&execute, id] { execute(id); },
+                            nodes_[id].spec.id);
+        };
 
         // Executes one task on a pool thread, then releases its dependents.
-        std::function<void(TaskId)> execute = [&](TaskId id) {
+        execute = [&](TaskId id) {
             Node& node = nodes_[id];
             TaskRecord record;
             record.id = node.spec.id;
@@ -176,11 +302,19 @@ RunSummary Runner::run() {
                 poisoned = node.poisoned;
                 poison_source = node.poison_source;
             }
+            const bool draining =
+                cancel_requested_.load(std::memory_order_acquire) ||
+                shutdown_requested();
 
             TaskResult result;
             std::shared_ptr<TaskError> error;
             std::exception_ptr raw_error; // original, rethrown in abort mode
-            if (poisoned) {
+            if (draining) {
+                // Drain-and-cancel shutdown: the run is stopping, so this
+                // task is journaled as cancelled without ever starting.
+                record.status = TaskStatus::kCancelled;
+                record.attempts = 0;
+            } else if (poisoned) {
                 // An upstream task was quarantined: this task's inputs do
                 // not exist, so it is quarantined without running.
                 record.status = TaskStatus::kQuarantined;
@@ -200,23 +334,64 @@ RunSummary Runner::run() {
                 // thread's ambient context. A fresh context starts at zero,
                 // so its counters ARE the task's solver work — including
                 // solves the task fans out to an inner Monte-Carlo pool,
-                // which aggregate into their parent context.
+                // which aggregate into their parent context. One context —
+                // and one cancel token — spans every attempt, so a private
+                // fault plan's op counters keep counting across retries.
                 spice::SimConfig sim_cfg =
                     node.spec.sim ? *node.spec.sim : config_.sim;
                 if (sim_cfg.label.empty())
                     sim_cfg.label = node.spec.id;
+                // Every task context is cancellable: the watchdog needs a
+                // token to observe (heartbeat) and to fire (cancel).
+                if (sim_cfg.cancel == nullptr)
+                    sim_cfg.cancel = std::make_shared<spice::CancelToken>();
                 const spice::SimContext ctx(std::move(sim_cfg));
                 const spice::ScopedContext bind(ctx);
+                const std::shared_ptr<spice::CancelToken> token =
+                    ctx.cancel_token();
                 const auto t0 = clock::now();
                 int attempt = 1;
                 for (;; ++attempt) {
-                    if (attempt > 1 && node.spec.on_retry)
-                        node.spec.on_retry(attempt);
+                    if (attempt > 1) {
+                        // Un-cancel (a watchdog cancel must not doom the
+                        // retry) and back off — exponential with
+                        // deterministic per-task jitter, interruptible by
+                        // cancellation.
+                        token->reset();
+                        const double delay = retry_backoff_s(
+                            attempt, ctx.seed(), config_.backoff_base_s,
+                            config_.backoff_max_s);
+                        const auto wake =
+                            clock::now() +
+                            std::chrono::duration_cast<clock::duration>(
+                                std::chrono::duration<double>(delay));
+                        while (clock::now() < wake) {
+                            if (token->cancelled() ||
+                                cancel_requested_.load(
+                                    std::memory_order_acquire) ||
+                                shutdown_requested())
+                                break;
+                            std::this_thread::sleep_for(
+                                std::chrono::microseconds(500));
+                        }
+                        if (node.spec.on_retry)
+                            node.spec.on_retry(attempt);
+                    }
+                    {
+                        // Register this attempt with a fresh heartbeat
+                        // baseline.
+                        std::lock_guard<std::mutex> lock(wd_mutex);
+                        Attempt& a = watchdog[id];
+                        a.token = token;
+                        a.start = clock::now();
+                        a.last_progress = token->progress();
+                        a.last_change = a.start;
+                        a.active = true;
+                    }
                     try {
                         result = node.spec.fn();
                         error.reset();
                         raw_error = nullptr;
-                        break;
                     } catch (const spice::SolveException& e) {
                         error = std::make_shared<TaskError>(
                             node.spec.id, attempt, e.what(), e.error());
@@ -230,16 +405,36 @@ RunSummary Runner::run() {
                             node.spec.id, attempt, "unknown exception");
                         raw_error = std::current_exception();
                     }
-                    if (attempt >= max_attempts)
+                    {
+                        std::lock_guard<std::mutex> lock(wd_mutex);
+                        watchdog[id].active = false;
+                        if (watchdog[id].reason != nullptr)
+                            record.watchdog = watchdog[id].reason;
+                    }
+                    if (!error || attempt >= max_attempts)
+                        break;
+                    // A run shutting down must not burn retries on work
+                    // that the monitor will cancel again anyway.
+                    if (cancel_requested_.load(std::memory_order_acquire) ||
+                        shutdown_requested())
                         break;
                 }
                 record.attempts = std::min(attempt, max_attempts);
                 record.wall_s = seconds_since(t0);
                 record.solver = ctx.stats();
+                const bool cancelling =
+                    cancel_requested_.load(std::memory_order_acquire) ||
+                    shutdown_requested();
                 if (!error) {
                     record.status = TaskStatus::kExecuted;
                     if (!node.spec.key.empty())
                         cache_.store(node.spec.key, result);
+                } else if (cancelling) {
+                    // Shutdown took this attempt down mid-flight:
+                    // cancelled, not failed — run() drains and returns a
+                    // degraded summary instead of throwing.
+                    record.status = TaskStatus::kCancelled;
+                    record.error = error->what();
                 } else {
                     record.status = config_.keep_going
                                         ? TaskStatus::kQuarantined
@@ -251,7 +446,8 @@ RunSummary Runner::run() {
 
             const bool quarantined =
                 record.status == TaskStatus::kQuarantined;
-            std::vector<TaskId> unblocked;
+            const bool cancelled = record.status == TaskStatus::kCancelled;
+            std::vector<TaskId> batch;
             {
                 std::lock_guard<std::mutex> lock(mutex);
                 node.result = std::move(result);
@@ -259,7 +455,8 @@ RunSummary Runner::run() {
                 node.error = error;
                 node.done = true;
                 --pending;
-                if (error && !quarantined && !first_error)
+                --submitted;
+                if (error && !quarantined && !cancelled && !first_error)
                     first_error = raw_error;
                 if (!first_error) {
                     for (TaskId dep_id : node.dependents) {
@@ -271,24 +468,27 @@ RunSummary Runner::run() {
                             dependent.poison_source =
                                 poisoned ? poison_source : node.spec.id;
                         }
+                        // Dependents of a cancelled task still release:
+                        // they drain through execute() and are journaled
+                        // as cancelled themselves (cancel is sticky).
                         if (!dependent.done && --dependent.waiting == 0)
-                            unblocked.push_back(dep_id);
+                            ready.push_back(dep_id);
                     }
+                    batch = pump_locked();
                 }
                 if (pending == 0 || first_error)
                     all_done.notify_all();
             }
-            for (TaskId next : unblocked)
-                pool.submit([&execute, next] { execute(next); },
-                            nodes_[next].spec.id);
+            submit_batch(batch);
         };
 
         {
-            std::lock_guard<std::mutex> lock(mutex);
-            for (TaskId id : ready)
-                pool.submit([&execute, id] { execute(id); },
-                            nodes_[id].spec.id);
-            ready.clear();
+            std::vector<TaskId> batch;
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                batch = pump_locked();
+            }
+            submit_batch(batch);
         }
         {
             std::unique_lock<std::mutex> lock(mutex);
@@ -297,6 +497,8 @@ RunSummary Runner::run() {
             });
         }
         pool.wait_idle(); // quiesce in-flight tasks before leaving scope
+        monitor_stop.store(true, std::memory_order_release);
+        monitor.join();
 
         if (first_error) {
             telemetry_.finish(seconds_since(run_start));

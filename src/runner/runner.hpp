@@ -11,6 +11,8 @@
 //   r.run();                      // topological, pool-parallel, cached
 //   r.result(id).get("wlcrit");   // identical on cold and warm runs
 
+#include <atomic>
+#include <cstdint>
 #include <filesystem>
 #include <functional>
 #include <memory>
@@ -74,6 +76,26 @@ struct RunnerConfig {
     /// per-task solver counters are attributed exactly — including work a
     /// task fans out to an inner Monte-Carlo pool.
     spice::SimConfig sim;
+    /// Watchdog wall-clock budget per task attempt [s]
+    /// (TFETSRAM_TASK_TIMEOUT; 0 = unlimited). The same knob arms the
+    /// task contexts' cooperative deadline; the watchdog is the backstop
+    /// that cancels attempts stuck in non-cooperative work.
+    double task_timeout_s = 0.0;
+    /// Watchdog heartbeat-stall window [s] (TFETSRAM_STALL_TIMEOUT;
+    /// 0 = stall detection off): an attempt whose token progress counter
+    /// does not advance for this long is cancelled.
+    double stall_timeout_s = 0.0;
+    /// First retry's backoff delay [s] (TFETSRAM_BACKOFF_BASE;
+    /// 0 = retry immediately, the historical behavior). Delays double per
+    /// attempt with deterministic jitter — see retry_backoff_s().
+    double backoff_base_s = 0.0;
+    /// Backoff delay cap [s] (TFETSRAM_BACKOFF_MAX).
+    double backoff_max_s = 1.0;
+    /// Bounded-queue backpressure: at most this many tasks submitted to
+    /// the pool at once (0 = 2x the worker count). Keeps a huge ready
+    /// frontier from materializing thousands of queued closures and lets
+    /// a drain-and-cancel shutdown stop quickly.
+    std::size_t max_in_flight = 0;
 
     /// Standard environment wiring: TFETSRAM_CACHE, TFETSRAM_OUT_DIR,
     /// TFETSRAM_THREADS, TFETSRAM_RETRIES, TFETSRAM_KEEP_GOING, plus the
@@ -82,6 +104,15 @@ struct RunnerConfig {
     /// docs/ARCHITECTURE.md).
     static RunnerConfig from_env(std::string run_name);
 };
+
+/// Deterministic exponential backoff before retry `attempt` (attempt >= 2;
+/// attempt 1 is the initial try): base * 2^(attempt-2), scaled by a jitter
+/// factor in [0.5, 1.0) derived from (seed, attempt) — splitmix64, no
+/// global RNG — and capped at max_s. Pure function: the same task retries
+/// with the same delays on every rerun, while different tasks (different
+/// context seeds) desynchronize instead of retrying in lockstep.
+[[nodiscard]] double retry_backoff_s(int attempt, std::uint64_t seed,
+                                     double base_s, double max_s);
 
 class Runner {
 public:
@@ -108,6 +139,16 @@ public:
     /// Error context of a failed or quarantined task; nullptr otherwise.
     [[nodiscard]] const TaskError* error(TaskId id) const;
 
+    /// Drain-and-cancel shutdown: in-flight task contexts are cancelled
+    /// through their tokens (by the watchdog thread), still-queued tasks
+    /// are recorded as TaskStatus::kCancelled without running, and run()
+    /// returns its (degraded) summary instead of throwing. Safe from any
+    /// thread; the signal path (runner/signal.hpp) has the same effect
+    /// process-wide. Idempotent.
+    void request_cancel() {
+        cancel_requested_.store(true, std::memory_order_release);
+    }
+
     [[nodiscard]] const RunnerConfig& config() const { return config_; }
     [[nodiscard]] const ResultCache& cache() const { return cache_; }
 
@@ -132,6 +173,7 @@ private:
     Telemetry telemetry_;
     std::vector<Node> nodes_;
     bool ran_ = false;
+    std::atomic<bool> cancel_requested_{false};
 };
 
 } // namespace tfetsram::runner

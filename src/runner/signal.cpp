@@ -1,0 +1,38 @@
+#include "runner/signal.hpp"
+
+#include <atomic>
+#include <csignal>
+
+namespace tfetsram::runner {
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+extern "C" void on_signal(int sig) {
+    g_shutdown.store(true, std::memory_order_release);
+    // One graceful chance: restore the default disposition so a second
+    // signal terminates immediately even if the drain hangs.
+    std::signal(sig, SIG_DFL);
+}
+
+} // namespace
+
+void install_signal_handlers() {
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+}
+
+bool shutdown_requested() {
+    return g_shutdown.load(std::memory_order_acquire);
+}
+
+void request_shutdown() {
+    g_shutdown.store(true, std::memory_order_release);
+}
+
+void reset_shutdown_for_tests() {
+    g_shutdown.store(false, std::memory_order_release);
+}
+
+} // namespace tfetsram::runner

@@ -1,0 +1,26 @@
+#pragma once
+// Process shutdown signaling for the long-running drivers (bench/run_all,
+// examples/design_explorer). install_signal_handlers() arms SIGINT/SIGTERM
+// handlers that do the only async-signal-safe thing possible — set an
+// atomic flag — and re-arm the default disposition so a second Ctrl-C
+// kills the process outright. The runner's watchdog thread polls
+// shutdown_requested() and converts it into cooperative cancellation:
+// in-flight task contexts are cancelled via their tokens, queued tasks are
+// marked cancelled, the pool drains, and telemetry (journal + BENCH json)
+// is flushed atomically before the driver exits nonzero.
+
+namespace tfetsram::runner {
+
+/// Arm SIGINT/SIGTERM → request_shutdown(). Idempotent.
+void install_signal_handlers();
+
+/// Has a shutdown been requested (signal or programmatic)?
+[[nodiscard]] bool shutdown_requested();
+
+/// Programmatic equivalent of receiving a signal (async-signal-safe).
+void request_shutdown();
+
+/// Clear the flag so tests can exercise the path repeatedly.
+void reset_shutdown_for_tests();
+
+} // namespace tfetsram::runner

@@ -24,6 +24,7 @@ std::string to_string(TaskStatus status) {
     case TaskStatus::kPruned: return "pruned";
     case TaskStatus::kFailed: return "failed";
     case TaskStatus::kQuarantined: return "quarantined";
+    case TaskStatus::kCancelled: return "cancelled";
     }
     return "?";
 }
@@ -48,6 +49,7 @@ void Telemetry::record(const TaskRecord& record) {
     case TaskStatus::kPruned: ++summary_.pruned; break;
     case TaskStatus::kFailed: ++summary_.failed; break;
     case TaskStatus::kQuarantined: ++summary_.quarantined; break;
+    case TaskStatus::kCancelled: ++summary_.cancelled; break;
     }
     summary_.nr_iterations += record.solver.nr_iterations;
     summary_.dc_solves += record.solver.dc_solves;
@@ -63,6 +65,8 @@ void Telemetry::record(const TaskRecord& record) {
     summary_.hier_demotions += record.solver.hier_demotions;
     summary_.hier_relinearizations += record.solver.hier_relinearizations;
     summary_.hier_guard_retries += record.solver.hier_guard_retries;
+    summary_.deadline_polls += record.solver.deadline_polls;
+    summary_.cancelled_solves += record.solver.cancelled_solves;
     summary_.sparse_pattern_nnz =
         std::max(summary_.sparse_pattern_nnz, record.solver.sparse_pattern_nnz);
     summary_.sparse_lu_nnz =
@@ -80,6 +84,8 @@ void Telemetry::record(const TaskRecord& record) {
         line.set("attempts", static_cast<std::size_t>(record.attempts));
     if (!record.error.empty())
         line.set("error", record.error);
+    if (!record.watchdog.empty())
+        line.set("watchdog", record.watchdog);
     line.set("wall_s", record.wall_s);
     line.set("nr_iterations", record.solver.nr_iterations);
     line.set("dc_solves", record.solver.dc_solves);
@@ -89,6 +95,12 @@ void Telemetry::record(const TaskRecord& record) {
     line.set("lu_factorizations", record.solver.lu_factorizations);
     line.set("line_search_backtracks",
              record.solver.line_search_backtracks);
+    // Cancellation fields only appear when the task's context was
+    // deadline-armed or cancellable, so ordinary journals keep their shape.
+    if (record.solver.deadline_polls > 0)
+        line.set("deadline_polls", record.solver.deadline_polls);
+    if (record.solver.cancelled_solves > 0)
+        line.set("cancelled_solves", record.solver.cancelled_solves);
     // Sparse-kernel fields only appear when the task did sparse work, so
     // dense-only journals keep their historical shape.
     if (record.solver.sparse_refactorizations > 0 ||
@@ -128,6 +140,7 @@ RunSummary Telemetry::finish(double total_wall_s) {
         bench.set("pruned", summary_.pruned);
         bench.set("failed", summary_.failed);
         bench.set("quarantined", summary_.quarantined);
+        bench.set("cancelled", summary_.cancelled);
         bench.set("degraded", summary_.degraded());
         bench.set("wall_s", summary_.wall_s);
         bench.set("nr_iterations", summary_.nr_iterations);
@@ -144,6 +157,11 @@ RunSummary Telemetry::finish(double total_wall_s) {
                   summary_.sparse_symbolic_analyses);
         bench.set("sparse_pattern_nnz", summary_.sparse_pattern_nnz);
         bench.set("sparse_lu_nnz", summary_.sparse_lu_nnz);
+        // Emitted only when some context was deadline-armed/cancellable.
+        if (summary_.deadline_polls > 0)
+            bench.set("deadline_polls", summary_.deadline_polls);
+        if (summary_.cancelled_solves > 0)
+            bench.set("cancelled_solves", summary_.cancelled_solves);
         // Emitted only when some task ran the mixed-level engine, so the
         // BENCH schema of flat-only runs is unchanged.
         if (summary_.hier_promotions > 0 || summary_.hier_demotions > 0 ||
@@ -212,7 +230,9 @@ std::string Telemetry::render(const RunSummary& summary,
     if (summary.degraded())
         rendered += "DEGRADED RUN: " + std::to_string(summary.quarantined) +
                     " quarantined / " + std::to_string(summary.failed) +
-                    " failed task(s) — figures contain placeholder points\n";
+                    " failed / " + std::to_string(summary.cancelled) +
+                    " cancelled task(s) — figures contain placeholder "
+                    "points\n";
     return rendered;
 }
 

@@ -32,6 +32,8 @@ enum class TaskStatus {
     kFailed,      ///< fn threw (run aborts unless keep-going)
     kQuarantined, ///< fn failed in keep-going mode, or an upstream
                   ///< dependency was quarantined; rest of the graph ran
+    kCancelled,   ///< never ran: the run was cancelled (signal or
+                  ///< Runner::request_cancel) while it was still queued
 };
 std::string to_string(TaskStatus status);
 
@@ -41,6 +43,8 @@ struct TaskRecord {
     TaskStatus status = TaskStatus::kExecuted;
     int attempts = 1;  ///< execution attempts spent (retries included)
     std::string error; ///< structured-error rendering when failed/quarantined
+    /// Why the watchdog intervened ("stall" / "timeout"), empty otherwise.
+    std::string watchdog;
     double wall_s = 0.0;
     spice::SolverStats solver; ///< the task's SimContext totals
                                ///< (inner-pool work included)
@@ -54,6 +58,7 @@ struct RunSummary {
     std::size_t pruned = 0;
     std::size_t failed = 0;
     std::size_t quarantined = 0;
+    std::size_t cancelled = 0;
     double wall_s = 0.0;
     std::uint64_t nr_iterations = 0;
     std::uint64_t dc_solves = 0;
@@ -77,10 +82,15 @@ struct RunSummary {
     /// the run's tasks (gauge maximum; 0 when the engine never ran).
     std::uint64_t hier_active_unknowns = 0;
 
-    /// A degraded run completed the graph but quarantined (or failed)
-    /// some tasks — its figures carry placeholder points.
+    /// Total cancellation checkpoints / cancelled solves across the run's
+    /// tasks (0 unless some context was deadline-armed or cancellable).
+    std::uint64_t deadline_polls = 0;
+    std::uint64_t cancelled_solves = 0;
+
+    /// A degraded run completed the graph but quarantined, failed, or
+    /// cancelled some tasks — its figures carry placeholder points.
     [[nodiscard]] bool degraded() const {
-        return failed > 0 || quarantined > 0;
+        return failed > 0 || quarantined > 0 || cancelled > 0;
     }
 };
 

@@ -37,6 +37,8 @@ SimConfig SimConfig::from_env(const env::EnvSnapshot& snap) {
         cfg.out_dir = snap.out_dir;
     if (!snap.cache_dir.empty())
         cfg.cache_dir = snap.cache_dir;
+    if (snap.task_timeout > 0)
+        cfg.deadline_s = snap.task_timeout;
     return cfg;
 }
 
@@ -44,6 +46,13 @@ SimContext::SimContext(SimConfig config)
     : config_(std::move(config)), stats_sink_(&stats_) {
     if (!config_.fault_spec.empty())
         fault_ = std::make_shared<fault::FaultState>(config_.fault_spec);
+    if (config_.deadline_s > 0) {
+        has_deadline_ = true;
+        deadline_at_ = std::chrono::steady_clock::now() +
+                       std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(config_.deadline_s));
+    }
 }
 
 SimContext::~SimContext() = default;
@@ -54,12 +63,14 @@ SimContext::SimContext(SimContext&& other) noexcept
       // aliasing its parent.
       stats_sink_(other.stats_sink_ == &other.stats_ ? &stats_
                                                      : other.stats_sink_),
-      fault_(std::move(other.fault_)) {}
+      fault_(std::move(other.fault_)), has_deadline_(other.has_deadline_),
+      deadline_at_(other.deadline_at_) {}
 
 SimContext::SimContext(ViewTag, const SimContext& parent,
                        const SolverOptions& opts)
     : config_(parent.config_), stats_sink_(parent.stats_sink_),
-      fault_(parent.fault_) {
+      fault_(parent.fault_), has_deadline_(parent.has_deadline_),
+      deadline_at_(parent.deadline_at_) {
     config_.options = opts;
 }
 
@@ -77,6 +88,11 @@ SimContext SimContext::child(std::uint64_t stream) const {
     cfg.seed = derive_seed(stream);
     SimContext ctx(std::move(cfg));
     ctx.fault_ = fault_; // children share the plan (and its op counters)
+    // A child inherits the parent's absolute expiry instant, not a fresh
+    // window — the fan-out cannot outlive the task that spawned it. (The
+    // constructor re-armed from deadline_s; overwrite with the original.)
+    ctx.has_deadline_ = has_deadline_;
+    ctx.deadline_at_ = deadline_at_;
     return ctx;
 }
 
@@ -88,6 +104,32 @@ bool SimContext::should_fail(fault::Site site) const {
     if (fault_)
         return fault_->should_fail(site);
     return fault::should_fail(site);
+}
+
+SolveErrorCode SimContext::poll_cancellation() const {
+    ++stats_sink_->deadline_polls;
+    if (config_.cancel) {
+        if (config_.cancel->cancelled())
+            return SolveErrorCode::kCancelled;
+        config_.cancel->tick(); // heartbeat for the watchdog
+    }
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_at_)
+        return SolveErrorCode::kDeadlineExceeded;
+    if (config_.iteration_budget != 0 &&
+        stats_sink_->nr_iterations >= config_.iteration_budget)
+        return SolveErrorCode::kDeadlineExceeded;
+    return SolveErrorCode::kNone;
+}
+
+SolveErrorCode SimContext::cancellation_status() const {
+    if (config_.cancel && config_.cancel->cancelled())
+        return SolveErrorCode::kCancelled;
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_at_)
+        return SolveErrorCode::kDeadlineExceeded;
+    if (config_.iteration_budget != 0 &&
+        stats_sink_->nr_iterations >= config_.iteration_budget)
+        return SolveErrorCode::kDeadlineExceeded;
+    return SolveErrorCode::kNone;
 }
 
 const SimContext& ambient_context() {

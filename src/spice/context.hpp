@@ -26,6 +26,7 @@
 // ScopedSolverMode) all delegate to the ambient context, so unported call
 // sites keep their exact historical behavior. See docs/ARCHITECTURE.md.
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <filesystem>
@@ -33,6 +34,8 @@
 #include <optional>
 #include <string>
 
+#include "spice/cancel.hpp"
+#include "spice/solve_error.hpp"
 #include "spice/solver_options.hpp"
 #include "spice/solver_select.hpp"
 #include "spice/stats.hpp"
@@ -66,6 +69,23 @@ struct SimConfig {
     std::filesystem::path cache_dir = ".tfetsram_cache";
     /// Attribution label (e.g. the runner task id); diagnostic only.
     std::string label;
+
+    // --- cancellation / graceful degradation (docs/ROBUSTNESS.md) ---
+    /// Wall-clock budget in seconds, armed at SimContext construction
+    /// (TFETSRAM_TASK_TIMEOUT; 0 = unlimited). Views and children inherit
+    /// the parent's absolute expiry instant, so a Monte-Carlo fan-out
+    /// cannot outlive the task that spawned it. Expiry is graceful: solves
+    /// return SolveErrorCode::kDeadlineExceeded with partial results.
+    double deadline_s = 0.0;
+    /// Deterministic budget on the context's total Newton iterations
+    /// (0 = unlimited). Unlike the wall clock, this expires at exactly the
+    /// same poll on every rerun — what the deadline tests pin counters on.
+    std::uint64_t iteration_budget = 0;
+    /// Cooperative cancel/heartbeat token. Shared (not copied) by views
+    /// and children; null means "not cancellable" and polls cost only a
+    /// counter increment. The runner installs one per task attempt so its
+    /// watchdog can cancel stalled work from outside.
+    std::shared_ptr<CancelToken> cancel;
 
     /// Defaults layered from a fresh environment snapshot.
     static SimConfig from_env();
@@ -120,6 +140,25 @@ public:
     /// process-wide injector.
     [[nodiscard]] bool should_fail(fault::Site site) const;
 
+    /// Cancellation checkpoint: bumps stats().deadline_polls, ticks the
+    /// token's heartbeat, and reports why the solve should stop —
+    /// kCancelled (token fired), kDeadlineExceeded (wall clock or
+    /// iteration budget expired), or kNone. Engines call this at every
+    /// Newton iteration / transient step / MC sample / mixed-level
+    /// attempt; callers unwind gracefully, preserving partial results.
+    [[nodiscard]] SolveErrorCode poll_cancellation() const;
+
+    /// Side-effect-free re-read of the current cancellation state: no
+    /// counter bump, no heartbeat tick. For secondary checks (between DC
+    /// fallback strategies, in retry loops) that must not perturb the
+    /// deterministic deadline_polls count.
+    [[nodiscard]] SolveErrorCode cancellation_status() const;
+
+    /// The shared token (null when the context is not cancellable).
+    [[nodiscard]] const std::shared_ptr<CancelToken>& cancel_token() const {
+        return config_.cancel;
+    }
+
 private:
     struct ViewTag {};
     SimContext(ViewTag, const SimContext& parent, const SolverOptions& opts);
@@ -128,6 +167,11 @@ private:
     mutable SolverStats stats_;
     SolverStats* stats_sink_ = nullptr;
     std::shared_ptr<fault::FaultState> fault_;
+    /// Absolute expiry instant, armed once at construction from
+    /// config_.deadline_s; children and views copy the parent's instant so
+    /// the whole task tree expires together.
+    bool has_deadline_ = false;
+    std::chrono::steady_clock::time_point deadline_at_{};
 };
 
 /// The context solver work on this thread attributes to: the innermost

@@ -1,7 +1,9 @@
 #include "spice/dc.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <limits>
+#include <thread>
 
 #include "la/lu.hpp"
 #include "spice/mna.hpp"
@@ -95,6 +97,15 @@ int newton_raphson_core(Circuit& circuit, const AnalysisState& as,
     const double warm_floor = opts.itol * std::sqrt(static_cast<double>(n));
 
     for (int iter = 1; iter <= opts.max_nr_iterations; ++iter) {
+        // Cancellation checkpoint: one poll per Newton iteration. A fired
+        // token/deadline makes this iteration report failure; solve_dc's
+        // between-strategy checks turn that into a graceful cancelled
+        // result instead of escalating through the homotopy chain.
+        if (ctx.poll_cancellation() != SolveErrorCode::kNone) {
+            if (final_residual != nullptr)
+                *final_residual = resid;
+            return -iter;
+        }
         // The workspace Jacobian holds the linearization at the current x.
         // lu_factorizations counts both kernels (the contract tests pin it
         // to nr_iterations); sparse_refactorizations additionally meters
@@ -197,6 +208,35 @@ int newton_raphson(Circuit& circuit, const AnalysisState& as,
 
 } // namespace detail
 
+namespace {
+
+/// Graceful-degradation result: the solve is over, the best iterate so far
+/// is preserved, and the error says why (kCancelled or kDeadlineExceeded).
+DcResult make_cancelled_dc(const SimContext& ctx, SolveErrorCode code,
+                           double time, la::Vector last_x,
+                           std::vector<StrategyAttempt> attempts,
+                           int iterations) {
+    ++ctx.stats().cancelled_solves;
+    DcResult result;
+    result.converged = false;
+    result.strategy = "cancelled";
+    result.iterations = iterations;
+    result.attempts = attempts;
+    result.x = last_x;
+    SolveError err;
+    err.code = code;
+    err.message = code == SolveErrorCode::kCancelled
+                      ? "dc operating point: cancelled by token"
+                      : "dc operating point: deadline budget expired";
+    err.strategies = std::move(attempts);
+    err.time = time;
+    err.last_iterate = std::move(last_x);
+    result.error = std::move(err);
+    return result;
+}
+
+} // namespace
+
 DcResult solve_dc(Circuit& circuit, const SimContext& ctx, double time,
                   const la::Vector* initial_guess) {
     // Bind the context so nested work (MNA assembly counters, legacy
@@ -216,6 +256,15 @@ DcResult solve_dc(Circuit& circuit, const SimContext& ctx, double time,
     if (initial_guess != nullptr && initial_guess->size() == n)
         result.x = *initial_guess;
 
+    // Entry checkpoint: a solve that starts under an already-expired
+    // context returns immediately instead of spending a Newton chain.
+    {
+        const SolveErrorCode entry = ctx.poll_cancellation();
+        if (entry != SolveErrorCode::kNone)
+            return make_cancelled_dc(ctx, entry, time, std::move(result.x),
+                                     {}, 0);
+    }
+
     if (ctx.should_fail(fault::Site::kDcSolve)) {
         result.converged = false;
         result.strategy = "failed";
@@ -226,6 +275,22 @@ DcResult solve_dc(Circuit& circuit, const SimContext& ctx, double time,
         err.last_iterate = result.x;
         result.error = std::move(err);
         return result;
+    }
+
+    // Deterministic stall site: park here — heartbeat silent — until the
+    // context is cancelled or its deadline expires. This is how the tests
+    // and ci.sh force the runner watchdog's stall-detection path: the
+    // parked solve stops ticking the token, the watchdog notices the
+    // frozen progress counter and cancels, and the solve unwinds through
+    // the ordinary graceful-degradation return.
+    if (ctx.should_fail(fault::Site::kStall)) {
+        for (;;) {
+            const SolveErrorCode status = ctx.cancellation_status();
+            if (status != SolveErrorCode::kNone)
+                return make_cancelled_dc(ctx, status, time,
+                                         std::move(result.x), {}, 0);
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
     }
 
     // Each strategy's record: name, iterations it consumed, whether it
@@ -250,6 +315,16 @@ DcResult solve_dc(Circuit& circuit, const SimContext& ctx, double time,
             return result;
         }
         last_x = std::move(x);
+    }
+
+    // A cancelled/expired context must not escalate through the homotopy
+    // fallbacks — strategy 1 "failed" because it was told to stop.
+    {
+        const SolveErrorCode status = ctx.cancellation_status();
+        if (status != SolveErrorCode::kNone)
+            return make_cancelled_dc(ctx, status, time, std::move(last_x),
+                                     std::move(result.attempts),
+                                     result.iterations);
     }
 
     // Strategy 2: gmin stepping — solve with a large shunt conductance and
@@ -290,6 +365,14 @@ DcResult solve_dc(Circuit& circuit, const SimContext& ctx, double time,
         last_x = std::move(x);
     }
 
+    {
+        const SolveErrorCode status = ctx.cancellation_status();
+        if (status != SolveErrorCode::kNone)
+            return make_cancelled_dc(ctx, status, time, std::move(last_x),
+                                     std::move(result.attempts),
+                                     result.iterations);
+    }
+
     // Strategy 3: source stepping — ramp all sources from zero.
     {
         StrategyAttempt attempt;
@@ -317,6 +400,14 @@ DcResult solve_dc(Circuit& circuit, const SimContext& ctx, double time,
             return result;
         }
         last_x = std::move(x);
+    }
+
+    {
+        const SolveErrorCode status = ctx.cancellation_status();
+        if (status != SolveErrorCode::kNone)
+            return make_cancelled_dc(ctx, status, time, std::move(last_x),
+                                     std::move(result.attempts),
+                                     result.iterations);
     }
 
     result.converged = false;

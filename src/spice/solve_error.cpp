@@ -14,6 +14,8 @@ std::string to_string(SolveErrorCode code) {
     case SolveErrorCode::kSingularAcSystem: return "singular-ac-system";
     case SolveErrorCode::kInjectedFault: return "injected-fault";
     case SolveErrorCode::kInvalidConfig: return "invalid-config";
+    case SolveErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+    case SolveErrorCode::kCancelled: return "cancelled";
     }
     return "?";
 }

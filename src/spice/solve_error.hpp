@@ -26,7 +26,20 @@ enum class SolveErrorCode {
     kInvalidConfig,    ///< rejected configuration (e.g. a degenerate
                        ///< 0-row/0-column array that would assemble a
                        ///< malformed MNA system)
+    kDeadlineExceeded, ///< the context's wall-clock or iteration budget
+                       ///< expired (SimConfig::deadline_s /
+                       ///< iteration_budget); partial results preserved
+    kCancelled,        ///< the context's CancelToken fired (watchdog,
+                       ///< signal handler, or explicit request)
 };
+
+/// True for the two graceful-degradation codes: the solve was healthy but
+/// told to stop. Retrying under the same expired context is futile, so
+/// retry loops (MC sample attempts, transient dt-shrink) bail out on them.
+[[nodiscard]] constexpr bool is_cancellation(SolveErrorCode code) {
+    return code == SolveErrorCode::kDeadlineExceeded ||
+           code == SolveErrorCode::kCancelled;
+}
 std::string to_string(SolveErrorCode code);
 
 /// One entry of the DC fallback chain ("newton", "gmin-stepping",

@@ -36,6 +36,14 @@ struct SolverStats {
     std::uint64_t sparse_refactorizations = 0; ///< sparse numeric refactors
     std::uint64_t sparse_symbolic_analyses = 0; ///< once per sparse circuit
 
+    // Cancellation/deadline instrumentation (docs/ROBUSTNESS.md): polls
+    // happen at deterministic boundaries (one per Newton iteration, per
+    // transient step, per solve entry, per mixed-level attempt), so for a
+    // fixed workload deadline_polls is exact and rerun-stable; a solve
+    // that returned kCancelled/kDeadlineExceeded bumps cancelled_solves.
+    std::uint64_t deadline_polls = 0;   ///< cancellation checkpoints hit
+    std::uint64_t cancelled_solves = 0; ///< solves ended by cancel/deadline
+
     // Mixed-level array engine (src/hier) event counters: exact and
     // deterministic for a given operation sequence — the differential
     // tests pin them, and the telemetry journal exposes them per task.
@@ -57,20 +65,26 @@ struct SolverStats {
     /// value through when the region did any sparse work, and 0 otherwise
     /// (a dense-only region reports no sparse system size).
     SolverStats operator-(const SolverStats& rhs) const {
-        SolverStats d{nr_iterations - rhs.nr_iterations,
-                      dc_solves - rhs.dc_solves,
-                      transient_steps - rhs.transient_steps,
-                      transient_solves - rhs.transient_solves,
-                      assemblies - rhs.assemblies,
-                      lu_factorizations - rhs.lu_factorizations,
-                      line_search_backtracks - rhs.line_search_backtracks,
-                      sparse_refactorizations - rhs.sparse_refactorizations,
-                      sparse_symbolic_analyses - rhs.sparse_symbolic_analyses,
-                      hier_promotions - rhs.hier_promotions,
-                      hier_demotions - rhs.hier_demotions,
-                      hier_relinearizations - rhs.hier_relinearizations,
-                      hier_guard_retries - rhs.hier_guard_retries,
-                      0, 0, 0};
+        SolverStats d;
+        d.nr_iterations = nr_iterations - rhs.nr_iterations;
+        d.dc_solves = dc_solves - rhs.dc_solves;
+        d.transient_steps = transient_steps - rhs.transient_steps;
+        d.transient_solves = transient_solves - rhs.transient_solves;
+        d.assemblies = assemblies - rhs.assemblies;
+        d.lu_factorizations = lu_factorizations - rhs.lu_factorizations;
+        d.line_search_backtracks =
+            line_search_backtracks - rhs.line_search_backtracks;
+        d.sparse_refactorizations =
+            sparse_refactorizations - rhs.sparse_refactorizations;
+        d.sparse_symbolic_analyses =
+            sparse_symbolic_analyses - rhs.sparse_symbolic_analyses;
+        d.deadline_polls = deadline_polls - rhs.deadline_polls;
+        d.cancelled_solves = cancelled_solves - rhs.cancelled_solves;
+        d.hier_promotions = hier_promotions - rhs.hier_promotions;
+        d.hier_demotions = hier_demotions - rhs.hier_demotions;
+        d.hier_relinearizations =
+            hier_relinearizations - rhs.hier_relinearizations;
+        d.hier_guard_retries = hier_guard_retries - rhs.hier_guard_retries;
         if (d.sparse_refactorizations > 0 || d.sparse_symbolic_analyses > 0) {
             d.sparse_pattern_nnz = sparse_pattern_nnz;
             d.sparse_lu_nnz = sparse_lu_nnz;
@@ -94,6 +108,8 @@ struct SolverStats {
         line_search_backtracks += rhs.line_search_backtracks;
         sparse_refactorizations += rhs.sparse_refactorizations;
         sparse_symbolic_analyses += rhs.sparse_symbolic_analyses;
+        deadline_polls += rhs.deadline_polls;
+        cancelled_solves += rhs.cancelled_solves;
         hier_promotions += rhs.hier_promotions;
         hier_demotions += rhs.hier_demotions;
         hier_relinearizations += rhs.hier_relinearizations;

@@ -182,6 +182,31 @@ TransientResult solve_transient(Circuit& circuit, const SimContext& ctx,
             result.completed = true;
             return result;
         }
+        // Cancellation checkpoint: one poll per transient step. Expiry is
+        // graceful — everything integrated so far stays in the result
+        // (states, time_reached), the error records where the run stopped.
+        {
+            const SolveErrorCode status = ctx.poll_cancellation();
+            if (status != SolveErrorCode::kNone) {
+                ++ctx.stats().cancelled_solves;
+                char buf[160];
+                std::snprintf(buf, sizeof(buf),
+                              "transient: %s at t=%.6e s (%.1f%% of t_end), "
+                              "partial waveform preserved",
+                              status == SolveErrorCode::kCancelled
+                                  ? "cancelled"
+                                  : "deadline expired",
+                              t, 100.0 * t / t_end);
+                result.message = buf;
+                SolveError err;
+                err.code = status;
+                err.message = buf;
+                err.time = t;
+                err.last_iterate = x; // last accepted state
+                result.error = std::move(err);
+                return result;
+            }
+        }
         // Advance past consumed breakpoints; land on the next one.
         while (next_bp < breakpoints.size() &&
                breakpoints[next_bp] <= t + time_tol(t))
@@ -207,6 +232,30 @@ TransientResult solve_transient(Circuit& circuit, const SimContext& ctx,
             if (iters > 0) {
                 solved = true;
                 break;
+            }
+            // A Newton failure caused by cancellation must not be "fixed"
+            // by shrinking dt — every retry would fail at its first poll.
+            {
+                const SolveErrorCode status = ctx.cancellation_status();
+                if (status != SolveErrorCode::kNone) {
+                    ++ctx.stats().cancelled_solves;
+                    char buf[160];
+                    std::snprintf(buf, sizeof(buf),
+                                  "transient: %s during Newton at t=%.6e s, "
+                                  "partial waveform preserved",
+                                  status == SolveErrorCode::kCancelled
+                                      ? "cancelled"
+                                      : "deadline expired",
+                                  t);
+                    result.message = buf;
+                    SolveError err;
+                    err.code = status;
+                    err.message = buf;
+                    err.time = t;
+                    err.last_iterate = x;
+                    result.error = std::move(err);
+                    return result;
+                }
             }
             dt *= 0.25;
             if (dt < opts.dt_min) {

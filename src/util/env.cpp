@@ -48,6 +48,20 @@ std::optional<bool> parse_bool(std::string_view text) {
     return std::nullopt;
 }
 
+std::optional<double> parse_double(std::string_view text) {
+    if (text.empty())
+        return std::nullopt;
+    const std::string owned(text); // strtod needs a terminator
+    char* end = nullptr;
+    const double value = std::strtod(owned.c_str(), &end);
+    if (end == nullptr || *end != '\0' || end == owned.c_str())
+        return std::nullopt;
+    if (!(value == value) || value > std::numeric_limits<double>::max() ||
+        value < -std::numeric_limits<double>::max())
+        return std::nullopt; // NaN or infinite
+    return value;
+}
+
 std::optional<std::size_t> parse_choice(
     std::string_view text, std::initializer_list<std::string_view> names) {
     std::size_t i = 0;
@@ -71,6 +85,13 @@ long long get_int(const char* name, long long fallback) {
     if (value == nullptr || *value == '\0')
         return fallback;
     return parse_int(value).value_or(fallback);
+}
+
+double get_double(const char* name, double fallback) {
+    const char* value = raw(name);
+    if (value == nullptr || *value == '\0')
+        return fallback;
+    return parse_double(value).value_or(fallback);
 }
 
 bool get_bool(const char* name, bool fallback) {
@@ -102,6 +123,18 @@ EnvSnapshot EnvSnapshot::capture() {
     const long long seed = get_int("TFETSRAM_SEED", 0);
     if (seed > 0)
         snap.seed = static_cast<std::uint64_t>(seed);
+    const double task_timeout = get_double("TFETSRAM_TASK_TIMEOUT", 0.0);
+    if (task_timeout > 0)
+        snap.task_timeout = task_timeout;
+    const double stall_timeout = get_double("TFETSRAM_STALL_TIMEOUT", 0.0);
+    if (stall_timeout > 0)
+        snap.stall_timeout = stall_timeout;
+    const double backoff_base = get_double("TFETSRAM_BACKOFF_BASE", 0.0);
+    if (backoff_base > 0)
+        snap.backoff_base = backoff_base;
+    const double backoff_max = get_double("TFETSRAM_BACKOFF_MAX", 0.0);
+    if (backoff_max > 0)
+        snap.backoff_max = backoff_max;
     return snap;
 }
 

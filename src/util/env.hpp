@@ -31,6 +31,10 @@ std::optional<long long> parse_int(std::string_view text);
 /// otherwise.
 std::optional<bool> parse_bool(std::string_view text);
 
+/// Finite base-10 floating-point value (strtod grammar, full-string match);
+/// nullopt on empty text, stray characters, or non-finite results.
+std::optional<double> parse_double(std::string_view text);
+
 /// Index of `text` within `names` (exact match); nullopt when absent.
 /// The generic helper behind every enum-valued knob (solver mode, cache
 /// mode): layers parse once, here, instead of hand-rolling strcmp chains.
@@ -44,6 +48,9 @@ std::string get_string(const char* name, std::string_view fallback = {});
 
 /// Parsed integer, or `fallback` when unset/empty/unparseable.
 long long get_int(const char* name, long long fallback);
+
+/// Parsed double, or `fallback` when unset/empty/unparseable.
+double get_double(const char* name, double fallback);
 
 /// Parsed boolean. Unset/empty returns `fallback`; a recognized literal
 /// returns its value; any other non-empty text arms the flag (true) —
@@ -66,6 +73,14 @@ struct EnvSnapshot {
     bool keep_going = false;    ///< TFETSRAM_KEEP_GOING
     std::size_t mc_samples = 0; ///< TFETSRAM_MC_SAMPLES (0 = unset)
     std::uint64_t seed = 0;     ///< TFETSRAM_SEED RNG root (0 = unset)
+    double task_timeout = 0.0;  ///< TFETSRAM_TASK_TIMEOUT wall budget [s]
+                                ///< per task (0 = unlimited)
+    double stall_timeout = 0.0; ///< TFETSRAM_STALL_TIMEOUT watchdog
+                                ///< heartbeat-stall window [s] (0 = off)
+    double backoff_base = 0.0;  ///< TFETSRAM_BACKOFF_BASE first retry
+                                ///< delay [s] (0 = retry immediately)
+    double backoff_max = 0.0;   ///< TFETSRAM_BACKOFF_MAX delay cap [s]
+                                ///< (0 = unset, runner default applies)
 
     /// Read the environment now. from_env()-style entry points capture a
     /// fresh snapshot so tests that setenv() between calls see updates.

@@ -76,6 +76,8 @@ Site parse_site(std::string_view name) {
         return Site::kCacheStore;
     if (name == "file_write")
         return Site::kFileWrite;
+    if (name == "stall")
+        return Site::kStall;
     throw contract_violation("fault: unknown site '" + std::string(name) +
                              "' in TFETSRAM_FAULTS spec");
 }
@@ -89,6 +91,7 @@ const char* to_string(Site site) {
     case Site::kCacheLoad: return "cache_load";
     case Site::kCacheStore: return "cache_store";
     case Site::kFileWrite: return "file_write";
+    case Site::kStall: return "stall";
     }
     return "?";
 }

@@ -14,7 +14,7 @@
 //             | 'every:' N           fire when index % N == 0
 //             | 'from:' N            fire at every index >= N
 //             | 'p:' PROB ':' SEED   fire with probability PROB (seeded hash)
-//   site     := newton | dc | cache_load | cache_store | file_write
+//   site     := newton | dc | cache_load | cache_store | file_write | stall
 //
 // Example: TFETSRAM_FAULTS="newton@from:1;cache_load@0,3"
 //
@@ -34,8 +34,10 @@ enum class Site : std::size_t {
     kCacheLoad,  ///< a cache entry reads as corrupt (treated as a miss)
     kCacheStore, ///< a cache store fails (entry not persisted)
     kFileWrite,  ///< a telemetry artifact write fails
+    kStall,      ///< a solve_dc parks (stops heartbeating) until its
+                 ///< context is cancelled — exercises the runner watchdog
 };
-inline constexpr std::size_t kSiteCount = 5;
+inline constexpr std::size_t kSiteCount = 6;
 const char* to_string(Site site);
 
 /// A parsed injection plan: per-site selectors over operation indices.
