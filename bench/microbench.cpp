@@ -1,9 +1,11 @@
-// Microbenchmark harness for the solver hot paths. Eight small, fixed
+// Microbenchmark harness for the solver hot paths. Nine small, fixed
 // workloads — cold DC operating point, warm-started DC re-solve, a full
 // write transient, a WLcrit bisection, an SNM butterfly trace, a
-// 64-sample Monte-Carlo batch, and an 8x8-array DC initialization run
+// 64-sample Monte-Carlo batch, an 8x8-array DC initialization run
 // once per linear kernel (dense vs sparse, pinned per task through
-// TaskSpec::sim) — each metered with wall time and the ambient context's
+// TaskSpec::sim), and a sparse-only 64x64-array DC initialization that
+// stresses the ordering/static-pivot/batched-eval fast paths at scale —
+// each metered with wall time and the ambient context's
 // solver_stats() counters (MNA assemblies, LU factorizations, line-search
 // backtracks, NR iterations, DC/transient solves). Results land as a console table, a
 // CSV, and BENCH_microbench.json via the runner/telemetry plumbing, so
@@ -246,6 +248,36 @@ int run_microbench(const runner::RunnerConfig& config) {
         spice::SimConfig sim = cfg.sim;
         sim.mode = sparse ? spice::SolverMode::kSparse
                           : spice::SolverMode::kDense;
+        spec.sim = std::move(sim);
+        tasks.push_back(r.add(std::move(spec)));
+    }
+
+    // 9. Array-scale stress point for the sparse kernel alone: a flat
+    // 64x64 array (thousands of MNA unknowns — far past dense viability)
+    // initialized once. This is where the fill-reducing ordering, the
+    // static-pivot refactor path, and the batched device sweep earn their
+    // keep; ci.sh gates its wall time against the checked-in baseline.
+    {
+        names.push_back("array64x64");
+        runner::TaskSpec spec = bench_task("array64x64", models, [cell_cfg] {
+            array::ArrayConfig acfg;
+            acfg.rows = 64;
+            acfg.cols = 64;
+            acfg.cell = cell_cfg;
+            acfg.read_assist = sram::Assist::kRaGndLowering;
+            std::vector<std::vector<bool>> data(
+                acfg.rows, std::vector<bool>(acfg.cols));
+            for (std::size_t rr = 0; rr < acfg.rows; ++rr)
+                for (std::size_t cc = 0; cc < acfg.cols; ++cc)
+                    data[rr][cc] = (rr + cc) % 2 == 0;
+            const Meter m = metered(1, [&](std::size_t) {
+                array::SramArray arr(acfg);
+                TFET_ASSERT(arr.initialize(data));
+            });
+            return to_result("array64x64", m);
+        });
+        spice::SimConfig sim = cfg.sim;
+        sim.mode = spice::SolverMode::kSparse;
         spec.sim = std::move(sim);
         tasks.push_back(r.add(std::move(spec)));
     }

@@ -91,6 +91,28 @@ TFETSRAM_CACHE=off TFETSRAM_OUT_DIR="$BENCH_OUT" ./build/bench/microbench
 grep -q '"failed":0' "$BENCH_OUT"/BENCH_microbench.json
 echo "microbench counters recorded in $BENCH_OUT/BENCH_microbench.json"
 
+echo "=== microbench: array64x64 wall regression gate ==="
+# The sparse-kernel scale workload must stay within 1.5x of the
+# checked-in baseline wall (bench_csv/BENCH_microbench.json, measured on
+# the machine class that recorded it — the generous factor absorbs run
+# noise while still catching an ordering/fast-path regression, which
+# costs well over 2x at this size; docs/SOLVER.md).
+extract_wall() {
+  sed -n 's/.*"task_wall_s":{[^}]*"array64x64":\([0-9.eE+-]*\).*/\1/p' "$1"
+}
+BASE_WALL="$(extract_wall bench_csv/BENCH_microbench.json)"
+FRESH_WALL="$(extract_wall "$BENCH_OUT"/BENCH_microbench.json)"
+if [[ -z "$BASE_WALL" || -z "$FRESH_WALL" ]]; then
+  echo "array64x64 wall missing from BENCH artifact" >&2
+  exit 1
+fi
+if ! awk -v fresh="$FRESH_WALL" -v base="$BASE_WALL" \
+    'BEGIN { exit !(fresh <= 1.5 * base) }'; then
+  echo "array64x64 regressed: ${FRESH_WALL}s vs baseline ${BASE_WALL}s (>1.5x)" >&2
+  exit 1
+fi
+echo "array64x64 wall ${FRESH_WALL}s within 1.5x of baseline ${BASE_WALL}s"
+
 if [[ "$SKIP_ASAN" == "1" ]]; then
   echo "=== asan job skipped ==="
 else
@@ -119,7 +141,7 @@ fi
 echo "=== build (ThreadSanitizer) ==="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DTFETSRAM_SANITIZE=thread
-cmake --build build-tsan -j "$JOBS" --target test_runner test_mc test_faults test_deadline test_sparse_diff test_context test_hier
+cmake --build build-tsan -j "$JOBS" --target test_runner test_mc test_faults test_deadline test_sparse_diff test_context test_hier test_la
 
 echo "=== tsan: scheduler/cache/pool/fault/context tests ==="
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_runner
@@ -130,6 +152,10 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_context
 # The sparse/dense kernel-selection override is an atomic read in the
 # Newton hot path; the diff suite exercises it across backends under TSan.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_sparse_diff
+# The AMD ordering and static-pivot refactor tests run here too: the
+# reused pivot sequence and ordering arenas are per-SparseLu state that
+# concurrent contexts must never share.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_la
 # The death test aborts by design; its fork/exec interacts badly with TSan,
 # so it runs (and passes) in the regular job only.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_faults \

@@ -81,6 +81,8 @@ SramArray::SramArray(const ArrayConfig& config, const spice::SimContext* sim)
         col.blb = ckt_.add_node("blb" + id);
         const spice::NodeId bld = ckt_.add_node("bl" + id + "_drv");
         const spice::NodeId blbd = ckt_.add_node("blb" + id + "_drv");
+        col.bl_drv = bld;
+        col.blb_drv = blbd;
         col.v_bl = &ckt_.add_vsource("Vbl" + id, bld, spice::kGround,
                                      Waveform::dc(vdd));
         col.v_blb = &ckt_.add_vsource("Vblb" + id, blbd, spice::kGround,
@@ -107,6 +109,7 @@ SramArray::SramArray(const ArrayConfig& config, const spice::SimContext* sim)
         RowHandles& row = row_handles_[r];
         const std::string rid = std::to_string(r);
         const spice::NodeId wl = ckt_.add_node("wl" + rid);
+        row.wl_node = wl;
         row.wl = &ckt_.add_vsource("Vwl" + rid, wl, spice::kGround,
                                    Waveform::dc(active_low ? vdd : 0.0));
         for (std::size_t c = 0; c < config_.cols; ++c) {
@@ -155,22 +158,50 @@ bool SramArray::initialize(const std::vector<std::vector<bool>>& data) {
     quiesce();
     const spice::ScopedContext bind(sim_);
     const spice::SolverOptions opts;
-    const spice::DcResult cold = spice::solve_dc(ckt_, opts);
-    la::Vector guess =
-        cold.converged ? cold.x : la::Vector(ckt_.num_unknowns(), 0.0);
     const double vdd = config_.cell.vdd;
-    for (std::size_t r = 0; r < config_.rows; ++r) {
-        for (std::size_t c = 0; c < config_.cols; ++c) {
-            const CellNodes& cell = at(r, c);
-            guess[cell.q - 1] = data[r][c] ? vdd : 0.0;
-            guess[cell.qb - 1] = data[r][c] ? 0.0 : vdd;
-        }
+    const bool active_low = wordline_active_low(config_.cell);
+
+    // Every quiesced rail is known analytically — wordlines parked,
+    // bitlines precharged through closed switches, virtual grounds at 0 —
+    // so Newton can start from the imposed data directly instead of paying
+    // a cold settling solve just to derive the same periphery.
+    la::Vector guess(ckt_.num_unknowns(), 0.0);
+    guess[vdd_node_ - 1] = vdd;
+    for (const ColHandles& col : col_handles_) {
+        guess[col.bl - 1] = vdd;
+        guess[col.blb - 1] = vdd;
+        guess[col.bl_drv - 1] = vdd;
+        guess[col.blb_drv - 1] = vdd;
+        guess[col.vss - 1] = 0.0;
     }
+    for (const RowHandles& row : row_handles_)
+        guess[row.wl_node - 1] = active_low ? vdd : 0.0;
+    const auto impose = [&](la::Vector& g) {
+        for (std::size_t r = 0; r < config_.rows; ++r) {
+            for (std::size_t c = 0; c < config_.cols; ++c) {
+                const CellNodes& cell = at(r, c);
+                g[cell.q - 1] = data[r][c] ? vdd : 0.0;
+                g[cell.qb - 1] = data[r][c] ? 0.0 : vdd;
+            }
+        }
+    };
+    impose(guess);
+    spice::SolverOptions crawl = opts;
+    crawl.dv_limit = 0.05;
     spice::DcResult settled = spice::solve_dc(ckt_, opts, 0.0, &guess);
-    if (!settled.converged) {
-        spice::SolverOptions crawl = opts;
-        crawl.dv_limit = 0.05;
+    if (!settled.converged)
         settled = spice::solve_dc(ckt_, crawl, 0.0, &guess);
+    if (!settled.converged) {
+        // Analytic seeding failed (an exotic cell/assist combination may
+        // quiesce away from the ideal rails): fall back to the historical
+        // path — settle cold, impose the data on the settled state, re-solve.
+        const spice::DcResult cold = spice::solve_dc(ckt_, opts);
+        la::Vector from_cold =
+            cold.converged ? cold.x : la::Vector(ckt_.num_unknowns(), 0.0);
+        impose(from_cold);
+        settled = spice::solve_dc(ckt_, opts, 0.0, &from_cold);
+        if (!settled.converged)
+            settled = spice::solve_dc(ckt_, crawl, 0.0, &from_cold);
         if (!settled.converged)
             return false;
     }

@@ -108,11 +108,14 @@ public:
 
 private:
     struct RowHandles {
+        spice::NodeId wl_node = 0;
         spice::VoltageSource* wl = nullptr;
     };
     struct ColHandles {
         spice::NodeId bl = 0;
         spice::NodeId blb = 0;
+        spice::NodeId bl_drv = 0;  ///< precharge driver behind sw_bl
+        spice::NodeId blb_drv = 0; ///< precharge driver behind sw_blb
         spice::NodeId vss = 0; ///< segmented virtual ground of this column
         spice::VoltageSource* v_bl = nullptr;
         spice::VoltageSource* v_blb = nullptr;

@@ -32,10 +32,15 @@ double DeviceTable::compress_ratio(double ratio) const {
 spice::IvSample DeviceTable::iv(double vgs, double vds) const {
     const Grid2d::Sample t = t_grid_.eval(vgs, vds);
     const OutputShape out = output_shape(vds);
-    // Guard sinh/cosh against pathological extrapolation far off-grid.
+    // Guard the exponentials against pathological extrapolation far
+    // off-grid. sinh and cosh come from a single exp (one libm call per
+    // sample instead of two — this pair is the per-transistor arithmetic
+    // of the Newton hot loop).
     const double tc = std::clamp(t.f, -600.0, 600.0);
-    const double sh = std::sinh(tc);
-    const double ch = std::cosh(tc);
+    const double ex = std::exp(tc);
+    const double exi = 1.0 / ex;
+    const double sh = 0.5 * (ex - exi);
+    const double ch = 0.5 * (ex + exi);
     const double ir = spec_.i_ref;
     spice::IvSample s;
     s.ids = out.f * ir * sh;
@@ -44,6 +49,31 @@ spice::IvSample DeviceTable::iv(double vgs, double vds) const {
     s.gm = out.f * ir * ch * t.fx;
     s.gds = out.df * ir * sh + out.f * ir * ch * t.fy;
     return s;
+}
+
+void DeviceTable::iv_many(const double* vgs, const double* vds, std::size_t n,
+                          spice::IvSample* out) const {
+    // Scratch per thread: models are shared across worker threads, and the
+    // batch path must stay allocation-free in the Newton hot loop.
+    thread_local std::vector<Grid2d::Sample> t_scratch;
+    if (t_scratch.size() < n)
+        t_scratch.resize(n);
+    t_grid_.eval_many(vgs, vds, n, t_scratch.data());
+    const double ir = spec_.i_ref;
+    for (std::size_t i = 0; i < n; ++i) {
+        // Same arithmetic as iv(), in the same order — the differential
+        // suites assert bitwise agreement between the paths.
+        const Grid2d::Sample& t = t_scratch[i];
+        const OutputShape out_shape = output_shape(vds[i]);
+        const double tc = std::clamp(t.f, -600.0, 600.0);
+        const double ex = std::exp(tc);
+        const double exi = 1.0 / ex;
+        const double sh = 0.5 * (ex - exi);
+        const double ch = 0.5 * (ex + exi);
+        out[i].ids = out_shape.f * ir * sh;
+        out[i].gm = out_shape.f * ir * ch * t.fx;
+        out[i].gds = out_shape.df * ir * sh + out_shape.f * ir * ch * t.fy;
+    }
 }
 
 spice::CvSample DeviceTable::cv(double vgs, double vds) const {

@@ -44,6 +44,13 @@ public:
     [[nodiscard]] spice::CvSample cv(double vgs, double vds) const override;
     [[nodiscard]] const char* name() const override { return name_.c_str(); }
 
+    /// Fused batched I-V: one structure-of-arrays interpolation sweep over
+    /// the T grid followed by the sinh/cosh reconstruction, bitwise equal
+    /// to n scalar iv() calls. This is the array-scale hot loop the
+    /// DeviceEvalBatch drives once per Newton iterate.
+    void iv_many(const double* vgs, const double* vds, std::size_t n,
+                 spice::IvSample* out) const override;
+
     [[nodiscard]] const TableSpec& spec() const { return spec_; }
 
     /// Raw grids, exposed for the builder and for tests.

@@ -34,15 +34,35 @@ public:
 
     /// Evaluate at (x, y). Outside the domain the surface continues
     /// linearly along the boundary gradient, so Newton excursions beyond
-    /// the table stay well-behaved.
+    /// the table stay well-behaved. fx/fy are the exact partial
+    /// derivatives of the interpolated surface f — Newton's Jacobian must
+    /// differentiate the same function the residual evaluates.
     [[nodiscard]] Sample eval(double x, double y) const;
 
+    /// Batched evaluation: out[i] = eval(xs[i], ys[i]) for i in [0, n).
+    /// One structure-of-arrays pass (shared cell-locate, fused
+    /// value+derivative) — the per-iterate hot loop of array-scale device
+    /// evaluation. Bitwise-identical to n scalar eval() calls.
+    void eval_many(const double* xs, const double* ys, std::size_t n,
+                   Sample* out) const;
+
 private:
-    [[nodiscard]] Sample eval_inside(double x, double y) const;
+    /// Sample plus the cross second derivative d2f/dxdy at the same point.
+    /// The linear extension beyond the table needs it: the boundary slope
+    /// varies along the edge, so without the cross term the reported
+    /// gradient would not be the derivative of the extended surface.
+    struct InnerSample {
+        double f;
+        double fx;
+        double fy;
+        double fxy;
+    };
+    [[nodiscard]] InnerSample eval_inside(double x, double y) const;
 
     double x0_, x1_, y0_, y1_;
     std::size_t nx_, ny_;
     double hx_, hy_;
+    double inv_hx_, inv_hy_; ///< reciprocals: the hot path multiplies
     std::vector<double> data_; // row-major: [iy * nx + ix]
 };
 

@@ -20,6 +20,25 @@ spice::CvSample MirrorModel::cv(double vgs, double vds) const {
     return inner_->cv(-vgs, -vds);
 }
 
+void MirrorModel::iv_many(const double* vgs, const double* vds, std::size_t n,
+                          spice::IvSample* out) const {
+    thread_local std::vector<double> neg_vgs;
+    thread_local std::vector<double> neg_vds;
+    if (neg_vgs.size() < n) {
+        neg_vgs.resize(n);
+        neg_vds.resize(n);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        neg_vgs[i] = -vgs[i];
+        neg_vds[i] = -vds[i];
+    }
+    inner_->iv_many(neg_vgs.data(), neg_vds.data(), n, out);
+    // Same transform as the scalar iv(): current negates, derivatives keep
+    // their sign (two chain-rule negations cancel).
+    for (std::size_t i = 0; i < n; ++i)
+        out[i].ids = -out[i].ids;
+}
+
 spice::TransistorModelPtr make_ntfet(const TfetParams& params) {
     return std::make_shared<TfetModel>(params);
 }

@@ -19,6 +19,12 @@ public:
     [[nodiscard]] spice::CvSample cv(double vgs, double vds) const override;
     [[nodiscard]] const char* name() const override { return name_.c_str(); }
 
+    /// Batched mirror: negate the bias arrays once, run the inner model's
+    /// (possibly fused) batch sweep, then apply the polarity transform —
+    /// keeps p-type tables on the structure-of-arrays fast path.
+    void iv_many(const double* vgs, const double* vds, std::size_t n,
+                 spice::IvSample* out) const override;
+
 private:
     spice::TransistorModelPtr inner_;
     std::string name_;
@@ -44,7 +50,7 @@ spice::TransistorModelPtr make_pmos(const MosfetParams& params = pmos_defaults()
 /// default parameters. Cache keys include it so that a deliberate change
 /// to the device physics invalidates every cached sweep point; bump it
 /// whenever the default models' I-V/C-V behavior changes.
-inline constexpr const char* kModelSetVersion = "std-2011.1";
+inline constexpr const char* kModelSetVersion = "std-2011.2";
 
 /// The four models every SRAM experiment consumes.
 struct ModelSet {

@@ -1,6 +1,7 @@
 #include "la/sparse_lu.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -11,8 +12,30 @@ namespace {
 /// Diagonal-preference factor for threshold pivoting: the structural
 /// diagonal is kept whenever |a_diag| >= kDiagPreference * |a_max| in its
 /// column, trading a bounded element-growth factor for the fill pattern
-/// the minimum-degree ordering planned.
+/// the fill-reducing ordering planned.
 constexpr double kDiagPreference = 0.1;
+
+/// Element-growth bound for a threshold-pivoted factor. Growth beyond this
+/// means the diagonal preference accepted pivots that amplified roundoff
+/// past what an iterative-refinement-free solve can absorb; the factor is
+/// redone with pure partial pivoting (growth then bounded by 2^depth of
+/// the elimination, in practice tiny for MNA systems).
+constexpr double kGrowthLimit = 1e10;
+
+/// Element-growth bound for the static-pivot sweep — tighter than the
+/// threshold bound because the sweep performs no pivot search at all, so
+/// growth is the only signal that the reused sequence went stale.
+constexpr double kStaticGrowthLimit = 1e8;
+
+/// A reused pivot must stay at least this fraction of its column's
+/// magnitude. Newton drifts conductances smoothly, so a healthy reused
+/// pivot sits near the threshold-pivoting ratio that chose it (>= 0.1);
+/// an order-of-magnitude slide past that means the numerics moved enough
+/// to re-pivot.
+constexpr double kStaticPivotFloor = 1e-3;
+
+/// "No node" sentinel for the ordering algorithms' intrusive lists.
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
 } // namespace
 
@@ -96,16 +119,247 @@ std::vector<std::size_t> minimum_degree_order(const SparseMatrix& a) {
     return order;
 }
 
+// ------------------------------------------- approximate minimum degree
+
+std::vector<std::size_t> amd_order(const SparseMatrix& a) {
+    TFET_EXPECTS(a.finalized());
+    TFET_EXPECTS(a.rows() == a.cols());
+    const std::size_t n = a.rows();
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    if (n == 0)
+        return order;
+
+    const auto& rp = a.row_ptr();
+    const auto& ci = a.col_idx();
+
+    // Quotient-graph state, all of it in flat index arenas (one backing
+    // vector per list family instead of a vector-of-vectors): eliminating
+    // variable p turns it into element p whose member list le[p] stands in
+    // for the clique the greedy algorithm would have materialized;
+    // elements wholly covered by a new element are absorbed, so list
+    // lengths stay near the original pattern's instead of growing toward
+    // the filled clique size.
+    //
+    // A_i (variable adjacency): counting-sorted symmetrized pattern.
+    std::vector<std::size_t> astart(n + 1, 0);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t k = rp[r]; k < rp[r + 1]; ++k)
+            if (ci[k] != r) {
+                ++astart[r + 1];
+                ++astart[ci[k] + 1];
+            }
+    for (std::size_t v = 0; v < n; ++v)
+        astart[v + 1] += astart[v];
+    std::vector<std::size_t> apool(astart[n]);
+    std::vector<std::size_t> alen(n, 0);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
+            const std::size_t c = ci[k];
+            if (c == r)
+                continue;
+            apool[astart[r] + alen[r]++] = c;
+            apool[astart[c] + alen[c]++] = r;
+        }
+    for (std::size_t v = 0; v < n; ++v) {
+        const auto first =
+            apool.begin() + static_cast<std::ptrdiff_t>(astart[v]);
+        const auto last = first + static_cast<std::ptrdiff_t>(alen[v]);
+        std::sort(first, last);
+        alen[v] = static_cast<std::size_t>(std::unique(first, last) - first);
+    }
+
+    // E_i (adjacent elements): grow-by-one arena with doubling relocation
+    // to the pool tail (an entry joins one element list per elimination).
+    std::vector<std::size_t> epool;
+    epool.reserve(4 * n);
+    std::vector<std::size_t> estart(n, 0);
+    std::vector<std::size_t> elen(n, 0);
+    std::vector<std::size_t> ecap(n, 0);
+    const auto elist_push = [&](std::size_t v, std::size_t e) {
+        if (elen[v] == ecap[v]) {
+            const std::size_t ncap = ecap[v] == 0 ? 4 : 2 * ecap[v];
+            const std::size_t ns = epool.size();
+            epool.resize(ns + ncap);
+            for (std::size_t k = 0; k < elen[v]; ++k)
+                epool[ns + k] = epool[estart[v] + k];
+            estart[v] = ns;
+            ecap[v] = ncap;
+        }
+        epool[estart[v] + elen[v]++] = e;
+    };
+
+    // le (element member lists): written once per elimination at the pool
+    // tail, truncated to empty on absorption.
+    std::vector<std::size_t> lpool;
+    lpool.reserve(4 * n);
+    std::vector<std::size_t> lstart(n, 0);
+    std::vector<std::size_t> llen(n, 0);
+
+    // Bucketed degree lists: head per degree plus intrusive prev/next.
+    // Every operation below is index-arithmetic on deterministic inputs,
+    // so the pick sequence (and the order) is platform-independent.
+    std::vector<std::size_t> head(n, kNone);
+    std::vector<std::size_t> nxt(n, kNone);
+    std::vector<std::size_t> prv(n, kNone);
+    std::vector<std::size_t> degree(n, 0);
+    const auto bucket_insert = [&](std::size_t v, std::size_t d) {
+        degree[v] = d;
+        nxt[v] = head[d];
+        prv[v] = kNone;
+        if (head[d] != kNone)
+            prv[head[d]] = v;
+        head[d] = v;
+    };
+    const auto bucket_remove = [&](std::size_t v) {
+        if (prv[v] != kNone)
+            nxt[prv[v]] = nxt[v];
+        else
+            head[degree[v]] = nxt[v];
+        if (nxt[v] != kNone)
+            prv[nxt[v]] = prv[v];
+    };
+    for (std::size_t v = 0; v < n; ++v)
+        bucket_insert(v, alen[v]);
+
+    std::vector<unsigned char> var_alive(n, 1);
+    std::vector<unsigned char> elem_alive(n, 0);
+    std::vector<unsigned char> in_lp(n, 0);
+    // w[e] = |le[e] \ Lp| per elimination (the Amestoy/Davis/Duff
+    // decrement trick); wstamp validates w against the current pivot.
+    std::vector<std::size_t> w(n, 0);
+    std::vector<std::size_t> wstamp(n, 0);
+    std::size_t stamp = 0;
+    std::vector<std::size_t> lp; // members of the new element
+
+    std::size_t mindeg = 0;
+    for (std::size_t step = 0; step < n; ++step) {
+        while (head[mindeg] == kNone)
+            ++mindeg;
+        const std::size_t p = head[mindeg];
+        bucket_remove(p);
+        order.push_back(p);
+        var_alive[p] = 0;
+
+        // Lp: live variables adjacent to p directly or through any of its
+        // elements. Those elements are then absorbed into the new one.
+        lp.clear();
+        for (std::size_t k = 0; k < alen[p]; ++k) {
+            const std::size_t v = apool[astart[p] + k];
+            if (var_alive[v] && !in_lp[v]) {
+                in_lp[v] = 1;
+                lp.push_back(v);
+            }
+        }
+        for (std::size_t k = 0; k < elen[p]; ++k) {
+            const std::size_t e = epool[estart[p] + k];
+            if (!elem_alive[e])
+                continue;
+            for (std::size_t j = 0; j < llen[e]; ++j) {
+                const std::size_t v = lpool[lstart[e] + j];
+                if (var_alive[v] && !in_lp[v]) {
+                    in_lp[v] = 1;
+                    lp.push_back(v);
+                }
+            }
+            elem_alive[e] = 0;
+            llen[e] = 0;
+        }
+        std::sort(lp.begin(), lp.end()); // canonical member order
+        lstart[p] = lpool.size();
+        lpool.insert(lpool.end(), lp.begin(), lp.end());
+        llen[p] = lp.size();
+        elem_alive[p] = 1;
+        alen[p] = 0;
+        elen[p] = 0;
+
+        // First pass: w[e] = |le[e] \ Lp| for every element touching Lp.
+        // le lists may carry long-dead variables (they are only pruned
+        // when rebuilt), so w can overestimate — that only makes the
+        // *approximate* degree conservative, never wrong.
+        ++stamp;
+        for (const std::size_t i : lp) {
+            for (std::size_t k = 0; k < elen[i]; ++k) {
+                const std::size_t e = epool[estart[i] + k];
+                if (!elem_alive[e])
+                    continue;
+                if (wstamp[e] != stamp) {
+                    wstamp[e] = stamp;
+                    w[e] = llen[e];
+                }
+                --w[e];
+            }
+        }
+
+        // Second pass: prune each member's lists against the new element
+        // and recompute its approximate degree
+        //   d_i = |A_i \ Lp| + (|Lp| - 1) + sum_e |le[e] \ Lp|.
+        for (const std::size_t i : lp) {
+            std::size_t out = 0;
+            for (std::size_t k = 0; k < alen[i]; ++k) {
+                const std::size_t v = apool[astart[i] + k];
+                if (var_alive[v] && !in_lp[v])
+                    apool[astart[i] + out++] = v;
+            }
+            alen[i] = out;
+
+            std::size_t out2 = 0;
+            std::size_t dsum = 0;
+            for (std::size_t k = 0; k < elen[i]; ++k) {
+                const std::size_t e = epool[estart[i] + k];
+                if (!elem_alive[e])
+                    continue;
+                const std::size_t we = wstamp[e] == stamp ? w[e] : llen[e];
+                if (we == 0) {
+                    // le[e]'s live members all sit inside Lp: element e is
+                    // covered by the new element p — absorb it.
+                    elem_alive[e] = 0;
+                    llen[e] = 0;
+                    continue;
+                }
+                dsum += we;
+                epool[estart[i] + out2++] = e;
+            }
+            elen[i] = out2;
+            elist_push(i, p);
+
+            std::size_t d = alen[i] + (lp.size() - 1) + dsum;
+            if (d > n - 1)
+                d = n - 1;
+            bucket_remove(i);
+            bucket_insert(i, d);
+            if (d < mindeg)
+                mindeg = d;
+        }
+        for (const std::size_t i : lp)
+            in_lp[i] = 0;
+    }
+    return order;
+}
+
 // ------------------------------------------------------------- analyze
 
 void SparseLu::analyze(const SparseMatrix& a) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::size_t> order = amd_order(a);
+    const auto t1 = std::chrono::steady_clock::now();
+    analyze(a, std::move(order));
+    ordering_us_ = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+            .count());
+}
+
+void SparseLu::analyze(const SparseMatrix& a, std::vector<std::size_t> order) {
     TFET_EXPECTS(a.finalized());
     TFET_EXPECTS(a.rows() == a.cols());
+    TFET_EXPECTS(order.size() == a.rows());
     n_ = a.rows();
     analyzed_ = false;
     factored_ = false;
+    static_ready_ = false;
+    ordering_us_ = 0;
 
-    q_ = minimum_degree_order(a);
+    q_ = std::move(order);
 
     // CSC view of the CSR pattern: csc_val_[k] indexes a.values() so every
     // refactor gathers fresh numeric values without touching the pattern.
@@ -153,7 +407,46 @@ bool SparseLu::refactor(const SparseMatrix& a, double pivot_tol) {
     TFET_EXPECTS(a.rows() == n_ && a.cols() == n_);
     TFET_EXPECTS(a.nnz() == csc_row_.size());
     factored_ = false;
+    last_ = {};
 
+    double growth = 0.0;
+    if (static_enabled_ && static_ready_) {
+        if (refactor_static(a, pivot_tol, growth)) {
+            last_.static_hit = true;
+            last_.growth = growth;
+            factored_ = true;
+            return true;
+        }
+        // The reused sequence went stale (pivot decay or growth): the
+        // factor arrays are dirty, rebuild them with a full pivot search.
+        ++last_.fallbacks;
+        static_ready_ = false;
+    }
+
+    if (!refactor_full(a, pivot_tol, kDiagPreference, growth))
+        return false;
+    if (growth > kGrowthLimit) {
+        // The diagonal preference traded too much stability for fill:
+        // redo with pure partial pivoting before trusting the solve.
+        ++last_.fallbacks;
+        if (!refactor_full(a, pivot_tol, /*diag_preference=*/0.0, growth))
+            return false;
+    }
+    last_.growth = growth;
+
+    // Every row is pivotal now; remap L's row ids to pivot steps so the
+    // substitutions run in step space, and order U's columns by step so
+    // the static sweep can replay them as a dependency-ordered run.
+    for (std::size_t& r : l_row_)
+        r = pinv_[r];
+    sort_u_columns();
+    static_ready_ = true;
+    factored_ = true;
+    return true;
+}
+
+bool SparseLu::refactor_full(const SparseMatrix& a, double pivot_tol,
+                             double diag_preference, double& growth) {
     const std::vector<double>& aval = a.values();
     l_row_.clear();
     l_val_.clear();
@@ -161,6 +454,13 @@ bool SparseLu::refactor(const SparseMatrix& a, double pivot_tol) {
     u_val_.clear();
     std::fill(pinv_.begin(), pinv_.end(), npos);
     std::fill(p_.begin(), p_.end(), npos);
+
+    double amax = 0.0;
+    for (const double v : aval)
+        amax = std::max(amax, std::fabs(v));
+    if (amax == 0.0)
+        amax = 1.0;
+    double gmax = 0.0;
 
     for (std::size_t j = 0; j < n_; ++j) {
         const std::size_t col = q_[j];
@@ -242,22 +542,27 @@ bool SparseLu::refactor(const SparseMatrix& a, double pivot_tol) {
             }
             return false; // structurally or numerically singular column
         }
-        if (ipiv != col && pinv_[col] == npos &&
-            std::fabs(work_x_[col]) >= kDiagPreference * max_mag)
+        if (diag_preference > 0.0 && ipiv != col && pinv_[col] == npos &&
+            std::fabs(work_x_[col]) >= diag_preference * max_mag)
             ipiv = col;
         const double pivot = work_x_[ipiv];
 
         // ---- store the column: finished rows into U, the rest into L.
+        // Exact numeric zeros are stored too — the structure must be the
+        // full symbolic structure of this pivot sequence so the static
+        // sweep can reuse it under different values.
         for (const std::size_t node : topo_) {
             const std::size_t s = pinv_[node];
+            const double xv = work_x_[node];
+            const double mag = std::fabs(xv);
+            if (mag > gmax)
+                gmax = mag;
             if (s != npos) {
-                if (work_x_[node] != 0.0) {
-                    u_row_.push_back(s);
-                    u_val_.push_back(work_x_[node]);
-                }
-            } else if (node != ipiv && work_x_[node] != 0.0) {
-                l_row_.push_back(node); // original row id; remapped below
-                l_val_.push_back(work_x_[node] / pivot);
+                u_row_.push_back(s);
+                u_val_.push_back(xv);
+            } else if (node != ipiv) {
+                l_row_.push_back(node); // original row id; remapped later
+                l_val_.push_back(xv / pivot);
             }
             work_x_[node] = 0.0;
             mark_[node] = 0;
@@ -269,11 +574,119 @@ bool SparseLu::refactor(const SparseMatrix& a, double pivot_tol) {
         p_[j] = ipiv;
     }
 
-    // Every row is pivotal now; remap L's row ids to pivot steps so the
-    // substitutions run in step space.
-    for (std::size_t& r : l_row_)
-        r = pinv_[r];
-    factored_ = true;
+    growth = gmax / amax;
+    return true;
+}
+
+void SparseLu::sort_u_columns() {
+    // Entries were appended in DFS post-order; the static sweep needs each
+    // column ascending by pivot step (solve_into is order-insensitive).
+    auto& perm = usort_scratch_;
+    for (std::size_t j = 0; j < n_; ++j) {
+        const std::size_t lo = u_ptr_[j];
+        const std::size_t hi = u_ptr_[j + 1];
+        const std::size_t len = hi - lo;
+        if (len < 2)
+            continue;
+        const bool sorted =
+            std::is_sorted(u_row_.begin() + static_cast<std::ptrdiff_t>(lo),
+                           u_row_.begin() + static_cast<std::ptrdiff_t>(hi));
+        if (sorted)
+            continue;
+        perm.resize(len);
+        for (std::size_t k = 0; k < len; ++k)
+            perm[k] = k;
+        std::sort(perm.begin(), perm.end(),
+                  [&](std::size_t x, std::size_t y) {
+                      return u_row_[lo + x] < u_row_[lo + y];
+                  });
+        // Apply the permutation out of place via scratch copies (columns
+        // are short; simplicity beats in-place cycle chasing here).
+        static thread_local std::vector<std::size_t> rows_tmp;
+        static thread_local std::vector<double> vals_tmp;
+        rows_tmp.assign(u_row_.begin() + static_cast<std::ptrdiff_t>(lo),
+                        u_row_.begin() + static_cast<std::ptrdiff_t>(hi));
+        vals_tmp.assign(u_val_.begin() + static_cast<std::ptrdiff_t>(lo),
+                        u_val_.begin() + static_cast<std::ptrdiff_t>(hi));
+        for (std::size_t k = 0; k < len; ++k) {
+            u_row_[lo + k] = rows_tmp[perm[k]];
+            u_val_[lo + k] = vals_tmp[perm[k]];
+        }
+    }
+}
+
+bool SparseLu::refactor_static(const SparseMatrix& a, double pivot_tol,
+                               double& growth) {
+    // Branch-free replay of the previous factorization: same column order,
+    // same pivot sequence, same L/U structure — only the numbers change.
+    // Everything runs in pivot-step space (work_x_[s] is the value at
+    // pivot step s), so there is no DFS, no pivot search, and no growth
+    // of the factor arrays.
+    const std::vector<double>& aval = a.values();
+    double amax = 0.0;
+    for (const double v : aval)
+        amax = std::max(amax, std::fabs(v));
+    if (amax == 0.0)
+        amax = 1.0;
+    double gmax = 0.0;
+
+    for (std::size_t j = 0; j < n_; ++j) {
+        const std::size_t col = q_[j];
+        for (std::size_t k = csc_ptr_[col]; k < csc_ptr_[col + 1]; ++k)
+            work_x_[pinv_[csc_row_[k]]] = aval[csc_val_[k]];
+
+        // U part: entries ascend by pivot step, so each x[s] is final when
+        // visited; apply its L-column update immediately (left-looking).
+        double colmax = 0.0;
+        for (std::size_t t = u_ptr_[j]; t < u_ptr_[j + 1]; ++t) {
+            const std::size_t s = u_row_[t];
+            const double xs = work_x_[s];
+            u_val_[t] = xs;
+            const double mag = std::fabs(xs);
+            if (mag > colmax)
+                colmax = mag;
+            if (xs == 0.0)
+                continue;
+            for (std::size_t k = l_ptr_[s]; k < l_ptr_[s + 1]; ++k)
+                work_x_[l_row_[k]] -= l_val_[k] * xs;
+        }
+
+        const double pivot = work_x_[j];
+        const double pmag = std::fabs(pivot);
+        if (pmag > colmax)
+            colmax = pmag;
+        for (std::size_t k = l_ptr_[j]; k < l_ptr_[j + 1]; ++k) {
+            const double mag = std::fabs(work_x_[l_row_[k]]);
+            if (mag > colmax)
+                colmax = mag;
+        }
+        if (pmag < pivot_tol || pmag < kStaticPivotFloor * colmax) {
+            // Reused pivot went stale. Clear this column's scatter (prior
+            // columns already cleared theirs) and report the miss; the
+            // factor arrays are dirty until the caller's full refactor.
+            for (std::size_t t = u_ptr_[j]; t < u_ptr_[j + 1]; ++t)
+                work_x_[u_row_[t]] = 0.0;
+            work_x_[j] = 0.0;
+            for (std::size_t k = l_ptr_[j]; k < l_ptr_[j + 1]; ++k)
+                work_x_[l_row_[k]] = 0.0;
+            return false;
+        }
+
+        udiag_[j] = pivot;
+        for (std::size_t k = l_ptr_[j]; k < l_ptr_[j + 1]; ++k) {
+            const std::size_t dst = l_row_[k];
+            l_val_[k] = work_x_[dst] / pivot;
+            work_x_[dst] = 0.0;
+        }
+        for (std::size_t t = u_ptr_[j]; t < u_ptr_[j + 1]; ++t)
+            work_x_[u_row_[t]] = 0.0;
+        work_x_[j] = 0.0;
+        if (colmax > gmax)
+            gmax = colmax;
+        if (gmax > kStaticGrowthLimit * amax)
+            return false; // growth tripped: abandon, caller re-pivots
+    }
+    growth = gmax / amax;
     return true;
 }
 

@@ -22,22 +22,53 @@ void SparseMatrix::reserve_entry(std::size_t r, std::size_t c) {
 
 void SparseMatrix::finalize_pattern() {
     TFET_EXPECTS(!finalized_);
-    std::sort(triplets_.begin(), triplets_.end());
-    triplets_.erase(std::unique(triplets_.begin(), triplets_.end()),
-                    triplets_.end());
-
+    // Counting sort by row, then sort + dedup each row's short column run.
+    // The raw triplet list is heavily duplicated (every device position is
+    // registered by both the DC and transient symbolic passes), so this
+    // O(raw + sum_r k_r log k_r) pass beats a global comparison sort of
+    // the full list by a wide margin on array-scale patterns.
     row_ptr_.assign(rows_ + 1, 0);
-    col_idx_.resize(triplets_.size());
-    for (std::size_t k = 0; k < triplets_.size(); ++k) {
-        ++row_ptr_[triplets_[k].first + 1];
-        col_idx_[k] = triplets_[k].second;
-    }
+    for (const auto& t : triplets_)
+        ++row_ptr_[t.first + 1];
     for (std::size_t r = 0; r < rows_; ++r)
         row_ptr_[r + 1] += row_ptr_[r];
-    val_.assign(col_idx_.size(), 0.0);
+    col_idx_.resize(triplets_.size());
+    std::vector<std::size_t> next(row_ptr_.begin(), row_ptr_.end() - 1);
+    for (const auto& t : triplets_)
+        col_idx_[next[t.first]++] = t.second;
+
+    // Compact in place: the write cursor never passes the read cursor
+    // because earlier rows only shrink.
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const std::size_t b = row_ptr_[r];
+        const std::size_t e = row_ptr_[r + 1];
+        std::sort(col_idx_.begin() + static_cast<std::ptrdiff_t>(b),
+                  col_idx_.begin() + static_cast<std::ptrdiff_t>(e));
+        row_ptr_[r] = w;
+        for (std::size_t k = b; k < e; ++k)
+            if (w == row_ptr_[r] || col_idx_[w - 1] != col_idx_[k])
+                col_idx_[w++] = col_idx_[k];
+    }
+    row_ptr_[rows_] = w;
+    col_idx_.resize(w);
+    val_.assign(w, 0.0);
     triplets_.clear();
     triplets_.shrink_to_fit();
+    ++generation_;
     finalized_ = true;
+}
+
+std::size_t SparseMatrix::slot_of(std::size_t r, std::size_t c) {
+    TFET_EXPECTS(finalized_);
+    TFET_EXPECTS(r < rows_ && c < cols_);
+    const auto first = col_idx_.begin() +
+                       static_cast<std::ptrdiff_t>(row_ptr_[r]);
+    const auto last = col_idx_.begin() +
+                      static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
+    const auto it = std::lower_bound(first, last, c);
+    TFET_EXPECTS(it != last && *it == c);
+    return static_cast<std::size_t>(it - col_idx_.begin());
 }
 
 void SparseMatrix::set_zero() {

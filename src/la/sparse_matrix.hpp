@@ -9,6 +9,7 @@
 // is what makes rows x cols arrays tractable (see docs/SOLVER.md).
 
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -35,6 +36,10 @@ public:
     /// Duplicate registrations collapse into one stored entry.
     void reserve_entry(std::size_t r, std::size_t c);
 
+    /// Pre-size the raw triplet store for `count` reserve_entry calls
+    /// (pattern phase only; purely an allocation hint).
+    void reserve_triplets(std::size_t count) { triplets_.reserve(count); }
+
     /// Compress the registered triplets into CSR (sorted, deduplicated)
     /// and zero all values. Idempotent only via reset().
     void finalize_pattern();
@@ -51,6 +56,24 @@ public:
 
     /// Mutable reference to a stored entry (must exist in the pattern).
     [[nodiscard]] double& ref(std::size_t r, std::size_t c);
+
+    /// Value-array index of stored entry (r, c) — the slot stays valid
+    /// until the next finalize_pattern(). Lets repeated writers (the
+    /// stamp-replay plan in spice::Stamper) resolve the position search
+    /// once and reuse the address.
+    [[nodiscard]] std::size_t slot_of(std::size_t r, std::size_t c);
+
+    /// Mutable reference to a stored entry by slot (from slot_of).
+    [[nodiscard]] double& val_at(std::size_t slot) {
+        TFET_EXPECTS(finalized_ && slot < val_.size());
+        return val_[slot];
+    }
+
+    /// Monotone counter bumped by every finalize_pattern(); consumers
+    /// caching slots can detect that their addresses went stale.
+    [[nodiscard]] std::uint64_t pattern_generation() const {
+        return generation_;
+    }
 
     /// Value at (r, c); 0.0 for positions outside the pattern.
     [[nodiscard]] double at(std::size_t r, std::size_t c) const;
@@ -78,6 +101,7 @@ private:
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;
     bool finalized_ = false;
+    std::uint64_t generation_ = 0;
     std::vector<std::pair<std::size_t, std::size_t>> triplets_;
     std::vector<std::size_t> row_ptr_; ///< size rows_+1 once finalized
     std::vector<std::size_t> col_idx_; ///< sorted within each row

@@ -61,6 +61,11 @@ void Telemetry::record(const TaskRecord& record) {
     summary_.sparse_refactorizations += record.solver.sparse_refactorizations;
     summary_.sparse_symbolic_analyses +=
         record.solver.sparse_symbolic_analyses;
+    summary_.sparse_static_pivot_hits +=
+        record.solver.sparse_static_pivot_hits;
+    summary_.sparse_pivot_fallbacks += record.solver.sparse_pivot_fallbacks;
+    summary_.sparse_ordering_us += record.solver.sparse_ordering_us;
+    summary_.batched_evals += record.solver.batched_evals;
     summary_.hier_promotions += record.solver.hier_promotions;
     summary_.hier_demotions += record.solver.hier_demotions;
     summary_.hier_relinearizations += record.solver.hier_relinearizations;
@@ -76,6 +81,8 @@ void Telemetry::record(const TaskRecord& record) {
 
     if (!journal_.is_open())
         return;
+    if (record.status == TaskStatus::kExecuted)
+        task_walls_.emplace_back(record.id, record.wall_s);
     Json line = Json::object();
     line.set("task", record.id);
     line.set("key", record.key_hash);
@@ -111,7 +118,14 @@ void Telemetry::record(const TaskRecord& record) {
                  record.solver.sparse_symbolic_analyses);
         line.set("sparse_pattern_nnz", record.solver.sparse_pattern_nnz);
         line.set("sparse_lu_nnz", record.solver.sparse_lu_nnz);
+        line.set("sparse_static_pivot_hits",
+                 record.solver.sparse_static_pivot_hits);
+        line.set("sparse_pivot_fallbacks",
+                 record.solver.sparse_pivot_fallbacks);
+        line.set("sparse_ordering_us", record.solver.sparse_ordering_us);
     }
+    if (record.solver.batched_evals > 0)
+        line.set("batched_evals", record.solver.batched_evals);
     // Mixed-level engine fields likewise appear only when the task actually
     // ran the engine, so flat-only journals keep their historical shape.
     if (record.solver.hier_promotions > 0 ||
@@ -157,6 +171,18 @@ RunSummary Telemetry::finish(double total_wall_s) {
                   summary_.sparse_symbolic_analyses);
         bench.set("sparse_pattern_nnz", summary_.sparse_pattern_nnz);
         bench.set("sparse_lu_nnz", summary_.sparse_lu_nnz);
+        // Sparse fast-path counters appear only when some task did sparse
+        // work, so the BENCH schema of dense-only runs is unchanged.
+        if (summary_.sparse_refactorizations > 0 ||
+            summary_.sparse_symbolic_analyses > 0) {
+            bench.set("sparse_static_pivot_hits",
+                      summary_.sparse_static_pivot_hits);
+            bench.set("sparse_pivot_fallbacks",
+                      summary_.sparse_pivot_fallbacks);
+            bench.set("sparse_ordering_us", summary_.sparse_ordering_us);
+        }
+        if (summary_.batched_evals > 0)
+            bench.set("batched_evals", summary_.batched_evals);
         // Emitted only when some context was deadline-armed/cancellable.
         if (summary_.deadline_polls > 0)
             bench.set("deadline_polls", summary_.deadline_polls);
@@ -172,6 +198,15 @@ RunSummary Telemetry::finish(double total_wall_s) {
                       summary_.hier_relinearizations);
             bench.set("hier_guard_retries", summary_.hier_guard_retries);
             bench.set("hier_active_unknowns", summary_.hier_active_unknowns);
+        }
+        if (!task_walls_.empty()) {
+            // Per-workload walls, so CI can gate one workload (e.g. the
+            // array64x64 microbench task) against a checked-in baseline
+            // without parsing the journal.
+            Json walls = Json::object();
+            for (const auto& [id, wall_s] : task_walls_)
+                walls.set(id, wall_s);
+            bench.set("task_wall_s", std::move(walls));
         }
         const std::filesystem::path path =
             out_dir_ / ("BENCH_" + run_name_ + ".json");

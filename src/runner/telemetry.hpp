@@ -9,6 +9,8 @@
 #include <fstream>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "spice/stats.hpp"
 
@@ -69,6 +71,14 @@ struct RunSummary {
     std::uint64_t line_search_backtracks = 0;
     std::uint64_t sparse_refactorizations = 0;
     std::uint64_t sparse_symbolic_analyses = 0;
+    /// Sparse-kernel fast-path totals: refactors completed on the reused
+    /// pivot sequence, stricter-pivoting fallbacks, wall microseconds of
+    /// fill-reducing ordering, and transistor evaluations done through the
+    /// batched structure-of-arrays sweep (all 0 on dense-only runs).
+    std::uint64_t sparse_static_pivot_hits = 0;
+    std::uint64_t sparse_pivot_fallbacks = 0;
+    std::uint64_t sparse_ordering_us = 0;
+    std::uint64_t batched_evals = 0;
     /// Mixed-level array engine totals (0 unless some task ran it).
     std::uint64_t hier_promotions = 0;
     std::uint64_t hier_demotions = 0;
@@ -122,6 +132,10 @@ private:
     std::ofstream journal_;
     std::mutex mutex_;
     RunSummary summary_;
+    /// Wall seconds of each executed task, in completion order — emitted
+    /// as the BENCH artifact's "task_wall_s" object so CI can gate a
+    /// single workload's wall against a checked-in baseline.
+    std::vector<std::pair<std::string, double>> task_walls_;
 };
 
 } // namespace tfetsram::runner

@@ -3,12 +3,27 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "spice/eval_batch.hpp"
+
 namespace tfetsram::spice {
 
 Circuit::Circuit() {
     node_names_.push_back("0");
     node_ids_.emplace("0", kGround);
     node_ids_.emplace("gnd", kGround);
+}
+
+// Out of line so the unique_ptr<DeviceEvalBatch> member sees the complete
+// type; the moves transfer the batch by pointer, keeping the slot
+// references transistors hold valid across Circuit relocation.
+Circuit::~Circuit() = default;
+Circuit::Circuit(Circuit&&) noexcept = default;
+Circuit& Circuit::operator=(Circuit&&) noexcept = default;
+
+DeviceEvalBatch& Circuit::eval_batch() {
+    if (!eval_batch_)
+        eval_batch_ = std::make_unique<DeviceEvalBatch>();
+    return *eval_batch_;
 }
 
 NodeId Circuit::add_node(const std::string& name) {

@@ -16,14 +16,17 @@
 
 namespace tfetsram::spice {
 
+class DeviceEvalBatch;
+
 class Circuit {
 public:
     Circuit();
+    ~Circuit();
 
     Circuit(const Circuit&) = delete;
     Circuit& operator=(const Circuit&) = delete;
-    Circuit(Circuit&&) = default;
-    Circuit& operator=(Circuit&&) = default;
+    Circuit(Circuit&&) noexcept;
+    Circuit& operator=(Circuit&&) noexcept;
 
     /// Create a named node. Names must be unique. "0"/"gnd" is pre-created.
     NodeId add_node(const std::string& name);
@@ -84,6 +87,12 @@ public:
     /// independent workspaces, so no locking is involved.
     [[nodiscard]] SolveWorkspace& workspace() { return workspace_; }
 
+    /// Batched transistor evaluator for this circuit (created lazily).
+    /// assemble() runs it once per iterate before the stamp sweep; owned
+    /// behind a pointer so transistors' slot references survive Circuit
+    /// moves (SramCell holds its Circuit by value).
+    [[nodiscard]] DeviceEvalBatch& eval_batch();
+
     /// Bumped by every add_node/add_* call. The solver compares it to the
     /// revision its frozen sparsity pattern was built against, so a
     /// circuit that grows between solves gets a fresh symbolic analysis
@@ -101,6 +110,7 @@ private:
     std::vector<Transistor*> transistors_;
     std::uint64_t topology_revision_ = 1;
     SolveWorkspace workspace_;
+    std::unique_ptr<DeviceEvalBatch> eval_batch_;
 };
 
 } // namespace tfetsram::spice

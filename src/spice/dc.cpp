@@ -82,6 +82,7 @@ int newton_raphson_core(Circuit& circuit, const AnalysisState& as,
             build_pattern(circuit, w.sjac);
             w.slu.analyze(w.sjac);
             ++stats.sparse_symbolic_analyses;
+            stats.sparse_ordering_us += w.slu.ordering_us();
             stats.sparse_pattern_nnz = w.sjac.nnz();
         }
     }
@@ -115,6 +116,10 @@ int newton_raphson_core(Circuit& circuit, const AnalysisState& as,
         if (w.kind == SolverKind::kSparse) {
             ++stats.sparse_refactorizations;
             factored = w.slu.refactor(w.sjac);
+            const la::SparseLu::RefactorInfo& ri = w.slu.last_refactor();
+            if (ri.static_hit)
+                ++stats.sparse_static_pivot_hits;
+            stats.sparse_pivot_fallbacks += ri.fallbacks;
             if (factored)
                 stats.sparse_lu_nnz = w.slu.lu_nnz();
         } else {

@@ -12,9 +12,32 @@ Stamper::Stamper(la::Matrix& jac, la::Vector& rhs, std::size_t num_nodes)
 }
 
 Stamper::Stamper(la::SparseMatrix& jac, la::Vector& rhs,
-                 std::size_t num_nodes)
+                 std::size_t num_nodes, StampPlan* plan)
     : Stamper(jac, rhs, num_nodes, /*pattern_only=*/false) {
     TFET_EXPECTS(jac.finalized());
+    plan_ = plan;
+    if (plan_ != nullptr) {
+        if (plan_->ok && plan_->generation == jac.pattern_generation()) {
+            replay_ = true;
+        } else {
+            plan_->reset();
+            plan_->generation = jac.pattern_generation();
+        }
+    }
+}
+
+void Stamper::finish_plan() {
+    if (plan_ == nullptr)
+        return;
+    if (replay_) {
+        // A replay that consumed fewer writes than recorded means the
+        // stamp sequence shrank; the applied writes were all validated,
+        // but the plan no longer describes this assembly mode.
+        if (cursor_ != plan_->slots.size())
+            plan_->reset();
+    } else {
+        plan_->ok = true;
+    }
 }
 
 Stamper::Stamper(la::SparseMatrix& jac, la::Vector& rhs,
@@ -37,6 +60,28 @@ void Stamper::acc(std::size_t r, std::size_t c, double v) {
         (*dense_)(r, c) += v;
     } else if (pattern_only_) {
         sparse_->reserve_entry(r, c);
+    } else if (plan_ != nullptr) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(r) << 32) | static_cast<std::uint64_t>(c);
+        if (replay_) {
+            if (cursor_ < plan_->keys.size() && plan_->keys[cursor_] == key) {
+                sparse_->val_at(plan_->slots[cursor_]) += v;
+                ++cursor_;
+                return;
+            }
+            // The stamp sequence diverged from the recording. Everything
+            // replayed so far was key-validated, so the matrix is intact;
+            // drop the plan and finish this assembly with searched writes.
+            plan_->reset();
+            plan_ = nullptr;
+            replay_ = false;
+            sparse_->add(r, c, v);
+            return;
+        }
+        const std::size_t slot = sparse_->slot_of(r, c);
+        plan_->keys.push_back(key);
+        plan_->slots.push_back(static_cast<std::uint32_t>(slot));
+        sparse_->val_at(slot) += v;
     } else {
         sparse_->add(r, c, v);
     }

@@ -5,7 +5,9 @@
 // dynamic state across transient steps, and how to report its dissipated
 // power for operating-point post-processing.
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "la/matrix.hpp"
 #include "spice/types.hpp"
@@ -33,6 +35,28 @@ struct AnalysisState {
     bool first_transient_step = false; ///< forces backward Euler on step 1
 };
 
+/// Memoized stamp addresses for one sparse assembly mode. The first
+/// assembly after a pattern rebuild records, per Jacobian write, the
+/// packed (row, col) key and the CSR value slot the position search
+/// resolved to; subsequent assemblies of the same mode replay the slots
+/// and skip the per-write binary search. Every replayed write is
+/// validated against its recorded key, so a device that changes its
+/// stamp sequence (different positions or count) can never corrupt the
+/// matrix: the replay falls back to searched writes mid-assembly and the
+/// plan re-records on the next one. `generation` ties the slots to a
+/// specific SparseMatrix::pattern_generation().
+struct StampPlan {
+    std::vector<std::uint64_t> keys;  ///< (row << 32) | col, per write
+    std::vector<std::uint32_t> slots; ///< CSR value index, per write
+    std::uint64_t generation = 0;     ///< pattern the slots belong to
+    bool ok = false;                  ///< a complete recording is stored
+    void reset() {
+        keys.clear();
+        slots.clear();
+        ok = false;
+    }
+};
+
 /// Accumulates the linearized system. Maps node/branch ids to unknown
 /// indices (ground is eliminated) and enforces the KCL sign convention:
 /// rows are "sum of currents leaving the node = injected current".
@@ -47,8 +71,17 @@ public:
     Stamper(la::Matrix& jac, la::Vector& rhs, std::size_t num_nodes);
 
     /// Sparse numeric stamping; `jac`'s pattern must be finalized and
-    /// cover every position the circuit stamps.
-    Stamper(la::SparseMatrix& jac, la::Vector& rhs, std::size_t num_nodes);
+    /// cover every position the circuit stamps. With a non-null `plan`
+    /// the stamper records or replays the position searches (see
+    /// StampPlan); the plan must be dedicated to this matrix and one
+    /// stamping sequence.
+    Stamper(la::SparseMatrix& jac, la::Vector& rhs, std::size_t num_nodes,
+            StampPlan* plan = nullptr);
+
+    /// Seal the plan after a full stamping sequence: a completed
+    /// recording becomes replayable; an under-consumed replay (fewer
+    /// writes than recorded) is discarded. No-op without a plan.
+    void finish_plan();
 
     /// Pattern-recording stamper: matrix writes register CSR entries in
     /// the (unfinalized) `jac`; rhs_scratch absorbs RHS writes unread.
@@ -74,6 +107,11 @@ public:
     /// Unknown-vector index of a branch current.
     [[nodiscard]] std::size_t branch_index(std::size_t branch) const;
 
+    /// True in the pattern-recording backend: stamped values are
+    /// discarded, so devices may skip expensive model evaluation and
+    /// register their positions with placeholder values instead.
+    [[nodiscard]] bool pattern_only() const { return pattern_only_; }
+
 private:
     Stamper(la::SparseMatrix& jac, la::Vector& rhs, std::size_t num_nodes,
             bool pattern_only);
@@ -88,6 +126,9 @@ private:
     la::Matrix* dense_ = nullptr;
     la::SparseMatrix* sparse_ = nullptr;
     bool pattern_only_ = false;
+    StampPlan* plan_ = nullptr;
+    bool replay_ = false;    ///< plan_ holds a recording being replayed
+    std::size_t cursor_ = 0; ///< next plan entry to replay
     la::Vector& rhs_;
     std::size_t num_nodes_;
 };

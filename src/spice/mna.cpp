@@ -1,5 +1,6 @@
 #include "spice/mna.hpp"
 
+#include "spice/eval_batch.hpp"
 #include "spice/stats.hpp"
 
 namespace tfetsram::spice {
@@ -34,6 +35,11 @@ void assemble(Circuit& circuit, const AnalysisState& as, const la::Vector& x,
         jac.set_zero();
     rhs.assign(n, 0.0);
 
+    // One structure-of-arrays I-V sweep over all transistors before the
+    // stamp loop; stamps then consume precomputed samples by slot. Both
+    // numeric backends run it, preserving dense/sparse bitwise parity.
+    circuit.eval_batch().evaluate(circuit, x);
+
     Stamper st(jac, rhs, circuit.num_nodes());
     stamp_all(circuit, st, as, x, gmin);
 }
@@ -50,14 +56,33 @@ void assemble(Circuit& circuit, const AnalysisState& as, const la::Vector& x,
     jac.set_zero();
     rhs.assign(n, 0.0);
 
-    Stamper st(jac, rhs, circuit.num_nodes());
+    circuit.eval_batch().evaluate(circuit, x);
+
+    // The circuit's own workspace matrix gets the stamp-replay plan: the
+    // Newton loop reassembles it once per iterate with an identical stamp
+    // sequence, so the position searches are memoized per analysis mode
+    // (keyed to the pattern generation; see StampPlan). Any other target
+    // matrix (tests assembling into their own storage) takes the plain
+    // searched path.
+    StampPlan* plan = nullptr;
+    if (&jac == &circuit.workspace().sjac)
+        plan = as.mode == AnalysisMode::kDc ? &circuit.workspace().plan_dc
+                                            : &circuit.workspace().plan_tr;
+
+    Stamper st(jac, rhs, circuit.num_nodes(), plan);
     stamp_all(circuit, st, as, x, gmin);
+    st.finish_plan();
 }
 
 void build_pattern(Circuit& circuit, la::SparseMatrix& jac) {
     circuit.prepare();
     const std::size_t n = circuit.num_unknowns();
     jac.reset(n, n);
+
+    // Rough upper bound on raw registrations (two passes of gmin shunts
+    // plus a generous per-device stamp estimate) so the triplet store is
+    // allocated once instead of growing through the passes.
+    jac.reserve_triplets(3 * n + 24 * circuit.devices().size());
 
     // Full diagonal: covers the gmin shunts on node rows and keeps a
     // diagonal slot available for pivoting on every row.

@@ -36,6 +36,21 @@ struct SolverStats {
     std::uint64_t sparse_refactorizations = 0; ///< sparse numeric refactors
     std::uint64_t sparse_symbolic_analyses = 0; ///< once per sparse circuit
 
+    // Sparse-kernel fast-path instrumentation (docs/SOLVER.md): a refactor
+    // either reuses the previous pivot sequence (a static-pivot hit) or
+    // runs threshold pivoting; a factor whose element growth tripped the
+    // monitor and was redone under stricter pivoting bumps the fallback
+    // counter. ordering_us accumulates wall microseconds spent computing
+    // fill-reducing orderings (symbolic analysis only, so ~once per
+    // topology).
+    std::uint64_t sparse_static_pivot_hits = 0; ///< refactors w/o pivot search
+    std::uint64_t sparse_pivot_fallbacks = 0;   ///< growth-triggered retries
+    std::uint64_t sparse_ordering_us = 0;       ///< time in fill ordering [us]
+
+    /// Device I-V samples computed through the batched structure-of-arrays
+    /// path (DeviceEvalBatch) rather than one-at-a-time virtual dispatch.
+    std::uint64_t batched_evals = 0;
+
     // Cancellation/deadline instrumentation (docs/ROBUSTNESS.md): polls
     // happen at deterministic boundaries (one per Newton iteration, per
     // transient step, per solve entry, per mixed-level attempt), so for a
@@ -78,6 +93,12 @@ struct SolverStats {
             sparse_refactorizations - rhs.sparse_refactorizations;
         d.sparse_symbolic_analyses =
             sparse_symbolic_analyses - rhs.sparse_symbolic_analyses;
+        d.sparse_static_pivot_hits =
+            sparse_static_pivot_hits - rhs.sparse_static_pivot_hits;
+        d.sparse_pivot_fallbacks =
+            sparse_pivot_fallbacks - rhs.sparse_pivot_fallbacks;
+        d.sparse_ordering_us = sparse_ordering_us - rhs.sparse_ordering_us;
+        d.batched_evals = batched_evals - rhs.batched_evals;
         d.deadline_polls = deadline_polls - rhs.deadline_polls;
         d.cancelled_solves = cancelled_solves - rhs.cancelled_solves;
         d.hier_promotions = hier_promotions - rhs.hier_promotions;
@@ -108,6 +129,10 @@ struct SolverStats {
         line_search_backtracks += rhs.line_search_backtracks;
         sparse_refactorizations += rhs.sparse_refactorizations;
         sparse_symbolic_analyses += rhs.sparse_symbolic_analyses;
+        sparse_static_pivot_hits += rhs.sparse_static_pivot_hits;
+        sparse_pivot_fallbacks += rhs.sparse_pivot_fallbacks;
+        sparse_ordering_us += rhs.sparse_ordering_us;
+        batched_evals += rhs.batched_evals;
         deadline_polls += rhs.deadline_polls;
         cancelled_solves += rhs.cancelled_solves;
         hier_promotions += rhs.hier_promotions;

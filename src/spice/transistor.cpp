@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "spice/eval_batch.hpp"
 #include "spice/solution.hpp"
 
 namespace tfetsram::spice {
@@ -30,10 +31,33 @@ void Transistor::set_model(TransistorModelPtr model) {
 
 void Transistor::stamp(Stamper& st, const AnalysisState& as,
                        const la::Vector& x) {
+    if (st.pattern_only()) {
+        // Symbolic pass: only the touched positions matter, so skip the
+        // model evaluation (table lookups dominate pattern building on
+        // large arrays) and register the channel + capacitor stamps with
+        // placeholder values.
+        st.add_transconductance(d_, s_, g_, s_, 0.0);
+        st.add_conductance(d_, s_, 0.0);
+        st.add_current(d_, s_, 0.0);
+        if (as.mode == AnalysisMode::kTransient) {
+            st.add_conductance(g_, s_, 0.0);
+            st.add_current(g_, s_, 0.0);
+            st.add_conductance(g_, d_, 0.0);
+            st.add_current(g_, d_, 0.0);
+        }
+        return;
+    }
+
     const double vgs = branch_voltage(x, g_, s_);
     const double vds = branch_voltage(x, d_, s_);
 
-    const IvSample iv = model_->iv(vgs, vds);
+    // Assembly precomputes every transistor's sample in one batched sweep
+    // (DeviceEvalBatch evaluates at the same x this stamp sees, with
+    // bitwise-identical arithmetic). The scalar fallback covers pattern
+    // discovery and any stamping outside the assemble() entry points.
+    const IvSample iv = (batch_ != nullptr && batch_->ready())
+                            ? batch_->sample(batch_slot_)
+                            : model_->iv(vgs, vds);
     const double ids = iv.ids * width_um_;
     const double gm = iv.gm * width_um_;
     const double gds = std::max(iv.gds * width_um_, kGdsFloor);

@@ -9,6 +9,8 @@
 
 namespace tfetsram::spice {
 
+class DeviceEvalBatch;
+
 class Transistor final : public Device {
 public:
     Transistor(std::string label, TransistorModelPtr model, NodeId drain,
@@ -29,6 +31,15 @@ public:
     /// Swap the device model (used by Monte-Carlo re-simulation).
     void set_model(TransistorModelPtr model);
 
+    /// Adopt a precomputed I-V slot in the circuit's DeviceEvalBatch.
+    /// Called by the batch during layout build; stamp() consumes the slot
+    /// whenever the batch holds fresh samples and falls back to the scalar
+    /// model call otherwise (pattern discovery, standalone stamping).
+    void attach_batch(const DeviceEvalBatch* batch, std::size_t slot) {
+        batch_ = batch;
+        batch_slot_ = slot;
+    }
+
     [[nodiscard]] NodeId drain() const { return d_; }
     [[nodiscard]] NodeId gate() const { return g_; }
     [[nodiscard]] NodeId source() const { return s_; }
@@ -46,6 +57,8 @@ private:
                            CapState& cs);
 
     TransistorModelPtr model_;
+    const DeviceEvalBatch* batch_ = nullptr;
+    std::size_t batch_slot_ = 0;
     NodeId d_;
     NodeId g_;
     NodeId s_;

@@ -5,6 +5,7 @@
 // (analytic TFET/MOSFET physics and the lookup-table flavor the paper's
 // Verilog-A flow uses) live in src/device.
 
+#include <cstddef>
 #include <memory>
 
 namespace tfetsram::spice {
@@ -33,6 +34,18 @@ public:
 
     /// I-V characteristic with derivatives.
     [[nodiscard]] virtual IvSample iv(double vgs, double vds) const = 0;
+
+    /// Batched I-V: out[i] = iv(vgs[i], vds[i]) for i in [0, n). The
+    /// default loops the scalar entry point; table-backed models override
+    /// with a structure-of-arrays pass over their grids (the per-iterate
+    /// hot loop at array scale). Overrides MUST be bitwise-identical to
+    /// the scalar path — the dense/sparse differential suite asserts exact
+    /// Jacobian equality across assembly backends.
+    virtual void iv_many(const double* vgs, const double* vds, std::size_t n,
+                         IvSample* out) const {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = iv(vgs[i], vds[i]);
+    }
 
     /// C-V characteristic.
     [[nodiscard]] virtual CvSample cv(double vgs, double vds) const = 0;

@@ -20,6 +20,7 @@
 #include "la/matrix.hpp"
 #include "la/sparse_lu.hpp"
 #include "la/sparse_matrix.hpp"
+#include "spice/device.hpp"
 #include "spice/solver_select.hpp"
 
 namespace tfetsram::spice {
@@ -36,6 +37,8 @@ struct SolveWorkspace {
     // --- sparse backend ---
     la::SparseMatrix sjac;   ///< CSR MNA system (pattern frozen per circuit)
     la::SparseLu slu;        ///< symbolic once, numeric refactor per iterate
+    StampPlan plan_dc;       ///< memoized stamp addresses, DC assemblies
+    StampPlan plan_tr;       ///< memoized stamp addresses, transient ones
 
     /// Backend decided at the circuit's first Newton solve; empty until
     /// then. Pinned until the circuit's topology changes (see

@@ -74,6 +74,55 @@ TEST(Grid2d, RejectsTinyGrids) {
     EXPECT_THROW(Grid2d(0.0, 1.0, 3, 0.0, 1.0, 8), contract_violation);
 }
 
+TEST(Grid2d, GradientMatchesFiniteDifferencesEverywhere) {
+    // Newton's Jacobian is only as good as fx/fy being the true partial
+    // derivatives of the surface eval() reconstructs. Hold the analytic
+    // gradient against central finite differences of eval() itself —
+    // interior cells, edge cells, and the extrapolated region beyond the
+    // table all included. A derivative taken from the wrong cell stencil
+    // (the historical edge-cell bug) fails this at the 1e-2 level.
+    Grid2d g(-0.5, 1.0, 7, -1.0, 0.5, 9);
+    for (std::size_t iy = 0; iy < g.ny(); ++iy)
+        for (std::size_t ix = 0; ix < g.nx(); ++ix)
+            g.at(ix, iy) = std::sin(2.0 * g.x_at(ix)) *
+                               std::exp(0.7 * g.y_at(iy)) +
+                           0.3 * g.x_at(ix) * g.y_at(iy);
+
+    const double h = 1e-6;
+    const auto check = [&](double x, double y, const char* where) {
+        const Grid2d::Sample s = g.eval(x, y);
+        const double fx_fd =
+            (g.eval(x + h, y).f - g.eval(x - h, y).f) / (2.0 * h);
+        const double fy_fd =
+            (g.eval(x, y + h).f - g.eval(x, y - h).f) / (2.0 * h);
+        EXPECT_NEAR(s.fx, fx_fd, 1e-5 * (1.0 + std::fabs(fx_fd)))
+            << where << " at (" << x << ", " << y << ")";
+        EXPECT_NEAR(s.fy, fy_fd, 1e-5 * (1.0 + std::fabs(fy_fd)))
+            << where << " at (" << x << ", " << y << ")";
+    };
+
+    // Interior cells, away from node boundaries.
+    check(0.11, -0.23, "interior");
+    check(0.42, 0.13, "interior");
+    check(-0.07, -0.61, "interior");
+    // Edge cells: the first/last interval along each axis, where the
+    // interpolation stencil is one-sided.
+    check(-0.45, -0.31, "x low edge");
+    check(0.93, -0.42, "x high edge");
+    check(0.21, -0.95, "y low edge");
+    check(0.33, 0.44, "y high edge");
+    // Corner cell: one-sided in both axes at once.
+    check(-0.47, -0.97, "corner");
+    check(0.95, 0.46, "corner");
+    // Extrapolated region: the surface continues linearly, so the
+    // analytic gradient must match the finite difference exactly there.
+    check(-0.9, -0.2, "x below domain");
+    check(1.4, -0.2, "x above domain");
+    check(0.2, -1.5, "y below domain");
+    check(0.2, 0.9, "y above domain");
+    check(1.6, 1.1, "far corner extrapolation");
+}
+
 TEST(DeviceTable, OutputShapeOddAndSmooth) {
     const DeviceTable t("t", TableSpec{});
     const auto p = t.output_shape(0.3);

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <vector>
 
 #include "la/lu.hpp"
@@ -281,6 +282,208 @@ TEST(MinimumDegree, ArrowMatrixEliminatesDenseColumnLast) {
     lu.analyze(s);
     ASSERT_TRUE(lu.refactor(s));
     EXPECT_EQ(lu.lu_nnz(), s.nnz());
+}
+
+namespace {
+
+/// 5-point Laplacian pattern and values on a k x k grid — the canonical
+/// grid-like pattern the array MNA systems resemble.
+SparseMatrix grid_laplacian(std::size_t k) {
+    const std::size_t n = k * k;
+    SparseMatrix s(n, n);
+    const auto id = [k](std::size_t i, std::size_t j) { return i * k + j; };
+    for (std::size_t i = 0; i < k; ++i)
+        for (std::size_t j = 0; j < k; ++j) {
+            s.reserve_entry(id(i, j), id(i, j));
+            if (i + 1 < k) {
+                s.reserve_entry(id(i, j), id(i + 1, j));
+                s.reserve_entry(id(i + 1, j), id(i, j));
+            }
+            if (j + 1 < k) {
+                s.reserve_entry(id(i, j), id(i, j + 1));
+                s.reserve_entry(id(i, j + 1), id(i, j));
+            }
+        }
+    s.finalize_pattern();
+    for (std::size_t i = 0; i < k; ++i)
+        for (std::size_t j = 0; j < k; ++j) {
+            s.add(id(i, j), id(i, j), 4.0);
+            if (i + 1 < k) {
+                s.add(id(i, j), id(i + 1, j), -1.0);
+                s.add(id(i + 1, j), id(i, j), -1.0);
+            }
+            if (j + 1 < k) {
+                s.add(id(i, j), id(i, j + 1), -1.0);
+                s.add(id(i, j + 1), id(i, j), -1.0);
+            }
+        }
+    return s;
+}
+
+} // namespace
+
+TEST(Amd, ProducesAValidPermutation) {
+    Rng rng(31);
+    Matrix a(12, 12);
+    for (std::size_t r = 0; r < 12; ++r) {
+        a(r, r) = 1.0;
+        for (std::size_t c = 0; c < 12; ++c)
+            if (rng.uniform(0.0, 1.0) < 0.2)
+                a(r, c) = 1.0;
+    }
+    const SparseMatrix s = SparseMatrix::from_dense(a);
+    const std::vector<std::size_t> q = amd_order(s);
+    ASSERT_EQ(q.size(), 12u);
+    std::vector<std::size_t> sorted = q;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < 12; ++i)
+        EXPECT_EQ(sorted[i], i) << "not a permutation";
+}
+
+TEST(Amd, DeterministicAcrossRepeatsAndRebuilds) {
+    // Every AMD decision is index-based: the same pattern must produce
+    // the same order on repeated calls and on an independently rebuilt
+    // copy of the pattern.
+    const SparseMatrix s = grid_laplacian(7);
+    const std::vector<std::size_t> q1 = amd_order(s);
+    const std::vector<std::size_t> q2 = amd_order(s);
+    EXPECT_EQ(q1, q2);
+    const SparseMatrix rebuilt = grid_laplacian(7);
+    EXPECT_EQ(amd_order(rebuilt), q1);
+}
+
+TEST(Amd, ArrowMatrixEliminatesDenseColumnLast) {
+    // Same property the greedy ordering guarantees: the hub of an arrow
+    // matrix must not be eliminated while multiple spokes remain, or the
+    // factor cliques the remaining spokes.
+    const std::size_t n = 10;
+    SparseMatrix s(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        s.reserve_entry(i, i);
+        s.reserve_entry(0, i);
+        s.reserve_entry(i, 0);
+    }
+    s.finalize_pattern();
+    const std::vector<std::size_t> q = amd_order(s);
+    const auto hub = std::find(q.begin(), q.end(), std::size_t{0});
+    ASSERT_NE(hub, q.end());
+    EXPECT_GE(static_cast<std::size_t>(hub - q.begin()), n - 2)
+        << "hub column eliminated while multiple spokes remained";
+
+    for (std::size_t i = 0; i < n; ++i) {
+        s.add(i, i, 4.0);
+        if (i > 0) {
+            s.add(0, i, 1.0);
+            s.add(i, 0, 1.0);
+        } else {
+            s.add(0, 0, 1.0);
+        }
+    }
+    SparseLu lu;
+    lu.analyze(s); // default ordering is AMD
+    ASSERT_TRUE(lu.refactor(s));
+    EXPECT_EQ(lu.lu_nnz(), s.nnz()) << "arrow factor should be fill-free";
+}
+
+TEST(Amd, FillCompetitiveWithGreedyOnGridPattern) {
+    // On the grid-like patterns arrays produce, AMD's approximation must
+    // land within a few percent of the exact greedy scan — and both must
+    // clearly beat no ordering at all.
+    const SparseMatrix s = grid_laplacian(9);
+    SparseLu amd, greedy, natural;
+    amd.analyze(s); // default ordering is AMD
+    greedy.analyze(s, minimum_degree_order(s));
+    std::vector<std::size_t> identity(s.rows());
+    std::iota(identity.begin(), identity.end(), std::size_t{0});
+    natural.analyze(s, std::move(identity));
+    ASSERT_TRUE(amd.refactor(s));
+    ASSERT_TRUE(greedy.refactor(s));
+    ASSERT_TRUE(natural.refactor(s));
+    EXPECT_LE(amd.lu_nnz(), greedy.lu_nnz() * 105 / 100);
+    EXPECT_LT(amd.lu_nnz(), natural.lu_nnz());
+    EXPECT_GE(amd.lu_nnz(), s.nnz());
+}
+
+// ------------------------------------------------- static-pivot fast path
+
+TEST(SparseLuStaticPivot, SecondRefactorReusesThePivotSequence) {
+    SparseMatrix s = grid_laplacian(5);
+    SparseLu lu;
+    lu.analyze(s);
+    ASSERT_TRUE(lu.refactor(s));
+    EXPECT_FALSE(lu.last_refactor().static_hit)
+        << "first refactor has no sequence to reuse";
+    ASSERT_TRUE(lu.refactor(s));
+    EXPECT_TRUE(lu.last_refactor().static_hit);
+    EXPECT_EQ(lu.last_refactor().fallbacks, 0u);
+}
+
+TEST(SparseLuStaticPivot, DecayedPivotFallsBackAndStaysAccurate) {
+    // Pin the elimination order so the column whose diagonal decays is
+    // eliminated first: the reused pivot drops to 1e-9 against a column
+    // magnitude of 1, far below the static floor, so the sweep must
+    // abandon the reuse and a fresh pivot search must take over.
+    SparseMatrix s(2, 2);
+    s.reserve_entry(0, 0);
+    s.reserve_entry(0, 1);
+    s.reserve_entry(1, 0);
+    s.reserve_entry(1, 1);
+    s.finalize_pattern();
+    s.add(0, 0, 4.0);
+    s.add(0, 1, 1.0);
+    s.add(1, 0, 1.0);
+    s.add(1, 1, 4.0);
+    SparseLu lu;
+    lu.analyze(s, {0, 1});
+    ASSERT_TRUE(lu.refactor(s));
+
+    s.set_zero();
+    s.add(0, 0, 1e-9);
+    s.add(0, 1, 1.0);
+    s.add(1, 0, 1.0);
+    s.add(1, 1, 4.0);
+    ASSERT_TRUE(lu.refactor(s));
+    EXPECT_FALSE(lu.last_refactor().static_hit);
+    EXPECT_GE(lu.last_refactor().fallbacks, 1u);
+    const Vector x = lu.solve({1.0, 2.0});
+    // Exact solution of [[1e-9, 1], [1, 4]] x = [1, 2].
+    const double x0 = (4.0 - 2.0) / (4e-9 - 1.0);
+    const double x1 = (1.0 - 1e-9 * x0);
+    EXPECT_NEAR(x[0], x0, 1e-9);
+    EXPECT_NEAR(x[1], x1, 1e-9);
+}
+
+TEST(SparseLuGrowth, DiagonalPreferenceBlowupRetriesWithFullPivoting) {
+    // Column diagonals sit just inside the diagonal-preference window
+    // (|diag| = 1 vs column max 9.99), so threshold pivoting keeps them
+    // and the dense last column amplifies by ~11x per elimination step:
+    // growth overflows the bound and the factorization must be redone
+    // with pure partial pivoting before the solve is trusted.
+    const std::size_t n = 14;
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        a(i, i) = 1.0;
+        a(i, n - 1) = 1.0;
+        for (std::size_t r = i + 1; r < n; ++r)
+            a(r, i) = -9.99;
+    }
+    const SparseMatrix s = SparseMatrix::from_dense(a);
+    SparseLu lu;
+    std::vector<std::size_t> identity(n);
+    std::iota(identity.begin(), identity.end(), std::size_t{0});
+    lu.analyze(s, std::move(identity));
+    ASSERT_TRUE(lu.refactor(s));
+    EXPECT_GE(lu.last_refactor().fallbacks, 1u)
+        << "growth monitor should have rejected the first factor";
+    EXPECT_LT(lu.last_refactor().growth, 1e10)
+        << "accepted factor must respect the growth bound";
+
+    Vector expect(n);
+    for (std::size_t i = 0; i < n; ++i)
+        expect[i] = 0.5 + 0.1 * static_cast<double>(i);
+    const Vector x = lu.solve(s.multiply(expect));
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(x[i], expect[i], 1e-9) << "component " << i;
 }
 
 // ---------------------------------------------------------------- SparseLu

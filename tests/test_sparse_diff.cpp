@@ -167,6 +167,52 @@ TEST(SparseDenseRandom, RepeatedRefactorsMatchAcrossValueChanges) {
     }
 }
 
+TEST(SparseDenseRandom, StaticPivotPathAgreesWithAlwaysPivotPath) {
+    // The static-pivot fast path must be numerically interchangeable with
+    // a factorization that re-runs the pivot search every time. Drift the
+    // values the way Newton does and hold the two modes against each
+    // other on every pass.
+    const std::size_t n = 40;
+    Rng rng(20260808);
+    const la::Matrix a0 = random_system(n, 0.15, rng);
+    la::SparseMatrix sa = la::SparseMatrix::from_dense(a0);
+
+    la::SparseLu fast;
+    fast.analyze(sa);
+    la::SparseLu reference;
+    reference.set_static_pivoting(false);
+    reference.analyze(sa);
+
+    for (int pass = 0; pass < 6; ++pass) {
+        if (pass > 0) {
+            la::Matrix a = sa.to_dense();
+            sa.set_zero();
+            for (std::size_t r = 0; r < n; ++r)
+                for (std::size_t c = 0; c < n; ++c)
+                    if (a(r, c) != 0.0)
+                        sa.add(r, c, a(r, c) + rng.uniform(-0.1, 0.1));
+        }
+        ASSERT_TRUE(fast.refactor(sa)) << "pass " << pass;
+        ASSERT_TRUE(reference.refactor(sa)) << "pass " << pass;
+        EXPECT_FALSE(reference.last_refactor().static_hit);
+        if (pass > 0)
+            EXPECT_TRUE(fast.last_refactor().static_hit)
+                << "well-conditioned drift should reuse the pivot "
+                   "sequence on pass "
+                << pass;
+
+        la::Vector b(n);
+        for (std::size_t i = 0; i < n; ++i)
+            b[i] = rng.uniform(-1.0, 1.0);
+        la::Vector x_fast(n), x_ref(n);
+        fast.solve_into(b, x_fast);
+        reference.solve_into(b, x_ref);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_NEAR(x_fast[i], x_ref[i], 1e-11)
+                << "pass " << pass << " component " << i;
+    }
+}
+
 // ------------------------------------------------- failure parity
 
 TEST(SparseDenseFailure, SingularSystemsFailIdentically) {
@@ -323,6 +369,46 @@ TEST(SparseAssembly, ArraySystemMatchesDenseExactly) {
         EXPECT_EQ(rhs_s[i], rhs_d[i]) << "rhs " << i;
 }
 
+TEST(SparseAssembly, AmdFillNoWorseThanGreedyOnRealMnaPatterns) {
+    // The AMD ordering replaced the O(n^2) greedy minimum-degree scan for
+    // speed; on the patterns this simulator actually factors it must not
+    // give that speed back as extra fill (a few percent of slack covers
+    // the approximation).
+    spice::ScopedSolverMode scoped(spice::SolverMode::kDense);
+    const auto fill_of = [](spice::Circuit& c, bool use_amd) {
+        c.prepare();
+        la::SparseMatrix jac;
+        spice::build_pattern(c, jac);
+        Rng rng(42);
+        la::Vector x(c.num_unknowns());
+        for (std::size_t i = 0; i < x.size(); ++i)
+            x[i] = rng.uniform(0.0, 0.8);
+        spice::AnalysisState as;
+        as.mode = spice::AnalysisMode::kTransient;
+        as.dt = 1e-12;
+        as.first_transient_step = true;
+        la::Vector rhs;
+        spice::assemble(c, as, x, 1e-12, jac, rhs);
+        la::SparseLu lu;
+        if (use_amd)
+            lu.analyze(jac); // default ordering is AMD
+        else
+            lu.analyze(jac, la::minimum_degree_order(jac));
+        EXPECT_TRUE(lu.refactor(jac));
+        return lu.lu_nnz();
+    };
+
+    sram::SramCell cell = sram::build_cell(proposed_array(1, 1).cell);
+    EXPECT_LE(fill_of(cell.circuit, true),
+              fill_of(cell.circuit, false) * 105 / 100)
+        << "cell MNA pattern";
+
+    array::SramArray arr(proposed_array(4, 4));
+    EXPECT_LE(fill_of(arr.circuit(), true),
+              fill_of(arr.circuit(), false) * 105 / 100)
+        << "array MNA pattern";
+}
+
 // ------------------------------------------------- full-simulation parity
 
 TEST(SparseDenseSimulation, ArrayOperationsAgreeAcrossBackends) {
@@ -448,6 +534,43 @@ TEST(SparseCounters, AutoModeRoutesBySystemSize) {
     ASSERT_TRUE(arr.initialize(checker(8, 4)));
     ASSERT_TRUE(arr.circuit().workspace().kind.has_value());
     EXPECT_EQ(*arr.circuit().workspace().kind, spice::SolverKind::kSparse);
+}
+
+TEST(SparseCounters, FastPathCountersTrackArrayInitialization) {
+    // Initializations refactor the same MNA pattern once per Newton
+    // iterate: the very first factorization runs the full pivot search,
+    // and the drifting-value repeats — including the re-initialization to
+    // the complementary data pattern — ride the static fast path. The
+    // batched device sweep serves every one of those assemblies.
+    spice::ScopedSolverMode scoped(spice::SolverMode::kSparse);
+    const spice::SolverStats before = spice::solver_stats();
+    array::SramArray arr(proposed_array(4, 4));
+    ASSERT_TRUE(arr.initialize(checker(4, 4)));
+    std::vector<std::vector<bool>> flipped = checker(4, 4);
+    for (auto& row : flipped)
+        row.flip();
+    ASSERT_TRUE(arr.initialize(flipped));
+    const spice::SolverStats d = metered_since(before);
+    EXPECT_GT(d.sparse_refactorizations, 1u);
+    EXPECT_GT(d.sparse_static_pivot_hits, 0u);
+    // At least the first refactor of each analyzed pattern ran the full
+    // search, so hits never cover every refactor.
+    EXPECT_LT(d.sparse_static_pivot_hits, d.sparse_refactorizations);
+    EXPECT_GT(d.batched_evals, 0u);
+    // Every assembly swept all of the array's transistors exactly once.
+    EXPECT_EQ(d.batched_evals % d.assemblies, 0u);
+    EXPECT_EQ(d.sparse_symbolic_analyses, 1u);
+}
+
+TEST(SparseCounters, DenseOnlyWindowReportsNoFastPathWork) {
+    spice::ScopedSolverMode scoped(spice::SolverMode::kDense);
+    sram::SramCell cell = sram::build_cell(proposed_array(1, 1).cell);
+    const spice::SolverStats before = spice::solver_stats();
+    ASSERT_TRUE(solve_dc(cell.circuit, {}).converged);
+    const spice::SolverStats d = metered_since(before);
+    EXPECT_EQ(d.sparse_static_pivot_hits, 0u);
+    EXPECT_EQ(d.sparse_pivot_fallbacks, 0u);
+    EXPECT_EQ(d.sparse_ordering_us, 0u);
 }
 
 TEST(SparseCounters, TopologyChangeTriggersFreshAnalysis) {
