@@ -6,6 +6,7 @@
 
 #include "figures.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 
@@ -13,6 +14,7 @@
 #include "bench_common.hpp"
 #include "hier/engine.hpp"
 #include "mc/statistics.hpp"
+#include "mc/yield.hpp"
 #include "spice/solve_error.hpp"
 
 namespace tfetsram::bench {
@@ -264,6 +266,99 @@ int run_fig10_mc_read_assist(const runner::RunnerConfig& config) {
         return result;
     };
     const runner::TaskId wl_task = r.add(std::move(wl_spec));
+
+    // Fig. 10 extension (ROADMAP item 3): a true failure-probability
+    // estimate for WLcrit instead of a 64-sample histogram. The failure
+    // surface is self-calibrated from the metric's log-linear tox
+    // sensitivity — wl(u) ~ wl0 * exp(c u) from evaluations at u = 0, +-2
+    // — and "failure" means WLcrit beyond its 4-sigma projection (or a
+    // genuine +inf write failure). Importance sampling with a defensive
+    // mixture shifted to the failing tail makes the tail reachable within
+    // a histogram-sized solve budget.
+    const std::size_t yield_budget =
+        std::max<std::size_t>(mc::mc_samples_from_env(64), 32);
+    runner::TaskSpec yield_spec;
+    yield_spec.id = "mc_yield_wlcrit";
+    yield_spec.deps = {models};
+    yield_spec.key = base_key("yield_wlcrit")
+                         .add("estimator", "is_shift4_defensive")
+                         .add("budget", yield_budget);
+    yield_spec.fn = [cell_cfg, opts, yield_budget] {
+        sram::CellConfig mc_cfg = cell_cfg;
+        mc_cfg.models = standard_models();
+        const auto wl_metric = [opts](sram::SramCell& cell) {
+            const double p = sram::critical_wordline_pulse(
+                cell, sram::Assist::kNone, opts);
+            if (std::isnan(p)) {
+                spice::SolveError err;
+                err.code = spice::SolveErrorCode::kNonConvergence;
+                err.message = "yield: wlcrit transient failed";
+                throw spice::SolveException(std::move(err));
+            }
+            return p;
+        };
+
+        const mc::TfetVariationSampler sampler(mc::VariationSpec{});
+        const auto eval_at = [&](double u) {
+            sram::CellConfig c = mc_cfg;
+            c.models = sampler.sample_at(u).models;
+            sram::SramCell cell = sram::build_cell(c);
+            return wl_metric(cell);
+        };
+        const double wl0 = eval_at(0.0);
+        const double wl_hi = eval_at(2.0);
+        const double wl_lo = eval_at(-2.0);
+        if (!(wl0 > 0.0) || !std::isfinite(wl_hi) || !std::isfinite(wl_lo)) {
+            spice::SolveError err;
+            err.code = spice::SolveErrorCode::kNonConvergence;
+            err.message = "yield: calibration points not finite";
+            throw spice::SolveException(std::move(err));
+        }
+        const double slope = (std::log(wl_hi) - std::log(wl_lo)) / 4.0;
+        const double limit = wl0 * std::exp(4.0 * std::abs(slope));
+        const double shift = slope < 0.0 ? -4.0 : 4.0;
+
+        mc::CellYieldProblem problem;
+        problem.config = mc_cfg;
+        problem.variation = mc::VariationSpec{};
+        problem.metric = wl_metric;
+        problem.fails = [limit](double v) { return !(v <= limit); };
+
+        mc::YieldOptions yopts;
+        yopts.proposal = mc::GaussianMixture::shifted(shift);
+        yopts.batch = 16;
+        yopts.min_samples = 32;
+        yopts.max_samples = yield_budget;
+        yopts.min_failures = 4;
+        yopts.target_rel_halfwidth = 0.5;
+        mc::BatchStats bstats;
+        const mc::YieldEstimate est = mc::estimate_cell_yield(
+            spice::ambient_context(), problem, yopts, kSeed,
+            /*threads=*/1, mc::McPolicy{}, &bstats);
+
+        runner::TaskResult result;
+        result.set("limit", core::format_pulse(limit));
+        result.set("p_fail", format_sci(est.p_fail, 4));
+        result.set("ci", "[" + format_sci(est.lower, 3) + ", " +
+                             format_sci(est.upper, 3) + "]");
+        result.set("sigma", format_sci(est.sigma_level, 3));
+        result.set("samples", std::to_string(est.n_samples));
+        result.set("fails", std::to_string(est.n_fail));
+        result.set("censored", std::to_string(est.n_censored));
+        result.set("converged", est.converged ? "yes" : "budget");
+        result.set("bench:yield_p_fail", format_sci(est.p_fail, 6));
+        result.set("bench:yield_lower", format_sci(est.lower, 6));
+        result.set("bench:yield_upper", format_sci(est.upper, 6));
+        result.set("bench:yield_upper_censored",
+                   format_sci(est.upper_censored, 6));
+        result.set("bench:yield_sigma_level", format_sci(est.sigma_level, 6));
+        result.set("bench:yield_n_samples", std::to_string(est.n_samples));
+        result.set("bench:yield_ess", format_sci(est.ess, 6));
+        result.set("bench:yield_model_retargets",
+                   std::to_string(bstats.model_retargets));
+        return result;
+    };
+    const runner::TaskId yield_task = r.add(std::move(yield_spec));
     r.run();
 
     auto csv = open_csv("fig10_mc_read_assist", cfg);
@@ -298,6 +393,16 @@ int run_fig10_mc_read_assist(const runner::RunnerConfig& config) {
               << "), failures " << value_or(r, wl_task, "failures", "-")
               << ", censored " << value_or(r, wl_task, "censored", "-")
               << ", yield " << value_or(r, wl_task, "yield", "-") << "\n";
+
+    std::cout << "WLcrit tail risk (importance-sampled, limit "
+              << value_or(r, yield_task, "limit", "QUARANTINED")
+              << "): p_fail " << value_or(r, yield_task, "p_fail", "-")
+              << " 95% CI " << value_or(r, yield_task, "ci", "-") << " ("
+              << value_or(r, yield_task, "sigma", "-") << " sigma, "
+              << value_or(r, yield_task, "samples", "-") << " samples, "
+              << value_or(r, yield_task, "fails", "-") << " fails, "
+              << value_or(r, yield_task, "censored", "-") << " censored, "
+              << value_or(r, yield_task, "converged", "-") << ")\n";
 
     expectation(
         "DRNM is minimally impacted by variation for all RA techniques; the "

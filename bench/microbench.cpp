@@ -1,10 +1,12 @@
-// Microbenchmark harness for the solver hot paths. Nine small, fixed
+// Microbenchmark harness for the solver hot paths. Eleven small, fixed
 // workloads — cold DC operating point, warm-started DC re-solve, a full
 // write transient, a WLcrit bisection, an SNM butterfly trace, a
-// 64-sample Monte-Carlo batch, an 8x8-array DC initialization run
+// 64-sample Monte-Carlo batch (serial and lockstep variants), an
+// 8x8-array DC initialization run
 // once per linear kernel (dense vs sparse, pinned per task through
-// TaskSpec::sim), and a sparse-only 64x64-array DC initialization that
-// stresses the ordering/static-pivot/batched-eval fast paths at scale —
+// TaskSpec::sim), a sparse-only 64x64-array DC initialization that
+// stresses the ordering/static-pivot/batched-eval fast paths at scale,
+// and an adaptive importance-sampled rare-event yield estimate —
 // each metered with wall time and the ambient context's
 // solver_stats() counters (MNA assemblies, LU factorizations, line-search
 // backtracks, NR iterations, DC/transient solves). Results land as a console table, a
@@ -22,6 +24,8 @@
 #include "array/array.hpp"
 #include "bench_common.hpp"
 #include "figures.hpp"
+#include "mc/yield.hpp"
+#include "spice/context.hpp"
 #include "spice/dc.hpp"
 #include "spice/solver_select.hpp"
 #include "spice/stats.hpp"
@@ -281,6 +285,89 @@ int run_microbench(const runner::RunnerConfig& config) {
         spec.sim = std::move(sim);
         tasks.push_back(r.add(std::move(spec)));
     }
+
+    // 10. The same 64-sample Monte-Carlo through the lockstep engine: one
+    // persistent cell per lane, per-sample model retargeting instead of
+    // rebuilds. Differential identity with workload 6 is a test
+    // (test_mc_batch); this task tracks what the reuse buys in wall time.
+    names.push_back("mc_batch64_lockstep");
+    tasks.push_back(
+        r.add(bench_task("mc_batch64_lockstep", models, [cell_cfg, opts] {
+            const mc::VariationSpec vspec;
+            const mc::TfetVariationSampler sampler(vspec);
+            mc::BatchStats bstats;
+            const Meter m = metered(1, [&](std::size_t) {
+                const mc::McResult res = mc::run_monte_carlo_batched(
+                    spice::ambient_context(), cell_cfg, sampler, 64, 0xB3Cu,
+                    [&](sram::SramCell& cell) {
+                        return sram::worst_hold_static_power(cell, opts);
+                    },
+                    /*threads=*/1, mc::McPolicy{}, &bstats);
+                TFET_ASSERT(res.n_censored == 0);
+            });
+            TFET_ASSERT(bstats.model_retargets > 0);
+            return to_result("mc_batch64_lockstep", m);
+        })));
+
+    // 11. Rare-event yield estimation end to end: adaptive
+    // importance-sampled tail probability of worst-case hold power through
+    // the lockstep engine, on coarse 121-point tables so the workload
+    // meters estimator overhead rather than table extraction. The failure
+    // surface is self-calibrated (metric beyond its own 4-sigma log-linear
+    // projection), so the workload stays meaningful if the hold-power
+    // model shifts. ci.sh gates its wall time against the baseline.
+    names.push_back("mc_yield");
+    tasks.push_back(r.add(bench_task("mc_yield", models, [cell_cfg, opts] {
+        mc::VariationSpec vspec;
+        vspec.table_spec.points = 121;
+        const mc::TfetVariationSampler sampler(vspec);
+        const auto metric = [&](sram::SramCell& cell) {
+            return sram::worst_hold_static_power(cell, opts);
+        };
+        const auto eval_at = [&](double u) {
+            sram::CellConfig c = cell_cfg;
+            c.models = sampler.sample_at(u).models;
+            sram::SramCell cell = sram::build_cell(c);
+            return metric(cell);
+        };
+        const double p0 = eval_at(0.0);
+        const double slope =
+            (std::log(eval_at(2.0)) - std::log(eval_at(-2.0))) / 4.0;
+        TFET_ASSERT(p0 > 0.0 && std::isfinite(slope) && slope != 0.0);
+
+        mc::CellYieldProblem problem;
+        problem.config = cell_cfg;
+        problem.variation = vspec;
+        problem.metric = metric;
+        problem.fails = [p0, slope](double v) {
+            return (std::log(v) - std::log(p0)) / slope > 4.0;
+        };
+        // t(u) ~ u under the log-linear model — the slope's sign cancels
+        // in t, so the failure region sits at u > 4 for either polarity.
+        mc::YieldOptions yopts;
+        yopts.proposal = mc::GaussianMixture::shifted(4.0);
+        yopts.batch = 16;
+        yopts.min_samples = 32;
+        yopts.max_samples = 192;
+        yopts.min_failures = 4;
+        yopts.target_rel_halfwidth = 0.5;
+
+        mc::YieldEstimate est;
+        const Meter m = metered(1, [&](std::size_t) {
+            est = mc::estimate_cell_yield(spice::ambient_context(), problem,
+                                          yopts, 0x71E1Du, /*threads=*/1);
+        });
+        TFET_ASSERT(est.n_samples >= 32 && est.n_censored == 0);
+        runner::TaskResult result = to_result("mc_yield", m);
+        result.set("bench:yield_p_fail", format_sci(est.p_fail, 6));
+        result.set("bench:yield_lower", format_sci(est.lower, 6));
+        result.set("bench:yield_upper", format_sci(est.upper, 6));
+        result.set("bench:yield_sigma_level",
+                   format_sci(est.sigma_level, 6));
+        result.set("bench:yield_n_samples", std::to_string(est.n_samples));
+        result.set("bench:yield_ess", format_sci(est.ess, 6));
+        return result;
+    })));
 
     r.run();
 

@@ -98,20 +98,31 @@ echo "=== microbench: array64x64 wall regression gate ==="
 # noise while still catching an ordering/fast-path regression, which
 # costs well over 2x at this size; docs/SOLVER.md).
 extract_wall() {
-  sed -n 's/.*"task_wall_s":{[^}]*"array64x64":\([0-9.eE+-]*\).*/\1/p' "$1"
+  sed -n 's/.*"task_wall_s":{[^}]*"'"$2"'":\([0-9.eE+-]*\).*/\1/p' "$1"
 }
-BASE_WALL="$(extract_wall bench_csv/BENCH_microbench.json)"
-FRESH_WALL="$(extract_wall "$BENCH_OUT"/BENCH_microbench.json)"
-if [[ -z "$BASE_WALL" || -z "$FRESH_WALL" ]]; then
-  echo "array64x64 wall missing from BENCH artifact" >&2
-  exit 1
-fi
-if ! awk -v fresh="$FRESH_WALL" -v base="$BASE_WALL" \
-    'BEGIN { exit !(fresh <= 1.5 * base) }'; then
-  echo "array64x64 regressed: ${FRESH_WALL}s vs baseline ${BASE_WALL}s (>1.5x)" >&2
-  exit 1
-fi
-echo "array64x64 wall ${FRESH_WALL}s within 1.5x of baseline ${BASE_WALL}s"
+gate_wall() {
+  local workload="$1"
+  local base fresh
+  base="$(extract_wall bench_csv/BENCH_microbench.json "$workload")"
+  fresh="$(extract_wall "$BENCH_OUT"/BENCH_microbench.json "$workload")"
+  if [[ -z "$base" || -z "$fresh" ]]; then
+    echo "$workload wall missing from BENCH artifact" >&2
+    exit 1
+  fi
+  if ! awk -v fresh="$fresh" -v base="$base" \
+      'BEGIN { exit !(fresh <= 1.5 * base) }'; then
+    echo "$workload regressed: ${fresh}s vs baseline ${base}s (>1.5x)" >&2
+    exit 1
+  fi
+  echo "$workload wall ${fresh}s within 1.5x of baseline ${base}s"
+}
+gate_wall array64x64
+
+echo "=== microbench: mc_yield wall regression gate ==="
+# The rare-event yield workload runs the whole adaptive loop through the
+# lockstep engine (docs/YIELD.md); its wall gate catches a regression in
+# either the estimator's sample economy or the lane-reuse fast path.
+gate_wall mc_yield
 
 if [[ "$SKIP_ASAN" == "1" ]]; then
   echo "=== asan job skipped ==="
@@ -119,7 +130,7 @@ else
   echo "=== build (Address+UndefinedBehaviorSanitizer) ==="
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DTFETSRAM_SANITIZE=address,undefined
-  cmake --build build-asan -j "$JOBS" --target test_la test_sparse_diff test_hier_diff
+  cmake --build build-asan -j "$JOBS" --target test_la test_sparse_diff test_hier_diff test_yield
 
   echo "=== asan+ubsan: linear-kernel and differential suites ==="
   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
@@ -131,6 +142,11 @@ else
   # detector under the memory sanitizers (docs/HIERARCHY.md).
   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ./build-asan/tests/test_hier_diff
+  # The statistical yield harness sweeps the estimator's tail math
+  # (mixture pdfs, weighted intervals) — cheap enough to ride the memory
+  # sanitizers in full (docs/YIELD.md).
+  ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ./build-asan/tests/test_yield
 fi
 
 if [[ "$SKIP_TSAN" == "1" ]]; then
@@ -141,11 +157,15 @@ fi
 echo "=== build (ThreadSanitizer) ==="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DTFETSRAM_SANITIZE=thread
-cmake --build build-tsan -j "$JOBS" --target test_runner test_mc test_faults test_deadline test_sparse_diff test_context test_hier test_la
+cmake --build build-tsan -j "$JOBS" --target test_runner test_mc test_mc_batch test_faults test_deadline test_sparse_diff test_context test_hier test_la
 
 echo "=== tsan: scheduler/cache/pool/fault/context tests ==="
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_runner
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_mc
+# The lockstep engine's per-lane cells and index-ordered stats fold are
+# exactly the shared-state-across-a-pool shape TSan exists for; the
+# multi-lane differential test races it on purpose.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_mc_batch
 # Concurrent tasks pinning conflicting solver backends through their own
 # SimContexts, plus the MC inner-pool stats aggregation, under TSan.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_context

@@ -30,19 +30,7 @@ McResult run_monte_carlo(const spice::SimContext& ctx,
     for (std::size_t i = 0; i < n; ++i)
         draws.push_back(sampler.sample(rng));
 
-    // Solve the nominal cell's hold operating point once; each sample's
-    // first DC solve then starts from it instead of from zero (the draws
-    // only perturb tox, so every sample's operating point is a small
-    // Newton correction away). A failed nominal solve just leaves the
-    // seed empty — samples fall back to cold starts.
-    la::Vector nominal_seed;
-    {
-        sram::SramCell nominal = sram::build_cell(base_config, &ctx);
-        sram::program_hold(nominal);
-        spice::DcResult d = spice::solve_dc(nominal.circuit, ctx, 0.0);
-        if (d.converged)
-            nominal_seed = std::move(d.x);
-    }
+    const la::Vector nominal_seed = nominal_hold_seed(ctx, base_config);
 
     McResult result;
     result.samples.assign(n, 0.0);
@@ -131,6 +119,16 @@ McResult run_monte_carlo(const sram::CellConfig& base_config,
                          std::size_t threads, const McPolicy& policy) {
     return run_monte_carlo(spice::ambient_context(), base_config, sampler,
                            n, seed, metric, threads, policy);
+}
+
+la::Vector nominal_hold_seed(const spice::SimContext& ctx,
+                             const sram::CellConfig& base_config) {
+    sram::SramCell nominal = sram::build_cell(base_config, &ctx);
+    sram::program_hold(nominal);
+    spice::DcResult d = spice::solve_dc(nominal.circuit, ctx, 0.0);
+    if (d.converged)
+        return std::move(d.x);
+    return {};
 }
 
 std::size_t mc_samples_from_env(std::size_t fallback) {

@@ -83,6 +83,15 @@ McResult run_monte_carlo(const sram::CellConfig& base_config,
                          std::size_t threads = 0,
                          const McPolicy& policy = {});
 
+/// Solve the nominal cell's hold operating point once so every sample's
+/// first DC solve can warm-start from it (the draws only perturb tox, so
+/// each operating point is a small Newton correction away). A failed
+/// nominal solve returns an empty vector — samples fall back to cold
+/// starts. Shared by the serial and lockstep engines and the yield
+/// estimator so all three spend identical solver work here.
+la::Vector nominal_hold_seed(const spice::SimContext& ctx,
+                             const sram::CellConfig& base_config);
+
 /// Reads TFETSRAM_MC_SAMPLES from the environment, defaulting to
 /// `fallback`; lets the long benches scale their sample counts.
 std::size_t mc_samples_from_env(std::size_t fallback);

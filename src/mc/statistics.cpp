@@ -1,6 +1,7 @@
 #include "mc/statistics.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "util/contracts.hpp"
 
@@ -57,22 +58,83 @@ double log_log_sensitivity(std::span<const double> x,
     return linear_regression(lx, ly).slope;
 }
 
+double normal_cdf(double x) {
+    // Phi(x) = erfc(-x / sqrt(2)) / 2; erfc keeps relative accuracy in the
+    // far lower tail where 1 - erf would cancel to zero.
+    return 0.5 * std::erfc(-x * (1.0 / std::sqrt(2.0)));
+}
+
+double normal_tail(double x) { return 0.5 * std::erfc(x * (1.0 / std::sqrt(2.0))); }
+
+double normal_quantile(double p) {
+    if (p <= 0.0)
+        return -std::numeric_limits<double>::infinity();
+    if (p >= 1.0)
+        return std::numeric_limits<double>::infinity();
+    // Acklam's rational approximation (central + two tail branches), good
+    // to ~1e-9 absolute on its own.
+    static constexpr double a[] = {
+        -3.969683028665376e+01, 2.209460984245205e+02,
+        -2.759285104469687e+02, 1.383577518672690e+02,
+        -3.066479806614716e+01, 2.506628277459239e+00};
+    static constexpr double b[] = {
+        -5.447609879822406e+01, 1.615858368580409e+02,
+        -1.556989798598866e+02, 6.680131188771972e+01,
+        -1.328068155288572e+01};
+    static constexpr double c[] = {
+        -7.784894002430293e-03, -3.223964580411365e-01,
+        -2.400758277161838e+00, -2.549732539343734e+00,
+        4.374664141464968e+00,  2.938163982698783e+00};
+    static constexpr double d[] = {
+        7.784695709041462e-03, 3.224671290700398e-01,
+        2.445134137142996e+00, 3.754408661907416e+00};
+    constexpr double plow = 0.02425;
+    double x;
+    if (p < plow) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    } else if (p <= 1.0 - plow) {
+        const double q = p - 0.5;
+        const double r = q * q;
+        x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+             a[5]) *
+            q /
+            (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+             1.0);
+    } else {
+        const double q = std::sqrt(-2.0 * std::log1p(-p));
+        x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+              c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    // One Halley step against the exact CDF pushes the error to ~1e-13
+    // relative — enough for 6-sigma yield targets.
+    constexpr double inv_sqrt_2pi = 0.3989422804014327;
+    const double e = normal_cdf(x) - p;
+    const double u = e / (inv_sqrt_2pi * std::exp(-0.5 * x * x));
+    return x - u / (1.0 + 0.5 * x * u);
+}
+
 YieldInterval yield_interval(std::size_t passes, std::size_t trials,
                              double confidence) {
-    TFET_EXPECTS(trials > 0);
     TFET_EXPECTS(passes <= trials);
     TFET_EXPECTS(confidence > 0.0 && confidence < 1.0);
     YieldInterval yi;
+    if (trials == 0) {
+        // No observations prove nothing: vacuous interval, NaN point.
+        yi.point = std::numeric_limits<double>::quiet_NaN();
+        yi.lower = 0.0;
+        yi.upper = 1.0;
+        return yi;
+    }
     const double n = static_cast<double>(trials);
     const double p = static_cast<double>(passes) / n;
     yi.point = p;
-    // Wilson score interval. z for the two-sided confidence level via a
-    // rational approximation of the normal quantile (Beasley-Springer).
+    // Wilson score interval with the exact normal quantile.
     const double alpha = 1.0 - confidence;
-    const double q = 1.0 - alpha / 2.0;
-    const double t = std::sqrt(-2.0 * std::log(1.0 - q));
-    const double z =
-        t - (2.30753 + 0.27061 * t) / (1.0 + 0.99229 * t + 0.04481 * t * t);
+    const double z = normal_quantile(1.0 - alpha / 2.0);
     const double z2 = z * z;
     const double denom = 1.0 + z2 / n;
     const double center = (p + z2 / (2.0 * n)) / denom;
@@ -87,11 +149,14 @@ YieldInterval censored_yield_interval(std::size_t passes,
                                       std::size_t evaluated,
                                       std::size_t censored,
                                       double confidence) {
-    TFET_EXPECTS(evaluated > 0);
     TFET_EXPECTS(passes <= evaluated);
     const std::size_t trials = evaluated + censored;
     YieldInterval yi;
-    yi.point = static_cast<double>(passes) / static_cast<double>(evaluated);
+    // An all-censored batch still widens over the full trial count below;
+    // with zero trials both calls degrade to the vacuous [0, 1].
+    yi.point = evaluated > 0 ? static_cast<double>(passes) /
+                                   static_cast<double>(evaluated)
+                             : std::numeric_limits<double>::quiet_NaN();
     // Worst-case imputation in each direction over the full trial count.
     yi.lower = yield_interval(passes, trials, confidence).lower;
     yi.upper = yield_interval(passes + censored, trials, confidence).upper;

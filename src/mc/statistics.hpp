@@ -29,11 +29,28 @@ Regression linear_regression(std::span<const double> x,
 double log_log_sensitivity(std::span<const double> x,
                            std::span<const double> y);
 
+/// Standard normal CDF Phi(x), computed through erfc so deep tails keep
+/// full relative accuracy (Phi(-8) ~ 6e-16 is still meaningful).
+double normal_cdf(double x);
+
+/// Upper tail Q(x) = 1 - Phi(x) = Phi(-x), again via erfc: the quantity
+/// rare-event yield targets are expressed in ("a 4 sigma cell fails with
+/// probability normal_tail(4)").
+double normal_tail(double x);
+
+/// Inverse standard normal CDF: the z with Phi(z) = p. Rational seed
+/// (Acklam) polished with one Halley step against normal_cdf, accurate to
+/// ~1e-13 relative across (0, 1). p <= 0 maps to -inf, p >= 1 to +inf.
+double normal_quantile(double p);
+
 /// Two-sided Clopper-Pearson-style confidence interval on a pass
 /// probability from `passes` successes in `trials` (via the Wilson score
 /// approximation, accurate for the sample sizes Monte-Carlo uses here).
+/// Total in `trials`: zero trials prove nothing, so the interval degrades
+/// to the vacuous [0, 1] with a NaN point instead of a contract violation
+/// (an all-censored batch must flow into BENCH artifacts, not abort them).
 struct YieldInterval {
-    double point = 0.0; ///< passes / trials
+    double point = 0.0; ///< passes / trials (NaN when trials == 0)
     double lower = 0.0;
     double upper = 0.0;
 };
@@ -48,6 +65,9 @@ YieldInterval yield_interval(std::size_t passes, std::size_t trials,
 /// censored sample would have failed, the upper bound that every one would
 /// have passed. The point estimate is passes/evaluated (the uncensored
 /// rate). With censored == 0 this reduces exactly to yield_interval.
+/// Total like yield_interval: evaluated == 0 (every sample censored)
+/// yields a NaN point with the bounds worst-case imputation already
+/// implies, [0, 1] when nothing at all was observed.
 YieldInterval censored_yield_interval(std::size_t passes,
                                       std::size_t evaluated,
                                       std::size_t censored,

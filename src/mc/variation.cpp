@@ -1,5 +1,8 @@
 #include "mc/variation.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "device/table_builder.hpp"
 
 namespace tfetsram::mc {
@@ -14,9 +17,20 @@ TfetVariationSampler::TfetVariationSampler(const VariationSpec& spec)
 
 TfetVariationSampler::Draw TfetVariationSampler::sample(Rng& rng) const {
     const double nominal = spec_.base.tox_nom;
-    const double tox = rng.truncated_normal(
-        nominal, spec_.tox_sigma_frac * nominal, spec_.tox_bound_frac * nominal);
+    return draw_at_tox(rng.truncated_normal(nominal,
+                                            spec_.tox_sigma_frac * nominal,
+                                            spec_.tox_bound_frac * nominal));
+}
 
+TfetVariationSampler::Draw TfetVariationSampler::sample_at(double u) const {
+    TFET_EXPECTS(std::isfinite(u));
+    const double nominal = spec_.base.tox_nom;
+    return draw_at_tox(
+        std::max(nominal * (1.0 + spec_.tox_sigma_frac * u), 0.05 * nominal));
+}
+
+TfetVariationSampler::Draw TfetVariationSampler::draw_at_tox(
+    double tox) const {
     device::TfetParams p = spec_.base;
     p.tox = tox;
 

@@ -31,9 +31,19 @@ public:
     };
     [[nodiscard]] Draw sample(Rng& rng) const;
 
+    /// Deterministic draw at a given standardized deviation u: tox =
+    /// nominal * (1 + tox_sigma_frac * u), deliberately NOT truncated at
+    /// the +/- bound — the importance-sampling yield estimator owns the
+    /// sampling density and must reach tails the truncated Monte-Carlo
+    /// draw assigns zero mass. tox is floored at 5 % of nominal so a
+    /// pathological |u| cannot build a non-physical device.
+    [[nodiscard]] Draw sample_at(double u) const;
+
     [[nodiscard]] const VariationSpec& spec() const { return spec_; }
 
 private:
+    [[nodiscard]] Draw draw_at_tox(double tox) const;
+
     VariationSpec spec_;
     device::ModelSet nominal_mosfets_;
 };

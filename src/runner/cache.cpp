@@ -78,6 +78,17 @@ const std::string& TaskResult::get(std::string_view name) const {
                              std::string(name) + "'");
 }
 
+std::vector<std::pair<std::string, std::string>>
+bench_metrics(const TaskResult& result) {
+    constexpr std::string_view prefix = "bench:";
+    std::vector<std::pair<std::string, std::string>> metrics;
+    for (const auto& [k, v] : result.values)
+        if (k.size() > prefix.size() &&
+            std::string_view(k).substr(0, prefix.size()) == prefix)
+            metrics.emplace_back(k.substr(prefix.size()), v);
+    return metrics;
+}
+
 ResultCache::ResultCache(std::filesystem::path dir, CacheMode mode)
     : dir_(std::move(dir)), mode_(mode) {}
 

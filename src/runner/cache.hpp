@@ -83,6 +83,14 @@ struct TaskResult {
     friend bool operator==(const TaskResult&, const TaskResult&) = default;
 };
 
+/// The "bench:"-prefixed values of a result, prefix stripped, in insertion
+/// order: a task's opt-in channel for publishing scalar metrics (yield
+/// estimates, confidence bounds, ...) into the run journal and the BENCH
+/// artifact. Because the values ride the cached TaskResult, the metrics
+/// reappear on warm (cache-hit) runs too.
+std::vector<std::pair<std::string, std::string>>
+bench_metrics(const TaskResult& result);
+
 /// Directory of {hash -> TaskResult} JSON entries. Thread-safe: entries
 /// are written via rename so concurrent readers never see partial files.
 class ResultCache {

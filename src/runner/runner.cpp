@@ -175,6 +175,11 @@ RunSummary Runner::run() {
         record.id = node.spec.id;
         record.key_hash = node.spec.key.empty() ? "" : node.spec.key.hash();
         record.status = node.status;
+        // Cache hits re-publish the metrics stored in their TaskResult, so
+        // a warm run's journal and BENCH artifact carry the same yield
+        // numbers as the cold run that computed them.
+        if (node.status == TaskStatus::kHit)
+            record.metrics = bench_metrics(node.result);
         telemetry_.record(record);
     }
 
@@ -427,6 +432,7 @@ RunSummary Runner::run() {
                     shutdown_requested();
                 if (!error) {
                     record.status = TaskStatus::kExecuted;
+                    record.metrics = bench_metrics(result);
                     if (!node.spec.key.empty())
                         cache_.store(node.spec.key, result);
                 } else if (cancelling) {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "runner/json.hpp"
 #include "util/env.hpp"
@@ -16,6 +18,33 @@ std::filesystem::path out_dir_from_env() {
     return std::filesystem::path(
         env::get_string("TFETSRAM_OUT_DIR", "bench_csv"));
 }
+
+namespace {
+
+/// Render one published metric value: numeric-looking strings become JSON
+/// numbers so downstream tooling can aggregate them; non-finite values
+/// (a NaN point of an all-censored interval, an infinite sigma level)
+/// become null rather than poisoning the artifact with invalid JSON; and
+/// anything else stays a string.
+Json metric_json(const std::string& value) {
+    char* end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || end == nullptr || *end != '\0')
+        return Json(value);
+    if (!std::isfinite(parsed))
+        return Json(); // null
+    return Json(parsed);
+}
+
+Json metrics_json(
+    const std::vector<std::pair<std::string, std::string>>& metrics) {
+    Json object = Json::object();
+    for (const auto& [name, value] : metrics)
+        object.set(name, metric_json(value));
+    return object;
+}
+
+} // namespace
 
 std::string to_string(TaskStatus status) {
     switch (status) {
@@ -83,6 +112,8 @@ void Telemetry::record(const TaskRecord& record) {
         return;
     if (record.status == TaskStatus::kExecuted)
         task_walls_.emplace_back(record.id, record.wall_s);
+    if (!record.metrics.empty())
+        task_metrics_.emplace_back(record.id, record.metrics);
     Json line = Json::object();
     line.set("task", record.id);
     line.set("key", record.key_hash);
@@ -138,6 +169,10 @@ void Telemetry::record(const TaskRecord& record) {
         line.set("hier_guard_retries", record.solver.hier_guard_retries);
         line.set("hier_active_unknowns", record.solver.hier_active_unknowns);
     }
+    // Published metrics appear only for tasks that opted in, so ordinary
+    // journals keep their shape.
+    if (!record.metrics.empty())
+        line.set("metrics", metrics_json(record.metrics));
     journal_ << line.dump() << '\n';
     journal_.flush(); // journal survives a crashed/killed run
 }
@@ -207,6 +242,15 @@ RunSummary Telemetry::finish(double total_wall_s) {
             for (const auto& [id, wall_s] : task_walls_)
                 walls.set(id, wall_s);
             bench.set("task_wall_s", std::move(walls));
+        }
+        if (!task_metrics_.empty()) {
+            // Per-task published metrics (yield estimates and their
+            // confidence bounds, docs/YIELD.md) — present on warm runs
+            // too, since the values ride the cached TaskResult.
+            Json metrics = Json::object();
+            for (const auto& [id, values] : task_metrics_)
+                metrics.set(id, metrics_json(values));
+            bench.set("task_metrics", std::move(metrics));
         }
         const std::filesystem::path path =
             out_dir_ / ("BENCH_" + run_name_ + ".json");

@@ -50,6 +50,11 @@ struct TaskRecord {
     double wall_s = 0.0;
     spice::SolverStats solver; ///< the task's SimContext totals
                                ///< (inner-pool work included)
+    /// Scalar metrics the task published through its TaskResult's
+    /// "bench:" values (see runner::bench_metrics) — journaled per task
+    /// and aggregated into the BENCH artifact's "task_metrics" object, on
+    /// cache hits as well as fresh executions.
+    std::vector<std::pair<std::string, std::string>> metrics;
 };
 
 /// Aggregate counts returned by Runner::run and asserted on in tests.
@@ -136,6 +141,12 @@ private:
     /// as the BENCH artifact's "task_wall_s" object so CI can gate a
     /// single workload's wall against a checked-in baseline.
     std::vector<std::pair<std::string, double>> task_walls_;
+    /// Published task metrics in record order (hits and executions both),
+    /// emitted as the BENCH artifact's "task_metrics" object.
+    std::vector<
+        std::pair<std::string,
+                  std::vector<std::pair<std::string, std::string>>>>
+        task_metrics_;
 };
 
 } // namespace tfetsram::runner

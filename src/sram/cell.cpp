@@ -267,4 +267,18 @@ SramCell build_cell(const CellConfig& config, const spice::SimContext* sim) {
     return cell;
 }
 
+void retarget_models(SramCell& cell, const device::ModelSet& models) {
+    TFET_EXPECTS(models.ntfet != nullptr && models.ptfet != nullptr);
+    for (spice::Transistor* t : cell.variable_devices) {
+        if (&t->model() == cell.config.models.ntfet.get())
+            t->set_model(models.ntfet);
+        else if (&t->model() == cell.config.models.ptfet.get())
+            t->set_model(models.ptfet);
+        else
+            TFET_ASSERT(!"variable device is on neither configured TFET "
+                         "model — cell was retargeted behind our back");
+    }
+    cell.config.models = models;
+}
+
 } // namespace tfetsram::sram

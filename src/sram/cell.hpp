@@ -123,6 +123,14 @@ struct SramCell {
 SramCell build_cell(const CellConfig& config,
                     const spice::SimContext* sim = nullptr);
 
+/// Swap the variable (TFET) devices of a built cell onto a new model set
+/// in place — the Monte-Carlo lockstep engine's per-sample step. Every
+/// variable device currently on config.models.ntfet moves to models.ntfet
+/// (likewise ptfet), and config.models is updated to match. Topology, node
+/// numbering, and the circuit's solver workspace are untouched, so the
+/// next solve reuses the cell's symbolic analysis and pivot ordering.
+void retarget_models(SramCell& cell, const device::ModelSet& models);
+
 /// External connection points of one 6T cell being embedded into a larger
 /// circuit (arrays). All nodes must already exist in the circuit.
 struct CellPorts {

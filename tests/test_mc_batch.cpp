@@ -1,0 +1,267 @@
+// Differential tests for the batched lockstep Monte-Carlo engine
+// (src/mc/batch.hpp): on the dense 6T path, lockstep lane reuse must be
+// bitwise-invisible — same seeds produce identical per-sample results,
+// identical censor/retry bookkeeping, and identical SolverStats counters
+// as the serial engine. The one documented divergence (sparse-forced
+// cells share one symbolic analysis per lane) is pinned here too.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+#include "mc/batch.hpp"
+#include "mc/monte_carlo.hpp"
+#include "spice/context.hpp"
+#include "spice/solve_error.hpp"
+#include "sram/designs.hpp"
+#include "sram/metrics.hpp"
+
+namespace tfetsram::mc {
+namespace {
+
+sram::CellConfig test_cell() {
+    return sram::proposed_design(0.8, device::make_model_set()).config;
+}
+
+VariationSpec coarse_variation() {
+    VariationSpec vspec;
+    vspec.table_spec.points = 121; // coarse tables keep the test fast
+    return vspec;
+}
+
+CellMetric hold_power_metric() {
+    return [](sram::SramCell& cell) {
+        return sram::worst_hold_static_power(cell, sram::MetricOptions{});
+    };
+}
+
+/// Per-sample results and bookkeeping must match exactly.
+void expect_identical_results(const McResult& a, const McResult& b) {
+    ASSERT_EQ(a.samples.size(), b.samples.size());
+    for (std::size_t i = 0; i < a.samples.size(); ++i) {
+        if (std::isnan(a.samples[i]))
+            EXPECT_TRUE(std::isnan(b.samples[i])) << "sample " << i;
+        else
+            EXPECT_EQ(a.samples[i], b.samples[i]) << "sample " << i;
+        EXPECT_EQ(a.tox_values[i], b.tox_values[i]) << "sample " << i;
+        EXPECT_EQ(a.censored[i], b.censored[i]) << "sample " << i;
+    }
+    EXPECT_EQ(a.n_censored, b.n_censored);
+    EXPECT_EQ(a.n_retried, b.n_retried);
+    EXPECT_EQ(a.summary.count, b.summary.count);
+    EXPECT_EQ(a.summary.mean, b.summary.mean);
+    EXPECT_EQ(a.summary.stddev, b.summary.stddev);
+}
+
+/// The counters the engines must agree on exactly (wall-clock gauges like
+/// ordering microseconds excluded by construction).
+void expect_identical_counters(const spice::SolverStats& a,
+                               const spice::SolverStats& b) {
+    EXPECT_EQ(a.nr_iterations, b.nr_iterations);
+    EXPECT_EQ(a.dc_solves, b.dc_solves);
+    EXPECT_EQ(a.transient_steps, b.transient_steps);
+    EXPECT_EQ(a.transient_solves, b.transient_solves);
+    EXPECT_EQ(a.assemblies, b.assemblies);
+    EXPECT_EQ(a.lu_factorizations, b.lu_factorizations);
+    EXPECT_EQ(a.line_search_backtracks, b.line_search_backtracks);
+}
+
+TEST(McBatch, DenseBitwiseIdenticalSerialLane) {
+    const sram::CellConfig cfg = test_cell();
+    const TfetVariationSampler sampler(coarse_variation());
+    const CellMetric metric = hold_power_metric();
+    constexpr std::size_t kN = 12;
+    constexpr std::uint64_t kSeed = 31;
+
+    spice::SimContext serial_ctx{spice::SimConfig{}};
+    const McResult serial = run_monte_carlo(serial_ctx, cfg, sampler, kN,
+                                            kSeed, metric, /*threads=*/1);
+    ASSERT_EQ(serial.n_censored, 0u);
+
+    spice::SimContext batch_ctx{spice::SimConfig{}};
+    BatchStats stats;
+    const McResult batched =
+        run_monte_carlo_batched(batch_ctx, cfg, sampler, kN, kSeed, metric,
+                                /*threads=*/1, McPolicy{}, &stats);
+
+    expect_identical_results(serial, batched);
+    expect_identical_counters(serial_ctx.stats(), batch_ctx.stats());
+    // One persistent lane: one build, every later sample retargeted.
+    EXPECT_EQ(stats.lanes, 1u);
+    EXPECT_EQ(stats.cell_builds, 1u);
+    EXPECT_EQ(stats.model_retargets, kN - 1);
+}
+
+TEST(McBatch, DenseBitwiseIdenticalAcrossLaneCounts) {
+    const sram::CellConfig cfg = test_cell();
+    const TfetVariationSampler sampler(coarse_variation());
+    const CellMetric metric = hold_power_metric();
+    constexpr std::size_t kN = 12;
+    constexpr std::uint64_t kSeed = 77;
+
+    spice::SimContext serial_ctx{spice::SimConfig{}};
+    const McResult serial = run_monte_carlo(serial_ctx, cfg, sampler, kN,
+                                            kSeed, metric, /*threads=*/1);
+
+    spice::SimContext batch_ctx{spice::SimConfig{}};
+    BatchStats stats;
+    const McResult batched =
+        run_monte_carlo_batched(batch_ctx, cfg, sampler, kN, kSeed, metric,
+                                /*threads=*/4, McPolicy{}, &stats);
+
+    expect_identical_results(serial, batched);
+    // Counters fold back into the parent in index order, so the totals
+    // match the serial run even across 4 lanes.
+    expect_identical_counters(serial_ctx.stats(), batch_ctx.stats());
+    EXPECT_EQ(stats.lanes, 4u);
+    EXPECT_EQ(stats.cell_builds, 4u);
+    EXPECT_EQ(stats.model_retargets, kN - 4);
+}
+
+TEST(McBatch, TransientMetricIdentical) {
+    // WLcrit drives transient solves through the retargeted cell:
+    // begin_transient must re-derive companion state identically on a
+    // reused cell, or this diverges.
+    const sram::CellConfig cfg = test_cell();
+    const TfetVariationSampler sampler(coarse_variation());
+    const sram::MetricOptions opts;
+    const CellMetric metric = [opts](sram::SramCell& cell) {
+        return sram::critical_wordline_pulse(cell, sram::Assist::kNone,
+                                             opts);
+    };
+    constexpr std::size_t kN = 6;
+    constexpr std::uint64_t kSeed = 19;
+
+    spice::SimContext serial_ctx{spice::SimConfig{}};
+    const McResult serial = run_monte_carlo(serial_ctx, cfg, sampler, kN,
+                                            kSeed, metric, /*threads=*/1);
+
+    spice::SimContext batch_ctx{spice::SimConfig{}};
+    const McResult batched = run_monte_carlo_batched(
+        batch_ctx, cfg, sampler, kN, kSeed, metric, /*threads=*/1);
+
+    expect_identical_results(serial, batched);
+    expect_identical_counters(serial_ctx.stats(), batch_ctx.stats());
+}
+
+TEST(McBatch, RetryAndCensorParity) {
+    // A metric that fails on a fixed call schedule: sample 1 needs one
+    // retry, sample 3 exhausts every attempt and is censored. With one
+    // lane both engines walk the identical call sequence
+    // (0, 1, 1, 2, 3, 3, 3, 4, 5), so a shared call counter addresses
+    // the same attempts in both runs.
+    const sram::CellConfig cfg = test_cell();
+    const TfetVariationSampler sampler(coarse_variation());
+    constexpr std::size_t kN = 6;
+    constexpr std::uint64_t kSeed = 5;
+
+    const auto make_metric = [](int* calls) {
+        return [calls](sram::SramCell& cell) {
+            const int call = (*calls)++;
+            const bool fail =
+                call == 1 || call == 4 || call == 5 || call == 6;
+            if (fail) {
+                spice::SolveError err;
+                err.code = spice::SolveErrorCode::kNonConvergence;
+                err.message = "injected metric failure";
+                throw spice::SolveException(std::move(err));
+            }
+            return sram::worst_hold_static_power(cell,
+                                                 sram::MetricOptions{});
+        };
+    };
+
+    spice::SimContext serial_ctx{spice::SimConfig{}};
+    int serial_calls = 0;
+    const McResult serial =
+        run_monte_carlo(serial_ctx, cfg, sampler, kN, kSeed,
+                        make_metric(&serial_calls), /*threads=*/1);
+    EXPECT_EQ(serial_calls, 9);
+
+    spice::SimContext batch_ctx{spice::SimConfig{}};
+    int batch_calls = 0;
+    const McResult batched = run_monte_carlo_batched(
+        batch_ctx, cfg, sampler, kN, kSeed, make_metric(&batch_calls),
+        /*threads=*/1);
+    EXPECT_EQ(batch_calls, 9);
+
+    const std::array<std::uint8_t, kN> expect_censored = {0, 0, 0, 1, 0, 0};
+    for (std::size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(batched.censored[i], expect_censored[i]) << i;
+    EXPECT_EQ(batched.n_censored, 1u);
+    EXPECT_EQ(batched.n_retried, 2u);
+    expect_identical_results(serial, batched);
+    expect_identical_counters(serial_ctx.stats(), batch_ctx.stats());
+}
+
+TEST(McBatch, SparseForcedSharesSymbolicAnalysisPerLane) {
+    // The documented divergence: forcing the sparse kernel on the 6T cell
+    // makes the serial engine pay one symbolic analysis per sample (fresh
+    // circuit each time) while the lockstep engine pays one per lane and
+    // refactors on the reused pivot sequence. Values then agree only to
+    // rounding (the pivot order can differ), not bitwise.
+    const sram::CellConfig cfg = test_cell();
+    const TfetVariationSampler sampler(coarse_variation());
+    const CellMetric metric = hold_power_metric();
+    constexpr std::size_t kN = 8;
+    constexpr std::uint64_t kSeed = 11;
+
+    spice::SimConfig sparse_cfg;
+    sparse_cfg.mode = spice::SolverMode::kSparse;
+
+    spice::SimContext serial_ctx{sparse_cfg};
+    const McResult serial = run_monte_carlo(serial_ctx, cfg, sampler, kN,
+                                            kSeed, metric, /*threads=*/1);
+    ASSERT_EQ(serial.n_censored, 0u);
+
+    spice::SimContext batch_ctx{sparse_cfg};
+    BatchStats stats;
+    const McResult batched =
+        run_monte_carlo_batched(batch_ctx, cfg, sampler, kN, kSeed, metric,
+                                /*threads=*/1, McPolicy{}, &stats);
+    ASSERT_EQ(batched.n_censored, 0u);
+
+    for (std::size_t i = 0; i < kN; ++i)
+        EXPECT_NEAR(batched.samples[i], serial.samples[i],
+                    1e-9 * std::abs(serial.samples[i]) + 1e-15)
+            << "sample " << i;
+
+    // Serial: one analysis per sample plus the nominal warm-start solve.
+    // Lockstep: one per lane plus the nominal solve.
+    EXPECT_EQ(serial_ctx.stats().sparse_symbolic_analyses, kN + 1);
+    EXPECT_EQ(batch_ctx.stats().sparse_symbolic_analyses,
+              stats.lanes + 1);
+    EXPECT_GT(batch_ctx.stats().sparse_static_pivot_hits, 0u);
+}
+
+TEST(McBatch, RebuildEscapeHatchMatchesSerialBuildCounts) {
+    // reuse_cells = false must degrade lockstep to serial semantics:
+    // every sample is a fresh build, no retargets.
+    const sram::CellConfig cfg = test_cell();
+    const TfetVariationSampler sampler(coarse_variation());
+    constexpr std::size_t kN = 5;
+    constexpr std::uint64_t kSeed = 3;
+
+    Rng rng(kSeed);
+    std::vector<TfetVariationSampler::Draw> draws;
+    for (std::size_t i = 0; i < kN; ++i)
+        draws.push_back(sampler.sample(rng));
+
+    spice::SimContext ctx{spice::SimConfig{}};
+    const la::Vector seed_x = nominal_hold_seed(ctx, cfg);
+    BatchOptions options;
+    options.threads = 1;
+    options.reuse_cells = false;
+    BatchStats stats;
+    const McResult res = run_sample_block(ctx, cfg, draws,
+                                          hold_power_metric(), seed_x,
+                                          options, &stats);
+    EXPECT_EQ(res.n_censored, 0u);
+    EXPECT_EQ(stats.cell_builds, kN);
+    EXPECT_EQ(stats.model_retargets, 0u);
+}
+
+} // namespace
+} // namespace tfetsram::mc

@@ -347,6 +347,77 @@ TEST(Runner, WarmRunServesHitsPrunesSetupAndMatchesColdResults) {
     EXPECT_DOUBLE_EQ(bench->find("executed")->as_number(), 0);
 }
 
+TEST(Runner, BenchMetricsFlowIntoJournalAndBenchOnColdAndWarmRuns) {
+    // The "bench:" TaskResult channel: scalar metrics land in the task's
+    // journal record and the BENCH artifact's task_metrics object, with
+    // non-finite values mapped to JSON null — and because the values ride
+    // the cached result, a warm (hit) run reproduces them identically.
+    const fs::path dir = scratch("metrics");
+    RunnerConfig cfg;
+    cfg.run_name = "metrics";
+    cfg.threads = 1;
+    cfg.cache_mode = CacheMode::kReadWrite;
+    cfg.cache_dir = dir / "cache";
+    cfg.out_dir = dir / "out";
+    cfg.print_summary = false;
+
+    const auto run_once = [&] {
+        Runner r(cfg);
+        TaskSpec spec;
+        spec.id = "yield";
+        spec.key = CacheKey("metrics_point").add("i", 1.0);
+        spec.fn = [] {
+            TaskResult res;
+            res.set("display", "for the console table");
+            res.set("bench:p_fail", "3.2e-05");
+            res.set("bench:sigma_level", "inf"); // non-finite -> null
+            res.set("bench:note", "not-a-number-text");
+            return res;
+        };
+        r.add(std::move(spec));
+        return r.run();
+    };
+
+    const auto check_artifacts = [&](const char* which) {
+        std::ifstream journal(cfg.out_dir / "metrics_journal.jsonl");
+        ASSERT_TRUE(journal.is_open()) << which;
+        std::string line;
+        ASSERT_TRUE(std::getline(journal, line)) << which;
+        const std::optional<Json> record = Json::parse(line);
+        ASSERT_TRUE(record.has_value()) << which << ": " << line;
+        const Json* metrics = record->find("metrics");
+        ASSERT_NE(metrics, nullptr) << which << ": " << line;
+        EXPECT_DOUBLE_EQ(metrics->find("p_fail")->as_number(), 3.2e-05)
+            << which;
+        EXPECT_TRUE(metrics->find("sigma_level")->is_null()) << which;
+        EXPECT_EQ(metrics->find("note")->as_string(), "not-a-number-text")
+            << which;
+        EXPECT_EQ(metrics->find("display"), nullptr)
+            << which << ": unprefixed values must stay out of the journal";
+
+        std::ifstream bench_file(cfg.out_dir / "BENCH_metrics.json");
+        ASSERT_TRUE(bench_file.is_open()) << which;
+        std::stringstream buf;
+        buf << bench_file.rdbuf();
+        const std::optional<Json> bench = Json::parse(buf.str());
+        ASSERT_TRUE(bench.has_value()) << which;
+        const Json* task_metrics = bench->find("task_metrics");
+        ASSERT_NE(task_metrics, nullptr) << which;
+        const Json* task = task_metrics->find("yield");
+        ASSERT_NE(task, nullptr) << which;
+        EXPECT_DOUBLE_EQ(task->find("p_fail")->as_number(), 3.2e-05)
+            << which;
+    };
+
+    const RunSummary cold = run_once();
+    EXPECT_EQ(cold.executed, 1u);
+    check_artifacts("cold");
+
+    const RunSummary warm = run_once();
+    EXPECT_EQ(warm.cache_hits, 1u);
+    check_artifacts("warm");
+}
+
 TEST(Runner, CacheOffExecutesEverything) {
     const fs::path dir = scratch("cache_off_run");
     RunnerConfig cfg;

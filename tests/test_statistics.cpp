@@ -82,6 +82,39 @@ TEST(Yield, TightensWithSamples) {
     EXPECT_LT(large.upper - large.lower, small.upper - small.lower);
 }
 
+TEST(Yield, ZeroTrialsAreVacuousNotFatal) {
+    // An all-censored batch must flow into the BENCH artifact as a
+    // vacuous interval, not abort the run on a contract violation.
+    const YieldInterval yi = yield_interval(0, 0);
+    EXPECT_TRUE(std::isnan(yi.point));
+    EXPECT_EQ(yi.lower, 0.0);
+    EXPECT_EQ(yi.upper, 1.0);
+}
+
+TEST(Yield, AllCensoredIntervalIsVacuous) {
+    // Zero evaluated, five censored: nothing observed, so the point is
+    // NaN and the worst-case imputations span everything.
+    const YieldInterval yi = censored_yield_interval(0, 0, 5);
+    EXPECT_TRUE(std::isnan(yi.point));
+    EXPECT_LT(yi.lower, 0.05);
+    EXPECT_GT(yi.upper, 0.95);
+}
+
+TEST(Yield, CensoredReducesToPlainWhenNothingCensored) {
+    const YieldInterval plain = yield_interval(45, 50);
+    const YieldInterval censored = censored_yield_interval(45, 50, 0);
+    EXPECT_EQ(plain.point, censored.point);
+    EXPECT_EQ(plain.lower, censored.lower);
+    EXPECT_EQ(plain.upper, censored.upper);
+}
+
+TEST(NormalQuantile, AgreesWithCdf) {
+    for (const double p : {1e-9, 1e-5, 0.01, 0.3, 0.5, 0.9, 0.999}) {
+        const double z = normal_quantile(p);
+        EXPECT_NEAR(normal_cdf(z), p, 1e-12 + 1e-10 * p) << p;
+    }
+}
+
 TEST(Sensitivity, WlcritVsToxIsSteeplyNegative) {
     // The physical payoff: thinner oxide -> higher field -> faster write.
     // With the field ~ (tox_nom/tox)^2 inside an exponential, the log-log
