@@ -588,6 +588,9 @@ const std::vector<Figure>& ported_figures() {
          run_fig10_mc_read_assist},
         {"array_scaling", "array write/read wall time vs size",
          run_array_scaling},
+        {"cell_zoo",
+         "cell zoo: every registered design x (VDD, T, Tox) corner grid",
+         run_cell_zoo},
         {"microbench", "solver hot-path counters and wall time",
          run_microbench},
     };

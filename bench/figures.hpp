@@ -22,6 +22,10 @@ int run_fig10_mc_read_assist(const runner::RunnerConfig& config);
 /// Array scaling study: write/read wall time vs array size.
 int run_array_scaling(const runner::RunnerConfig& config);
 
+/// Cell zoo: every registered design (sram::cell_zoo()) evaluated over a
+/// (VDD x temperature x Tox) corner grid on its own model-set flavor.
+int run_cell_zoo(const runner::RunnerConfig& config);
+
 /// Solver hot-path microbenchmarks: assembly/LU/iteration counters and
 /// wall time for fixed DC, transient, SNM, and MC workloads (uncacheable
 /// by construction; see docs/SOLVER.md).

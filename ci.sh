@@ -3,9 +3,12 @@
 # the standard RelWithDebInfo build + full ctest, a
 # fault-injection job exercising the keep-going/quarantine path end to end,
 # the solver microbenchmark (cache off, so every counter in the log is a
-# fresh measurement — docs/SOLVER.md), an ASan+UBSan build running the
+# fresh measurement — docs/SOLVER.md), a cell-zoo job qualifying every
+# registered cell spec through signoff and the corner-sweep bench
+# (docs/CELLZOO.md), an ASan+UBSan build running the
 # linear-kernel suites (the sparse LU's pointer-chasing DFS and in-place
-# pivoting are exactly the code sanitizers exist for), then a
+# pivoting are exactly the code sanitizers exist for) plus the netlist
+# parser suite, then a
 # ThreadSanitizer build running the concurrent subsystem's tests
 # (the task-graph scheduler, thread pool, result cache, the Monte-Carlo
 # engine that fans out through the shared pool, and the fault-injection
@@ -124,13 +127,31 @@ echo "=== microbench: mc_yield wall regression gate ==="
 # either the estimator's sample economy or the lane-reuse fast path.
 gate_wall mc_yield
 
+echo "=== cell zoo: every registered spec through signoff + bench ==="
+# The zoo-labelled suite instantiates every cell-zoo entry, runs the full
+# signoff battery at one corner, and round-trips the example decks through
+# the netlist spec loader (docs/CELLZOO.md).
+ctest --test-dir build --output-on-failure -L zoo -j "$JOBS"
+# The bench figure must produce a per-cell x per-corner BENCH artifact
+# with no failed or quarantined tasks; cache off so every metric in the
+# artifact is freshly measured.
+ZOO_OUT="build/ci_zoo_out"
+rm -rf "$ZOO_OUT"
+TFETSRAM_CACHE=off TFETSRAM_ZOO_CORNERS=smoke \
+  TFETSRAM_OUT_DIR="$ZOO_OUT" \
+  ./build/bench/run_all cell_zoo >/dev/null
+grep -q '"failed":0' "$ZOO_OUT"/BENCH_cell_zoo.json
+grep -q '"quarantined":0' "$ZOO_OUT"/BENCH_cell_zoo.json
+grep -q 'bench:' "$ZOO_OUT"/cell_zoo_journal.jsonl
+echo "cell-zoo signoff and bench artifacts verified"
+
 if [[ "$SKIP_ASAN" == "1" ]]; then
   echo "=== asan job skipped ==="
 else
   echo "=== build (Address+UndefinedBehaviorSanitizer) ==="
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DTFETSRAM_SANITIZE=address,undefined
-  cmake --build build-asan -j "$JOBS" --target test_la test_sparse_diff test_hier_diff test_yield
+  cmake --build build-asan -j "$JOBS" --target test_la test_sparse_diff test_hier_diff test_yield test_netlist
 
   echo "=== asan+ubsan: linear-kernel and differential suites ==="
   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
@@ -147,6 +168,11 @@ else
   # sanitizers in full (docs/YIELD.md).
   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ./build-asan/tests/test_yield
+  # The netlist front-end parses untrusted text (duplicate-name, dangling-
+  # and undeclared-node diagnostics walk every token with line tracking);
+  # string handling like that belongs under the memory sanitizers.
+  ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ./build-asan/tests/test_netlist
 fi
 
 if [[ "$SKIP_TSAN" == "1" ]]; then

@@ -38,7 +38,14 @@ int main(int argc, char** argv) {
         const netlist::Netlist deck = netlist::Netlist::parse_file(argv[1]);
         std::cout << "* " << deck.title() << "\n"
                   << "* " << deck.element_count() << " elements, "
-                  << deck.analyses().size() << " analyses\n\n";
+                  << deck.analyses().size() << " analyses\n";
+        if (!deck.ports().empty()) {
+            std::cout << "* ports:";
+            for (const std::string& name : deck.ports())
+                std::cout << ' ' << name;
+            std::cout << "\n";
+        }
+        std::cout << "\n";
 
         for (const netlist::Analysis& an : deck.analyses()) {
             spice::Circuit ckt = deck.build();

@@ -1,0 +1,48 @@
+8T TFET SRAM (deck-loaded cell spec): write side + decoupled read stack
+* Loadable via sram::load_cell_spec — the .ports directive below is the
+* port contract; the conventional source/switch labels (Vvdd, Vbl, SWbl,
+* ...) bind the SramCell handles so the full metric suite runs on it.
+.model tn NTFET ()
+.model tp PTFET ()
+.ports q qb bl blb wl vdd vss rbl rwl
+* rails
+Vvdd vdd 0 DC 0.8
+Vvss vss 0 DC 0
+* write bitlines: driver -> precharge switch -> line; clamped low during
+* hold so the outward access devices never see reverse bias
+Vbl bl_drv 0 DC 0
+SWbl bl_drv bl 1k 1e12 DC 1
+Cbl bl 0 10f
+Vblb blb_drv 0 DC 0
+SWblb blb_drv blb 1k 1e12 DC 1
+Cblb blb 0 10f
+* write wordline stays off; read wordline pulses high at 0.5 ns
+Vwl wl 0 DC 0
+Vrwl rwl 0 PWL(0 0 0.5n 0 0.51n 0.8 1.5n 0.8 1.51n 0)
+* read bitline precharged to VDD, floated just before the RWL pulse
+Vrbl rbl_drv 0 DC 0.8
+SWrbl rbl_drv rbl 1k 1e12 PWL(0 1 0.45n 1 0.46n 0)
+Crbl rbl 0 10f
+* cross-coupled core (beta = 0.8)
+MPDL q qb vss tn W=0.8
+MPUL q qb vdd tp W=0.5
+MPDR qb q vss tn W=0.8
+MPUR qb q vdd tp W=0.5
+* outward nTFET write access devices (drain at the storage node)
+MAXL q wl bl tn W=1
+MAXR qb wl blb tn W=1
+* decoupled read stack: RBL -> MRAX(g=RWL) -> rint -> MRPD(g=QB) -> VSS
+MRPD rint qb vss tn W=1.5
+MRAX rbl rwl rint tn W=1.5
+Cq q 0 0.25f
+Cqb qb 0 0.25f
+Crint rint 0 0.25f
+* keeps the stack's internal node DC-defined when both devices are off
+Rrint rint vss 1e12
+* hold q = 0: qb = 1 turns the read pull-down on, so the RWL pulse
+* discharges RBL (a read-1 on QB)
+.nodeset v(q)=0 v(qb)=0.8 v(vdd)=0.8 v(rbl)=0.8
+.op
+.tran 2n
+.print v(q) v(qb) v(rbl)
+.end

@@ -1,0 +1,50 @@
+9T near-threshold TFET SRAM (deck-loaded cell spec)
+* The 8T write scheme plus an RWL-gated footer under the read pull-down:
+* with RWL low the read stack is cut off at both ends, which is what makes
+* large cells-per-bitline counts workable at near-threshold supplies.
+* Loadable via sram::load_cell_spec (see the .ports contract below).
+.model tn NTFET ()
+.model tp PTFET ()
+.ports q qb bl blb wl vdd vss rbl rwl
+* rails (near-threshold supply)
+Vvdd vdd 0 DC 0.5
+Vvss vss 0 DC 0
+* write bitlines clamped low during hold (outward access devices)
+Vbl bl_drv 0 DC 0
+SWbl bl_drv bl 1k 1e12 DC 1
+Cbl bl 0 10f
+Vblb blb_drv 0 DC 0
+SWblb blb_drv blb 1k 1e12 DC 1
+Cblb blb 0 10f
+* write wordline off; read wordline pulses high at 0.5 ns
+Vwl wl 0 DC 0
+Vrwl rwl 0 PWL(0 0 0.5n 0 0.51n 0.5 2.5n 0.5 2.51n 0)
+* read bitline precharged, floated just before the RWL pulse
+Vrbl rbl_drv 0 DC 0.5
+SWrbl rbl_drv rbl 1k 1e12 PWL(0 1 0.45n 1 0.46n 0)
+Crbl rbl 0 10f
+* cross-coupled core (beta = 0.8)
+MPDL q qb vss tn W=0.8
+MPUL q qb vdd tp W=0.5
+MPDR qb q vss tn W=0.8
+MPUR qb q vdd tp W=0.5
+* outward nTFET write access devices
+MAXL q wl bl tn W=1
+MAXR qb wl blb tn W=1
+* three-transistor read stack: RBL -> MRAX -> rint -> MRPD -> rfoot -> MRFT -> VSS
+MRPD rint qb rfoot tn W=1.5
+MRAX rbl rwl rint tn W=1.5
+MRFT rfoot rwl vss tn W=1.5
+Cq q 0 0.25f
+Cqb qb 0 0.25f
+Crint rint 0 0.25f
+Crfoot rfoot 0 0.25f
+* bleeders keep the stack's internal nodes DC-defined when it is cut off
+Rrint rint vss 1e12
+Rrfoot rfoot vss 1e12
+* hold q = 0: the RWL pulse discharges RBL through the full stack
+.nodeset v(q)=0 v(qb)=0.5 v(vdd)=0.5 v(rbl)=0.5
+.op
+.tran 3n
+.print v(q) v(qb) v(rbl)
+.end

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sram/cell_zoo.hpp"
+#include "sram/operations.hpp"
+
 namespace tfetsram::core {
 
 namespace {
@@ -57,6 +60,31 @@ RobustDesignReport explore(const ExplorerOptions& opt) {
 
     const device::ModelSet models =
         device::make_model_set(opt.tfet_params, opt.tabulated_models);
+
+    // ---- Stage 0 (optional): cell-zoo hold survey ----
+    if (opt.survey_zoo) {
+        for (const sram::ZooEntry& entry : sram::cell_zoo()) {
+            const device::ModelSetSpec& ms =
+                device::find_model_set(entry.model_set);
+            const device::ModelSet zoo_models = device::make_model_set_at(
+                ms, 300.0, 1.0, opt.tabulated_models);
+            const sram::DesignSpec design =
+                sram::make_zoo_design(entry, opt.vdd, zoo_models);
+            sram::SramCell cell = sram::build_cell(design.config);
+            ZooSurveyRow row;
+            row.id = entry.id;
+            row.name = design.name;
+            row.static_power =
+                sram::worst_hold_static_power(cell, opt.metrics);
+            sram::program_hold(cell);
+            row.holds_data =
+                sram::solve_hold_state(cell, true, opt.metrics.solver)
+                    .state_ok &&
+                sram::solve_hold_state(cell, false, opt.metrics.solver)
+                    .state_ok;
+            report.zoo_survey.push_back(row);
+        }
+    }
 
     // ---- Stage 1: access-device study (Sec. 3) ----
     const AccessDevice all_access[] = {

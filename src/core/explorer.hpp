@@ -54,8 +54,18 @@ struct RobustnessCheck {
     std::size_t samples = 0;
 };
 
+/// One row of the optional cell-zoo hold survey: the cheap sanity sweep
+/// (bistability + hold leakage) across every registered design.
+struct ZooSurveyRow {
+    std::string id;   ///< sram::ZooEntry id
+    std::string name; ///< design display name
+    bool holds_data = false;
+    double static_power = 0.0; ///< worst-case hold leakage [W]
+};
+
 struct RobustDesignReport {
     double vdd = 0.0;
+    std::vector<ZooSurveyRow> zoo_survey; ///< empty unless requested
     std::vector<AccessStudyRow> access_study;
     std::optional<sram::AccessDevice> chosen_access;
     std::vector<AssistStudyPoint> assist_curves;
@@ -81,6 +91,10 @@ struct ExplorerOptions {
     double static_power_budget = 1e-12;
     std::size_t mc_samples = 0; ///< 0 skips the robustness check
     std::uint64_t mc_seed = 20110314;
+    /// Survey every cell-zoo design (hold integrity + leakage) before the
+    /// 6T exploration stages. Off by default: it is context, not part of
+    /// the paper's flow.
+    bool survey_zoo = false;
     sram::MetricOptions metrics;
     device::TfetParams tfet_params;
     bool tabulated_models = true;

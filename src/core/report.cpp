@@ -33,6 +33,15 @@ std::string RobustDesignReport::to_text() const {
     os << "=== Robust 6T TFET SRAM design exploration (VDD = " << vdd
        << " V) ===\n\n";
 
+    if (!zoo_survey.empty()) {
+        os << "-- Stage 0: cell-zoo hold survey --\n";
+        TablePrinter t({"cell", "design", "holds data", "P_hold"});
+        for (const ZooSurveyRow& r : zoo_survey)
+            t.add_row({r.id, r.name, r.holds_data ? "yes" : "NO",
+                       format_power(r.static_power)});
+        os << t.render() << '\n';
+    }
+
     os << "-- Stage 1: access-device study (Sec. 3) --\n";
     {
         TablePrinter t({"access device", "static power", "DRNM", "WLcrit",

@@ -4,7 +4,9 @@
 #include <sstream>
 
 #include "core/report.hpp"
+#include "device/model_zoo.hpp"
 #include "device/table_builder.hpp"
+#include "sram/cell_zoo.hpp"
 #include "sram/operations.hpp"
 #include "util/table_printer.hpp"
 #include "util/units.hpp"
@@ -19,12 +21,13 @@ void check(std::vector<std::string>& failures, bool ok,
         failures.push_back(what);
 }
 
-/// Rebuild a model set at the given temperature (TFETs tabulated, the
-/// CMOS baseline analytic — the standard flow).
-device::ModelSet models_at(const device::TfetParams& base,
-                           double temperature) {
+/// Rebuild a model set at the given temperature and oxide-thickness scale
+/// (TFETs tabulated, the CMOS baseline analytic — the standard flow).
+device::ModelSet models_at(const device::TfetParams& base, double temperature,
+                           double tox_scale = 1.0) {
     device::TfetParams tp = base;
     tp.temperature = temperature;
+    tp.tox = base.tox * tox_scale;
     device::MosfetParams nmos;
     nmos.temperature = temperature;
     device::MosfetParams pmos = device::pmos_defaults();
@@ -50,16 +53,26 @@ SignoffReport signoff(const sram::DesignSpec& design,
     rep.design_name = design.name;
     const sram::MetricOptions& mo = cond.metrics;
 
-    // ---- Supply corners at nominal temperature ----
+    // ---- Supply x Tox corners at nominal temperature ----
     const device::ModelSet nominal_models = models_at(tfet_params, 300.0);
+    std::vector<double> tox_scales = cond.tox_scales;
+    if (tox_scales.empty())
+        tox_scales.push_back(1.0);
+    std::vector<device::ModelSet> tox_models;
+    for (double tox : tox_scales)
+        tox_models.push_back(tox == 1.0 ? nominal_models
+                                        : models_at(tfet_params, 300.0, tox));
     for (double vdd : cond.vdd_corners) {
+      for (std::size_t ti = 0; ti < tox_scales.size(); ++ti) {
+        const double tox = tox_scales[ti];
         sram::CellConfig cfg = design.config;
         cfg.vdd = vdd;
-        cfg.models = nominal_models;
+        cfg.models = tox_models[ti];
         sram::SramCell cell = sram::build_cell(cfg);
 
         CornerRow row;
         row.vdd = vdd;
+        row.tox_scale = tox;
         if (design.wlcrit_defined)
             row.wlcrit =
                 sram::critical_wordline_pulse(cell, design.write_assist, mo);
@@ -74,7 +87,9 @@ SignoffReport signoff(const sram::DesignSpec& design,
         row.static_power = sram::worst_hold_static_power(cell, mo);
         rep.corners.push_back(row);
 
-        const std::string at = " @ " + format_sci(vdd, 1) + " V";
+        std::string at = " @ " + format_sci(vdd, 1) + " V";
+        if (tox != 1.0)
+            at += ", Tox x" + format_sci(tox, 2);
         if (design.wlcrit_defined)
             check(rep.failures,
                   std::isfinite(row.wlcrit) && row.wlcrit <= req.max_wlcrit,
@@ -93,6 +108,7 @@ SignoffReport signoff(const sram::DesignSpec& design,
               std::isfinite(row.static_power) &&
                   row.static_power <= req.max_static_power,
               "static power " + format_power(row.static_power) + at);
+      }
     }
 
     // ---- Temperature corners (hold integrity + leakage) ----
@@ -164,15 +180,27 @@ std::string SignoffReport::to_text() const {
     std::ostringstream os;
     os << "=== Sign-off: " << design_name << " ===\n\n";
 
-    TablePrinter corners_t({"VDD", "WLcrit", "DRNM", "t_write", "t_read",
-                            "E_write", "E_read", "P_hold"});
+    // The Tox column appears only when the sweep actually used the axis,
+    // keeping the single-axis legacy rendering byte-stable.
+    bool any_tox = false;
+    for (const CornerRow& r : corners)
+        any_tox = any_tox || r.tox_scale != 1.0;
+
+    std::vector<std::string> headers = {"VDD",     "WLcrit",  "DRNM",
+                                        "t_write", "t_read",  "E_write",
+                                        "E_read",  "P_hold"};
+    if (any_tox)
+        headers.insert(headers.begin() + 1, "Tox");
+    TablePrinter corners_t(headers);
     for (const CornerRow& r : corners) {
-        corners_t.add_row({format_sci(r.vdd, 1), format_pulse(r.wlcrit),
-                           format_margin(r.drnm), format_pulse(r.write_delay),
-                           format_pulse(r.read_delay),
-                           format_si(r.write_energy, "J"),
-                           format_si(r.read_energy, "J"),
-                           format_power(r.static_power)});
+        std::vector<std::string> cells = {
+            format_sci(r.vdd, 1),          format_pulse(r.wlcrit),
+            format_margin(r.drnm),         format_pulse(r.write_delay),
+            format_pulse(r.read_delay),    format_si(r.write_energy, "J"),
+            format_si(r.read_energy, "J"), format_power(r.static_power)};
+        if (any_tox)
+            cells.insert(cells.begin() + 1, "x" + format_sci(r.tox_scale, 2));
+        corners_t.add_row(cells);
     }
     os << corners_t.render() << '\n';
 
@@ -195,6 +223,21 @@ std::string SignoffReport::to_text() const {
     for (const std::string& f : failures)
         os << "  violation: " << f << "\n";
     return os.str();
+}
+
+std::vector<SignoffReport> signoff_zoo(double vdd,
+                                       const SignoffRequirements& req,
+                                       const SignoffConditions& cond) {
+    std::vector<SignoffReport> reports;
+    for (const sram::ZooEntry& entry : sram::cell_zoo()) {
+        const device::ModelSetSpec& ms =
+            device::find_model_set(entry.model_set);
+        const device::ModelSet models = device::make_model_set_at(ms, 300.0);
+        const sram::DesignSpec design =
+            sram::make_zoo_design(entry, vdd, models);
+        reports.push_back(signoff(design, ms.tfet, req, cond));
+    }
+    return reports;
 }
 
 } // namespace tfetsram::core

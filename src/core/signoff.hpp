@@ -34,6 +34,10 @@ struct SignoffRequirements {
 struct SignoffConditions {
     std::vector<double> vdd_corners = {0.5, 0.7, 0.9};
     std::vector<double> temperature_corners = {300.0, 400.0};
+    /// Gate-oxide thickness corners as multipliers of the nominal Tox; the
+    /// metric battery runs at every (VDD, Tox) pair. {1.0} preserves the
+    /// single-axis legacy sweep (and its report format).
+    std::vector<double> tox_scales = {1.0};
     std::size_t mc_samples = 20;
     std::uint64_t mc_seed = 61;
     sram::MetricOptions metrics;
@@ -45,6 +49,7 @@ struct SignoffConditions {
 /// One evaluated corner.
 struct CornerRow {
     double vdd = 0.0;
+    double tox_scale = 1.0;
     double wlcrit = 0.0;
     double drnm = 0.0;
     double write_delay = 0.0;
@@ -84,5 +89,12 @@ SignoffReport signoff(const sram::DesignSpec& design,
                       const device::TfetParams& tfet_params = {},
                       const SignoffRequirements& req = {},
                       const SignoffConditions& cond = {});
+
+/// Qualify every design in the cell zoo (sram::cell_zoo()) at the given
+/// supply, each on its registered model-set flavor. Reports come back in
+/// zoo order.
+std::vector<SignoffReport> signoff_zoo(double vdd,
+                                       const SignoffRequirements& req = {},
+                                       const SignoffConditions& cond = {});
 
 } // namespace tfetsram::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "device/table_builder.hpp"
@@ -254,7 +255,26 @@ Netlist Netlist::parse(const std::string& text, const std::string& origin) {
                                 make_model(tokens[2], params, card.line));
     }
 
-    // Pass 2: elements and directives.
+    // Pass 2: elements and directives. Alongside the element table we
+    // collect the bookkeeping the post-parse validation needs: element
+    // names (duplicates are classic silent-shadowing bugs), per-node
+    // terminal counts (a count of one is a dangling node), and every
+    // node name a directive refers to.
+    struct NodeUse {
+        std::size_t count = 0;
+        std::size_t first_line = 0;
+    };
+    std::map<std::string, std::size_t> element_lines; // lowercased name
+    std::map<std::string, NodeUse> node_uses;         // lowercased node
+    struct NodeRef {
+        std::string name;
+        std::size_t line;
+        const char* what;
+    };
+    std::vector<NodeRef> node_refs;
+    auto is_ground = [](const std::string& n) {
+        return n == "0" || n == "gnd";
+    };
     for (const Card& card : cards) {
         const auto tokens = tokenize(card.text, card.line);
         const std::string head = lower(tokens[0]);
@@ -301,6 +321,8 @@ Netlist Netlist::parse(const std::string& text, const std::string& origin) {
                 nl.nodesets_.emplace_back(
                     t.substr(2, eq - 2),
                     parse_spice_number(t.substr(eq + 2)));
+                node_refs.push_back(
+                    {nl.nodesets_.back().first, card.line, ".nodeset"});
             }
             continue;
         }
@@ -311,6 +333,17 @@ Netlist Netlist::parse(const std::string& text, const std::string& origin) {
                     throw ParseError(card.line,
                                      ".print expects v(node) terms");
                 nl.print_nodes_.push_back(t.substr(2, t.size() - 3));
+                node_refs.push_back(
+                    {nl.print_nodes_.back(), card.line, ".print"});
+            }
+            continue;
+        }
+        if (head == ".ports") {
+            if (tokens.size() < 2)
+                throw ParseError(card.line, ".ports needs node names");
+            for (std::size_t i = 1; i < tokens.size(); ++i) {
+                nl.ports_.push_back(lower(tokens[i]));
+                node_refs.push_back({nl.ports_.back(), card.line, ".ports"});
             }
             continue;
         }
@@ -376,7 +409,46 @@ Netlist Netlist::parse(const std::string& text, const std::string& origin) {
         default:
             throw ParseError(card.line, "unknown element kind: " + tokens[0]);
         }
+        const auto [it, fresh] =
+            element_lines.emplace(lower(el.name), card.line);
+        if (!fresh)
+            throw ParseError(card.line, "duplicate element name '" + el.name +
+                                            "' (first defined at line " +
+                                            std::to_string(it->second) + ")");
+        for (const std::string& n : el.nodes) {
+            if (is_ground(n))
+                continue;
+            NodeUse& use = node_uses[n];
+            if (use.count == 0)
+                use.first_line = card.line;
+            ++use.count;
+        }
         nl.elements_.push_back(std::move(el));
+    }
+
+    // Post-parse validation: directives must name real nodes, and every
+    // non-ground node needs at least two element terminals unless .ports
+    // declares it as an external connection point.
+    for (const NodeRef& ref : node_refs) {
+        if (is_ground(ref.name))
+            continue;
+        if (node_uses.find(ref.name) == node_uses.end())
+            throw ParseError(ref.line,
+                             std::string(ref.what) +
+                                 " references undeclared node '" + ref.name +
+                                 "' (no element connects to it)");
+    }
+    for (const auto& [name, use] : node_uses) {
+        if (use.count >= 2)
+            continue;
+        if (std::find(nl.ports_.begin(), nl.ports_.end(), name) !=
+            nl.ports_.end())
+            continue;
+        throw ParseError(use.first_line,
+                         "dangling node '" + name +
+                             "': connected to only one element terminal "
+                             "(declare it in .ports if it is an external "
+                             "connection point)");
     }
     return nl;
 }

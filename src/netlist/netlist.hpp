@@ -25,12 +25,23 @@
 //   - engineering suffixes: f p n u m k meg g t (and 'mil' is NOT supported)
 //   - directives: .model name NTFET|PTFET|NMOS|PMOS (key=value ...),
 //     .op, .tran tstop, .ac dec points fstart fstop,
-//     .print v(node)..., .nodeset v(node)=value..., .end
+//     .print v(node)..., .nodeset v(node)=value..., .ports node...,
+//     .end
 //     (.nodeset seeds the operating-point search — how a deck selects which
-//     stable state a bistable cell starts in)
+//     stable state a bistable cell starts in; .ports declares the deck's
+//     external connection points — the contract sram::load_cell_spec reads)
 //   - AC stimulus: a trailing "AC <mag>" on a V card marks it as the swept
 //     source, e.g. "Vin in 0 DC 0.45 AC 1"
 //   - nodes are created on first use; "0" and "gnd" are ground
+//
+// Diagnostics (all with 1-based line attribution):
+//   - duplicate element names are rejected (case-insensitive, as in
+//     classic SPICE),
+//   - a node touched by exactly one element terminal is rejected as
+//     dangling unless it is ground or declared in .ports (single-ended
+//     connection points are exactly what .ports exists to declare),
+//   - .print/.nodeset/.ports names must refer to a node some element
+//     actually connects to.
 
 #include <stdexcept>
 #include <string>
@@ -92,6 +103,12 @@ public:
         return nodesets_;
     }
 
+    /// Declared external connection points (.ports directives, in order,
+    /// lowercased). Empty for decks that never declare any.
+    [[nodiscard]] const std::vector<std::string>& ports() const {
+        return ports_;
+    }
+
     /// Initial-guess vector for a circuit built from this netlist,
     /// honouring the .nodeset directives (zeros elsewhere).
     [[nodiscard]] la::Vector initial_guess(spice::Circuit& circuit) const;
@@ -121,6 +138,7 @@ private:
     std::vector<Analysis> analyses_;
     std::vector<std::string> print_nodes_;
     std::vector<std::pair<std::string, double>> nodesets_;
+    std::vector<std::string> ports_;
     std::vector<std::pair<std::string, spice::TransistorModelPtr>> models_;
     std::string ac_source_;
     double ac_magnitude_ = 1.0;

@@ -1,0 +1,47 @@
+#include "runner/sweep.hpp"
+
+#include <cstdio>
+
+namespace tfetsram::runner {
+
+namespace {
+
+/// Shortest %g-style rendering (tags must be stable, not pretty).
+std::string compact(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string Corner::tag() const {
+    std::string t = "v" + compact(vdd) + "_t" + compact(temperature);
+    if (!is_nominal_tox())
+        t += "_x" + compact(tox_scale);
+    return t;
+}
+
+void Corner::add_to(CacheKey& key) const {
+    key.add("vdd", vdd).add("temp", temperature).add("tox_scale", tox_scale);
+}
+
+std::vector<Corner> make_corner_grid(const CornerAxes& axes) {
+    const std::vector<double> vdds =
+        axes.vdd.empty() ? std::vector<double>{0.8} : axes.vdd;
+    const std::vector<double> temps =
+        axes.temperature.empty() ? std::vector<double>{300.0}
+                                 : axes.temperature;
+    const std::vector<double> toxes =
+        axes.tox_scale.empty() ? std::vector<double>{1.0} : axes.tox_scale;
+
+    std::vector<Corner> grid;
+    grid.reserve(vdds.size() * temps.size() * toxes.size());
+    for (double v : vdds)
+        for (double t : temps)
+            for (double x : toxes)
+                grid.push_back({v, t, x});
+    return grid;
+}
+
+} // namespace tfetsram::runner

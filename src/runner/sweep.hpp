@@ -1,0 +1,43 @@
+#pragma once
+// First-class multi-corner sweep axes for benches and sign-off: a Corner is
+// one (VDD, temperature, Tox-scale) operating point, a CornerGrid is the
+// row-major cross product of the three axes. Corners know how to tag
+// themselves for task ids / BENCH keys and how to contribute their fields
+// to a CacheKey, so every per-corner task is cached and journaled under a
+// stable, collision-free name.
+
+#include <string>
+#include <vector>
+
+#include "runner/cache.hpp"
+
+namespace tfetsram::runner {
+
+/// One operating point of a corner sweep.
+struct Corner {
+    double vdd = 0.8;         ///< supply [V]
+    double temperature = 300; ///< device temperature [K]
+    double tox_scale = 1.0;   ///< gate-oxide thickness multiplier
+
+    /// Compact unique tag for task ids and BENCH keys, e.g.
+    /// "v0.8_t300" or "v0.7_t350_x1.05" (the Tox field is omitted at
+    /// nominal so legacy single-axis names stay stable).
+    [[nodiscard]] std::string tag() const;
+
+    /// Contribute this corner's fields to a task's cache key.
+    void add_to(CacheKey& key) const;
+
+    [[nodiscard]] bool is_nominal_tox() const { return tox_scale == 1.0; }
+};
+
+/// Axes of a sweep; empty axes collapse to their nominal value.
+struct CornerAxes {
+    std::vector<double> vdd = {0.8};
+    std::vector<double> temperature = {300.0};
+    std::vector<double> tox_scale = {1.0};
+};
+
+/// Row-major cross product: vdd outermost, tox innermost.
+std::vector<Corner> make_corner_grid(const CornerAxes& axes);
+
+} // namespace tfetsram::runner

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "sram/cell_spec.hpp"
+
 namespace tfetsram::sram {
 
 bool access_is_ptype(AccessDevice access) {
@@ -25,28 +27,20 @@ const char* to_string(AccessDevice access) {
 }
 
 const char* to_string(CellKind kind) {
-    switch (kind) {
-    case CellKind::kCmos6T:
-        return "6T CMOS SRAM";
-    case CellKind::kTfet6T:
-        return "6T TFET SRAM";
-    case CellKind::kTfet7T:
-        return "7T TFET SRAM";
-    case CellKind::kTfetAsym6T:
-        return "asymmetric 6T TFET SRAM";
-    }
-    return "?";
+    // Names come from the spec registry (static storage, so the returned
+    // pointer stays valid) — the registry is the single naming authority.
+    return builtin_spec(kind).display_name.c_str();
 }
 
 double SramCell::wl_active_level() const {
-    const bool ptype = (config.kind == CellKind::kTfet6T) &&
-                       access_is_ptype(config.access);
+    const bool ptype =
+        spec_of(*this).wl_follows_access && access_is_ptype(config.access);
     return ptype ? 0.0 : config.vdd;
 }
 
 double SramCell::wl_inactive_level() const {
-    const bool ptype = (config.kind == CellKind::kTfet6T) &&
-                       access_is_ptype(config.access);
+    const bool ptype =
+        spec_of(*this).wl_follows_access && access_is_ptype(config.access);
     return ptype ? config.vdd : 0.0;
 }
 
@@ -97,174 +91,10 @@ std::vector<spice::Transistor*> build_6t_devices(spice::Circuit& ckt,
     return devices;
 }
 
-namespace {
-
-/// Wire the cross-coupled inverter pair shared by every topology.
-/// n_model/p_model are the pull-down/pull-up devices.
-void build_core(SramCell& cell, const spice::TransistorModelPtr& n_model,
-                const spice::TransistorModelPtr& p_model, bool tfet_core) {
-    const CellConfig& cfg = cell.config;
-    const double w_pd = cfg.beta * cfg.w_access;
-    spice::Circuit& ckt = cell.circuit;
-
-    auto& pdl = ckt.add_transistor("PDL", n_model, cell.q, cell.qb, cell.vss, w_pd);
-    auto& pul = ckt.add_transistor("PUL", p_model, cell.q, cell.qb, cell.vdd,
-                                   cfg.w_pullup);
-    auto& pdr = ckt.add_transistor("PDR", n_model, cell.qb, cell.q, cell.vss, w_pd);
-    auto& pur = ckt.add_transistor("PUR", p_model, cell.qb, cell.q, cell.vdd,
-                                   cfg.w_pullup);
-    if (tfet_core) {
-        cell.variable_devices.push_back(&pdl);
-        cell.variable_devices.push_back(&pul);
-        cell.variable_devices.push_back(&pdr);
-        cell.variable_devices.push_back(&pur);
-    }
-
-    ckt.add_capacitor("Cq", cell.q, spice::kGround, cfg.c_node);
-    ckt.add_capacitor("Cqb", cell.qb, spice::kGround, cfg.c_node);
-}
-
-/// One access transistor between a bitline and a storage node, with the
-/// orientation the access-device choice dictates.
-spice::Transistor& build_access(SramCell& cell, const std::string& label,
-                                AccessDevice access, spice::NodeId bitline,
-                                spice::NodeId store) {
-    const device::ModelSet& m = cell.config.models;
-    spice::Circuit& ckt = cell.circuit;
-    const double w = cell.config.w_access;
-    switch (access) {
-    case AccessDevice::kInwardN: // conducts BL -> node: drain at BL
-        return ckt.add_transistor(label, m.ntfet, bitline, cell.wl, store, w);
-    case AccessDevice::kInwardP: // conducts BL -> node: source at BL
-        return ckt.add_transistor(label, m.ptfet, store, cell.wl, bitline, w);
-    case AccessDevice::kOutwardN: // conducts node -> BL: drain at node
-        return ckt.add_transistor(label, m.ntfet, store, cell.wl, bitline, w);
-    case AccessDevice::kOutwardP: // conducts node -> BL: source at node
-        return ckt.add_transistor(label, m.ptfet, bitline, cell.wl, store, w);
-    case AccessDevice::kCmos:
-        return ckt.add_transistor(label, m.nmos, bitline, cell.wl, store, w);
-    }
-    throw std::invalid_argument("build_access: bad access device");
-}
-
-/// Bitline infrastructure: driver source -> precharge/drive switch ->
-/// bitline node with its capacitance.
-void build_bitline(SramCell& cell, const std::string& name,
-                   spice::NodeId bitline, spice::VoltageSource*& src,
-                   spice::TimedSwitch*& sw) {
-    spice::Circuit& ckt = cell.circuit;
-    const spice::NodeId drv = ckt.add_node(name + "_drv");
-    src = &ckt.add_vsource("V" + name, drv, spice::kGround,
-                           spice::Waveform::dc(cell.config.vdd));
-    sw = &ckt.add_switch("SW" + name, drv, bitline, cell.config.r_precharge,
-                         1e12, spice::Waveform::dc(1.0));
-    ckt.add_capacitor("C" + name, bitline, spice::kGround,
-                      cell.config.c_bitline);
-}
-
-} // namespace
-
 SramCell build_cell(const CellConfig& config, const spice::SimContext* sim) {
-    TFET_EXPECTS(config.vdd > 0.0);
-    TFET_EXPECTS(config.beta > 0.0 && config.w_access > 0.0);
-    TFET_EXPECTS(config.models.nmos && config.models.pmos);
-    if (config.kind != CellKind::kCmos6T)
-        TFET_EXPECTS(config.models.ntfet && config.models.ptfet);
-
-    SramCell cell;
-    cell.config = config;
-    cell.sim = sim;
-    spice::Circuit& ckt = cell.circuit;
-
-    cell.q = ckt.add_node("q");
-    cell.qb = ckt.add_node("qb");
-    cell.bl = ckt.add_node("bl");
-    cell.blb = ckt.add_node("blb");
-    cell.wl = ckt.add_node("wl");
-    cell.vdd = ckt.add_node("vdd");
-    cell.vss = ckt.add_node("vss");
-
-    cell.v_vdd = &ckt.add_vsource("Vvdd", cell.vdd, spice::kGround,
-                                  spice::Waveform::dc(config.vdd));
-    cell.v_vss = &ckt.add_vsource("Vvss", cell.vss, spice::kGround,
-                                  spice::Waveform::dc(0.0));
-
-    const bool tfet_core = config.kind != CellKind::kCmos6T;
-    const auto& n_core = tfet_core ? config.models.ntfet : config.models.nmos;
-    const auto& p_core = tfet_core ? config.models.ptfet : config.models.pmos;
-
-    build_bitline(cell, "bl", cell.bl, cell.v_bl, cell.sw_bl);
-    build_bitline(cell, "blb", cell.blb, cell.v_blb, cell.sw_blb);
-
-    switch (config.kind) {
-    case CellKind::kCmos6T:
-    case CellKind::kTfet6T: {
-        const bool ptype =
-            tfet_core && access_is_ptype(config.access);
-        cell.v_wl = &ckt.add_vsource(
-            "Vwl", cell.wl, spice::kGround,
-            spice::Waveform::dc(ptype ? config.vdd : 0.0));
-        const CellPorts ports{cell.q, cell.qb, cell.bl,  cell.blb,
-                              cell.wl, cell.vdd, cell.vss};
-        const auto devices = build_6t_devices(ckt, config, ports, "");
-        if (tfet_core)
-            cell.variable_devices = devices;
-        break;
-    }
-    case CellKind::kTfet7T: {
-        build_core(cell, n_core, p_core, tfet_core);
-        // [14]: outward nTFET write access on dedicated write bitlines
-        // (clamped low during hold so the access devices never see reverse
-        // bias), plus a single-transistor read buffer M7 whose source is the
-        // read wordline: RWL = VDD blocks it, RWL = 0 lets qb discharge RBL.
-        cell.v_wl = &ckt.add_vsource("Vwl", cell.wl, spice::kGround,
-                                     spice::Waveform::dc(0.0));
-        auto& axl =
-            build_access(cell, "AXL", AccessDevice::kOutwardN, cell.bl, cell.q);
-        auto& axr = build_access(cell, "AXR", AccessDevice::kOutwardN, cell.blb,
-                                 cell.qb);
-        cell.variable_devices.push_back(&axl);
-        cell.variable_devices.push_back(&axr);
-        // Write bitlines idle at 0 V for this topology.
-        cell.v_bl->set_waveform(spice::Waveform::dc(0.0));
-        cell.v_blb->set_waveform(spice::Waveform::dc(0.0));
-
-        cell.rbl = ckt.add_node("rbl");
-        cell.rwl = ckt.add_node("rwl");
-        cell.v_rwl = &ckt.add_vsource("Vrwl", cell.rwl, spice::kGround,
-                                      spice::Waveform::dc(config.vdd));
-        const spice::NodeId rdrv = ckt.add_node("rbl_drv");
-        cell.v_rbl = &ckt.add_vsource("Vrbl", rdrv, spice::kGround,
-                                      spice::Waveform::dc(config.vdd));
-        cell.sw_rbl = &ckt.add_switch("SWrbl", rdrv, cell.rbl,
-                                      config.r_precharge, 1e12,
-                                      spice::Waveform::dc(1.0));
-        ckt.add_capacitor("Crbl", cell.rbl, spice::kGround, config.c_bitline);
-        auto& m7 = ckt.add_transistor("M7", config.models.ntfet, cell.rbl,
-                                      cell.qb, cell.rwl, config.w_access);
-        cell.variable_devices.push_back(&m7);
-        break;
-    }
-    case CellKind::kTfetAsym6T: {
-        build_core(cell, n_core, p_core, tfet_core);
-        // [15]-style asymmetric cell: one outward and one inward nTFET
-        // access device. Writes are single-sided (and rely on the built-in
-        // raising-WA the original paper proposes); the outward device sees
-        // reverse bias during hold whenever q = 0 with BL clamped at VDD,
-        // which is the static-power penalty Sec. 5 quantifies.
-        cell.v_wl = &ckt.add_vsource("Vwl", cell.wl, spice::kGround,
-                                     spice::Waveform::dc(0.0));
-        auto& axl =
-            build_access(cell, "AXL", AccessDevice::kOutwardN, cell.bl, cell.q);
-        auto& axr =
-            build_access(cell, "AXR", AccessDevice::kInwardN, cell.blb, cell.qb);
-        cell.variable_devices.push_back(&axl);
-        cell.variable_devices.push_back(&axr);
-        break;
-    }
-    }
-    ckt.prepare();
-    return cell;
+    const CellSpec* spec =
+        config.spec != nullptr ? config.spec : &builtin_spec(config.kind);
+    return instantiate_spec(*spec, config, sim);
 }
 
 void retarget_models(SramCell& cell, const device::ModelSet& models) {

@@ -31,7 +31,9 @@ enum class AccessDevice {
     kCmos,     ///< nMOS pass gate of the 6T CMOS baseline
 };
 
-/// Cell topology.
+/// Cell topology (the legacy four; the spec registry in cell_spec.hpp is
+/// the extensible superset — these enumerators now merely name built-in
+/// specs).
 enum class CellKind {
     kCmos6T,     ///< 32 nm CMOS baseline
     kTfet6T,     ///< standard 6T with TFET devices
@@ -39,8 +41,14 @@ enum class CellKind {
     kTfetAsym6T, ///< [15]: asymmetric access devices
 };
 
+struct CellSpec;
+
 /// Full parameterization of one cell instance.
 struct CellConfig {
+    /// Topology: when `spec` is set it wins; `kind` then only echoes the
+    /// spec's nearest legacy enumerator. When `spec` is null, build_cell
+    /// resolves the built-in spec of `kind` (the legacy behavior).
+    const CellSpec* spec = nullptr;
     CellKind kind = CellKind::kTfet6T;
     AccessDevice access = AccessDevice::kInwardP;
     double vdd = 0.8;        ///< nominal supply [V]
@@ -119,7 +127,9 @@ struct SramCell {
 };
 
 /// Build a cell netlist from a configuration, optionally pinned to an
-/// explicit simulation context (see SramCell::sim).
+/// explicit simulation context (see SramCell::sim). Thin wrapper over
+/// instantiate_spec (cell_spec.hpp): config.spec when set, otherwise the
+/// built-in spec of config.kind.
 SramCell build_cell(const CellConfig& config,
                     const spice::SimContext* sim = nullptr);
 

@@ -1,0 +1,42 @@
+#include "sram/cell_zoo.hpp"
+
+#include <stdexcept>
+
+namespace tfetsram::sram {
+
+namespace {
+
+DesignSpec cntfet6t_design(double vdd, const device::ModelSet& models) {
+    DesignSpec d = proposed_design(vdd, models);
+    d.name = "6T inpCNTFET + GND-lowering RA";
+    return d;
+}
+
+} // namespace
+
+const std::vector<ZooEntry>& cell_zoo() {
+    static const std::vector<ZooEntry> zoo = {
+        {"proposed6t", "tfet-std", &proposed_design},
+        {"cmos6t", "tfet-std", &cmos_design},
+        {"asym6t", "tfet-std", &asym6t_design},
+        {"tfet7t", "tfet-std", &tfet7t_design},
+        {"tfet8t", "tfet-std", &tfet8t_design},
+        {"tfet9t", "tfet-std", &tfet9t_design},
+        {"cntfet6t", "cntfet", &cntfet6t_design},
+    };
+    return zoo;
+}
+
+const ZooEntry& find_zoo_entry(const std::string& id) {
+    for (const ZooEntry& e : cell_zoo())
+        if (e.id == id)
+            return e;
+    throw std::invalid_argument("find_zoo_entry: unknown cell '" + id + "'");
+}
+
+DesignSpec make_zoo_design(const ZooEntry& entry, double vdd,
+                           const device::ModelSet& models) {
+    return entry.make(vdd, models);
+}
+
+} // namespace tfetsram::sram

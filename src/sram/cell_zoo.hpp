@@ -1,0 +1,35 @@
+#pragma once
+// The cell zoo: one registry tying every runnable cell design to the model
+// set it is built on. Sign-off sweeps, the explorer, and the cell_zoo bench
+// iterate this list instead of hard-coding topologies, so adding a cell is
+// one entry here (plus a spec in cell_spec.cpp if the topology is new).
+
+#include <string>
+#include <vector>
+
+#include "device/model_zoo.hpp"
+#include "sram/designs.hpp"
+
+namespace tfetsram::sram {
+
+/// One zoo member: a design factory plus the model-set flavor it runs on.
+struct ZooEntry {
+    std::string id;        ///< registry key, e.g. "tfet8t"
+    std::string model_set; ///< device::model_zoo() name ("tfet-std", ...)
+    DesignSpec (*make)(double vdd, const device::ModelSet& models);
+};
+
+/// Every registered design, stable order (static storage): the four legacy
+/// comparison cells, the 8T/9T read-port cells, and the CNTFET-flavored 6T.
+const std::vector<ZooEntry>& cell_zoo();
+
+/// Look up an entry by id; throws std::invalid_argument when unknown.
+const ZooEntry& find_zoo_entry(const std::string& id);
+
+/// Instantiate an entry's design at a supply on the given models. The
+/// caller builds `models` from the entry's model_set at the corner of
+/// interest (device::make_model_set_at).
+DesignSpec make_zoo_design(const ZooEntry& entry, double vdd,
+                           const device::ModelSet& models);
+
+} // namespace tfetsram::sram

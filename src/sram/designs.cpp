@@ -1,5 +1,7 @@
 #include "sram/designs.hpp"
 
+#include "sram/cell_spec.hpp"
+
 namespace tfetsram::sram {
 
 DesignSpec proposed_design(double vdd, const device::ModelSet& models) {
@@ -44,6 +46,26 @@ DesignSpec asym6t_design(double vdd, const device::ModelSet& models) {
     d.config.models = models;
     d.write_assist = Assist::kWaGndRaising; // built into the design
     d.wlcrit_defined = false;               // no separatrix (Sec. 5)
+    return d;
+}
+
+DesignSpec tfet8t_design(double vdd, const device::ModelSet& models) {
+    DesignSpec d;
+    d.name = "8T TFET SRAM (decoupled read)";
+    d.config.spec = &find_spec("tfet8t");
+    d.config.vdd = vdd;
+    d.config.beta = 0.8; // read is decoupled, so sizing can favor write
+    d.config.models = models;
+    return d;
+}
+
+DesignSpec tfet9t_design(double vdd, const device::ModelSet& models) {
+    DesignSpec d;
+    d.name = "9T near-threshold TFET SRAM";
+    d.config.spec = &find_spec("tfet9t");
+    d.config.vdd = vdd;
+    d.config.beta = 0.8;
+    d.config.models = models;
     return d;
 }
 

@@ -36,6 +36,14 @@ DesignSpec tfet7t_design(double vdd, const device::ModelSet& models);
 /// Asymmetric 6T TFET SRAM [15].
 DesignSpec asym6t_design(double vdd, const device::ModelSet& models);
 
+/// 8T TFET SRAM with a two-transistor decoupled read stack (built-in
+/// "tfet8t" spec — see cell_spec.hpp).
+DesignSpec tfet8t_design(double vdd, const device::ModelSet& models);
+
+/// 9T near-threshold TFET SRAM: 8T read stack plus an RWL-gated foot
+/// device (built-in "tfet9t" spec).
+DesignSpec tfet9t_design(double vdd, const device::ModelSet& models);
+
 /// All four, in the paper's comparison order.
 std::vector<DesignSpec> comparison_designs(double vdd,
                                            const device::ModelSet& models);

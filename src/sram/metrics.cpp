@@ -79,7 +79,7 @@ WriteOutcome attempt_write(SramCell& cell, double pulse_width, Assist assist,
                            std::optional<HoldState>* hold_cache) {
     const spice::ScopedContext bind(cell.sim);
     WriteOutcome out;
-    const bool value = preferred_write_value(cell.config.kind);
+    const bool value = preferred_write_value(cell);
     const OperationWindow w = program_write(cell, value, pulse_width, assist,
                                             opts.assist_fraction, opts.timing);
     // At t = 0 every source sits at its hold level regardless of the
@@ -163,7 +163,7 @@ double critical_wordline_pulse(SramCell& cell, Assist assist,
 
 double write_delay(SramCell& cell, Assist assist, const MetricOptions& opts) {
     const spice::ScopedContext bind(cell.sim);
-    const bool value = preferred_write_value(cell.config.kind);
+    const bool value = preferred_write_value(cell);
     const OperationWindow w =
         program_write(cell, value, opts.write_probe_pulse, assist,
                       opts.assist_fraction, opts.timing);
@@ -218,7 +218,7 @@ double read_delay(SramCell& cell, Assist assist, const MetricOptions& opts) {
 double write_energy(SramCell& cell, double pulse_width, Assist assist,
                     const MetricOptions& opts) {
     const spice::ScopedContext bind(cell.sim);
-    const bool value = preferred_write_value(cell.config.kind);
+    const bool value = preferred_write_value(cell);
     const OperationWindow w = program_write(cell, value, pulse_width, assist,
                                             opts.assist_fraction, opts.timing);
     const HoldState hs = solve_hold_state(cell, !value, opts.solver);

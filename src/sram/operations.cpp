@@ -3,6 +3,7 @@
 #include "spice/context.hpp"
 #include "spice/dc.hpp"
 #include "spice/solution.hpp"
+#include "sram/cell_spec.hpp"
 
 namespace tfetsram::sram {
 
@@ -23,11 +24,11 @@ Waveform excursion(double base, double active, double t_on, double t_off,
                           {t_off + edge, base}});
 }
 
-/// Hold level of the write bitlines for a topology: the 7T cell of [14]
-/// clamps its write bitlines low precisely to keep its outward access
-/// devices out of reverse bias.
+/// Hold level of the write bitlines, from the spec's contract: read-port
+/// topologies ([14]'s 7T, the 8T/9T stacks) clamp their write bitlines low
+/// precisely to keep their outward access devices out of reverse bias.
 double bitline_hold_level(const SramCell& cell) {
-    return cell.config.kind == CellKind::kTfet7T ? 0.0 : cell.config.vdd;
+    return spec_of(cell).bl_hold_frac * cell.config.vdd;
 }
 
 /// Switch control that opens (1 -> 0) shortly before t_open.
@@ -40,24 +41,42 @@ Waveform open_before(double t_open) {
 } // namespace
 
 bool preferred_write_value(CellKind kind) {
+    return builtin_spec(kind).preferred_write;
+}
+
+bool preferred_write_value(const SramCell& cell) {
     // The asymmetric cell's outward access device can only discharge q, so
     // it writes 0 natively; every other topology is exercised writing 1.
-    return kind != CellKind::kTfetAsym6T;
+    return spec_of(cell).preferred_write;
 }
 
 void program_hold(SramCell& cell) {
+    const CellSpec& spec = spec_of(cell);
     const double vdd = cell.config.vdd;
-    cell.v_vdd->set_waveform(Waveform::dc(vdd));
-    cell.v_vss->set_waveform(Waveform::dc(0.0));
-    cell.v_wl->set_waveform(Waveform::dc(cell.wl_inactive_level()));
-    cell.v_bl->set_waveform(Waveform::dc(bitline_hold_level(cell)));
-    cell.v_blb->set_waveform(Waveform::dc(bitline_hold_level(cell)));
-    cell.sw_bl->set_control(Waveform::dc(1.0));
-    cell.sw_blb->set_control(Waveform::dc(1.0));
-    if (cell.config.kind == CellKind::kTfet7T) {
-        cell.v_rwl->set_waveform(Waveform::dc(vdd));
-        cell.v_rbl->set_waveform(Waveform::dc(vdd));
-        cell.sw_rbl->set_control(Waveform::dc(1.0));
+    // Deck-built cells may omit individual drivers (a deck that ties VSS
+    // straight to ground has no Vvss) — program whatever handles exist.
+    if (cell.v_vdd != nullptr)
+        cell.v_vdd->set_waveform(Waveform::dc(vdd));
+    if (cell.v_vss != nullptr)
+        cell.v_vss->set_waveform(Waveform::dc(0.0));
+    if (cell.v_wl != nullptr)
+        cell.v_wl->set_waveform(Waveform::dc(cell.wl_inactive_level()));
+    if (cell.v_bl != nullptr)
+        cell.v_bl->set_waveform(Waveform::dc(bitline_hold_level(cell)));
+    if (cell.v_blb != nullptr)
+        cell.v_blb->set_waveform(Waveform::dc(bitline_hold_level(cell)));
+    if (cell.sw_bl != nullptr)
+        cell.sw_bl->set_control(Waveform::dc(1.0));
+    if (cell.sw_blb != nullptr)
+        cell.sw_blb->set_control(Waveform::dc(1.0));
+    if (spec.has_read_port()) {
+        if (cell.v_rwl != nullptr)
+            cell.v_rwl->set_waveform(
+                Waveform::dc((1.0 - spec.rwl_active_frac) * vdd));
+        if (cell.v_rbl != nullptr)
+            cell.v_rbl->set_waveform(Waveform::dc(vdd));
+        if (cell.sw_rbl != nullptr)
+            cell.sw_rbl->set_control(Waveform::dc(1.0));
     }
 }
 
@@ -69,12 +88,13 @@ OperationWindow program_write(SramCell& cell, bool value, double pulse_width,
     program_hold(cell);
 
     const CellConfig& cfg = cell.config;
-    // The asymmetric cell of [15] has a raising write-assist built into its
-    // operation; writes always use it.
-    if (cfg.kind == CellKind::kTfetAsym6T && assist == Assist::kNone)
-        assist = Assist::kWaGndRaising;
-    if (cfg.kind == CellKind::kTfetAsym6T)
-        TFET_EXPECTS(value == preferred_write_value(cfg.kind));
+    const CellSpec& spec = spec_of(cell);
+    // Some topologies (the asymmetric cell of [15]) bake an assist into
+    // their write operation; writes always use it.
+    if (spec.implicit_write_assist != Assist::kNone && assist == Assist::kNone)
+        assist = spec.implicit_write_assist;
+    if (spec.single_sided_write)
+        TFET_EXPECTS(value == spec.preferred_write);
 
     const double wl_active = cell.wl_active_level();
     const double wl_inactive = cell.wl_inactive_level();
@@ -144,9 +164,8 @@ ReadSetup program_read(SramCell& cell, double read_duration, Assist assist,
 
     setup.precharge_level = lv.bl_high;
 
-    switch (cfg.kind) {
-    case CellKind::kCmos6T:
-    case CellKind::kTfet6T: {
+    switch (spec_of(cell).read_style) {
+    case ReadStyle::kDifferential: {
         cell.v_wl->set_waveform(excursion(wl_inactive, lv.wl_active,
                                           w.wl_start, wl_fall_start,
                                           timing.wl_edge));
@@ -168,10 +187,14 @@ ReadSetup program_read(SramCell& cell, double read_duration, Assist assist,
         setup.sense_node = cell.bl;
         break;
     }
-    case CellKind::kTfet7T: {
-        // Write wordline stays off; the read wordline drops to turn on the
-        // read buffer's source path.
-        cell.v_rwl->set_waveform(excursion(cfg.vdd, 0.0, w.wl_start,
+    case ReadStyle::kReadPort: {
+        // Write wordline stays off; the read wordline swings to its active
+        // level — low for the 7T's source-side read buffer
+        // (rwl_active_frac = 0), high for the 8T/9T gated stacks.
+        const CellSpec& spec = spec_of(cell);
+        const double rwl_idle = (1.0 - spec.rwl_active_frac) * cfg.vdd;
+        const double rwl_active = spec.rwl_active_frac * cfg.vdd;
+        cell.v_rwl->set_waveform(excursion(rwl_idle, rwl_active, w.wl_start,
                                            wl_fall_start, timing.wl_edge));
         cell.v_rbl->set_waveform(excursion(cfg.vdd, lv.bl_high, ta_on, ta_off,
                                            timing.assist_edge));
@@ -185,7 +208,7 @@ ReadSetup program_read(SramCell& cell, double read_duration, Assist assist,
         setup.sense_node = cell.rbl;
         break;
     }
-    case CellKind::kTfetAsym6T: {
+    case ReadStyle::kSingleSidedBlb: {
         cell.v_wl->set_waveform(excursion(wl_inactive, lv.wl_active,
                                           w.wl_start, wl_fall_start,
                                           timing.wl_edge));

@@ -66,8 +66,11 @@ ReadSetup program_read(SramCell& cell, double read_duration,
                        bool float_bitlines = false);
 
 /// The write polarity a topology supports best; the asymmetric cell of
-/// [15] can only write one polarity through its outward device.
+/// [15] can only write one polarity through its outward device. The
+/// CellKind overload consults the built-in spec registry; the cell
+/// overload honors a custom config.spec.
 bool preferred_write_value(CellKind kind);
+bool preferred_write_value(const SramCell& cell);
 
 /// Initial-state helper: solve the hold operating point with the cell in
 /// the requested state. Returns the solution and whether the intended

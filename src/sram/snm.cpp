@@ -95,29 +95,31 @@ double interp_uniform(const std::vector<double>& ys, double vdd, double x) {
 
 /// Is the loop still bistable with equal series noise s at both inverter
 /// inputs (Seevinck)? Composite map h(y) = f(g(y + s) + s) for one noise
-/// polarity, f(g(y - s) - s) for the other; bistable iff h(y) - y changes
-/// sign at least three times.
+/// polarity, f(g(y - s) - s) for the other. The loop is bistable while
+/// the restoring drive d(y) = h(y) - y still points toward both stable
+/// states: a d < 0 run (toward the low state) followed by a d > 0 run
+/// (toward the high state). Counting interior sign *crossings* instead
+/// would miss stable points that sit exactly on the rails, where d
+/// touches zero without crossing — VTCs that saturate hard (CMOS, or
+/// high-on-current model sets) park both states there and would read as
+/// monostable despite a wide-open butterfly.
 bool bistable_under_noise(const std::vector<double>& f,
                           const std::vector<double>& g, double vdd, double s,
                           bool polarity) {
     const int n = 512;
-    int crossings = 0;
-    double prev = 0.0;
-    bool have_prev = false;
+    const double eps = 1e-6; // ignore leakage-level offsets at the rails
+    bool seen_low_basin = false;
     for (int i = 0; i <= n; ++i) {
         const double y = vdd * static_cast<double>(i) / n;
         const double x = polarity ? interp_uniform(g, vdd, y + s) + s
                                   : interp_uniform(g, vdd, y - s) - s;
-        const double h = interp_uniform(f, vdd, x);
-        const double d = h - y;
-        if (have_prev && d * prev < 0.0)
-            ++crossings;
-        if (d != 0.0) {
-            prev = d;
-            have_prev = true;
-        }
+        const double d = interp_uniform(f, vdd, x) - y;
+        if (d < -eps)
+            seen_low_basin = true;
+        else if (d > eps && seen_low_basin)
+            return true;
     }
-    return crossings >= 3;
+    return false;
 }
 
 /// Largest series noise (one polarity) that keeps the loop bistable —

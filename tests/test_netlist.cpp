@@ -111,8 +111,8 @@ TEST(Build, SwitchElement) {
 }
 
 TEST(Build, UndefinedModelRejected) {
-    const Netlist nl =
-        Netlist::parse("bad\nM1 d g 0 nomodel W=1\nV1 d 0 DC 1\n");
+    const Netlist nl = Netlist::parse(
+        "bad\nM1 d g 0 nomodel W=1\nV1 d 0 DC 1\nVg g 0 DC 1\n");
     EXPECT_THROW(nl.build(), std::runtime_error);
 }
 
@@ -237,6 +237,79 @@ TEST(Parse, AcRejectsBadSweep) {
     EXPECT_THROW(Netlist::parse("t\n.ac dec 5 1meg 1k\n"), ParseError);
     EXPECT_THROW(Netlist::parse("t\n.ac lin 5 1k 1meg\n"), ParseError);
     EXPECT_THROW(Netlist::parse("t\nI1 a 0 DC 1 AC 1\n"), ParseError);
+}
+
+TEST(Parse, DuplicateElementNameRejected) {
+    try {
+        Netlist::parse("t\nR1 a 0 1k\nV1 a 0 DC 1\nr1 a 0 2k\n");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        // Case-insensitive (classic SPICE), attributed to the duplicate.
+        EXPECT_EQ(e.line(), 4u);
+        EXPECT_NE(std::string(e.what()).find("duplicate element"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+}
+
+TEST(Parse, DanglingNodeRejected) {
+    // "mid" touches only R1's second terminal: one connection, not ground,
+    // not a declared port.
+    try {
+        Netlist::parse("t\nV1 a 0 DC 1\nR1 a mid 1k\n");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_NE(std::string(e.what()).find("dangling node 'mid'"),
+                  std::string::npos);
+    }
+}
+
+TEST(Parse, PortsExemptDanglingNodes) {
+    // The same single-ended node is fine once declared as a port — that is
+    // exactly what .ports is for (external connection points).
+    const Netlist nl =
+        Netlist::parse("t\nV1 a 0 DC 1\nR1 a mid 1k\n.ports mid\n");
+    ASSERT_EQ(nl.ports().size(), 1u);
+    EXPECT_EQ(nl.ports()[0], "mid");
+}
+
+TEST(Parse, PortsAccessorLowercasesAndKeepsOrder) {
+    const Netlist nl = Netlist::parse("t\n"
+                                      "V1 Q 0 DC 1\n"
+                                      "R1 Q QB 1k\n"
+                                      "V2 QB 0 DC 0\n"
+                                      ".ports Q QB\n");
+    ASSERT_EQ(nl.ports().size(), 2u);
+    EXPECT_EQ(nl.ports()[0], "q");
+    EXPECT_EQ(nl.ports()[1], "qb");
+}
+
+TEST(Parse, PortsRejectsUndeclaredNode) {
+    try {
+        Netlist::parse("t\nV1 a 0 DC 1\nR1 a 0 1k\n.ports ghost\n");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_EQ(e.line(), 4u);
+        EXPECT_NE(std::string(e.what()).find("undeclared node 'ghost'"),
+                  std::string::npos);
+    }
+}
+
+TEST(Parse, PortsRejectsEmptyDirective) {
+    EXPECT_THROW(Netlist::parse("t\nR1 a 0 1k\nV1 a 0 DC 1\n.ports\n"),
+                 ParseError);
+}
+
+TEST(Parse, PrintRejectsUndeclaredNode) {
+    EXPECT_THROW(
+        Netlist::parse("t\nR1 a 0 1k\nV1 a 0 DC 1\n.print v(ghost)\n"),
+        ParseError);
+}
+
+TEST(Parse, NodesetRejectsUndeclaredNode) {
+    EXPECT_THROW(
+        Netlist::parse("t\nR1 a 0 1k\nV1 a 0 DC 1\n.nodeset v(ghost)=0.5\n"),
+        ParseError);
 }
 
 TEST(Build, EachBuildIsIndependent) {
